@@ -1,0 +1,82 @@
+// Command sqlshell is an interactive SQL REPL against the embedded
+// engine, optionally preloaded with a TPC-D population. It prints each
+// statement's result and its simulated (1996-hardware) running time.
+//
+// Usage:
+//
+//	sqlshell [-load 0.01]
+//	> SELECT COUNT(*) FROM lineitem;
+//	> EXPLAIN SELECT * FROM orders WHERE o_orderkey = 42;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/dbgen"
+	"r3bench/internal/engine"
+	"r3bench/internal/tpcd"
+)
+
+func main() {
+	load := flag.Float64("load", 0, "preload a TPC-D population at this scale factor (0 = empty)")
+	flag.Parse()
+
+	db := engine.Open(engine.Config{})
+	if *load > 0 {
+		fmt.Printf("loading TPC-D at SF=%g...\n", *load)
+		if err := tpcd.Load(db, dbgen.New(*load), nil); err != nil {
+			fmt.Fprintln(os.Stderr, "sqlshell:", err)
+			os.Exit(1)
+		}
+	}
+	sess := db.NewSession()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("sqlshell> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+		case line == "quit" || line == "exit" || line == `\q`:
+			return
+		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN "):
+			plan, err := sess.Explain(line[len("EXPLAIN "):])
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(plan)
+			}
+		default:
+			before := sess.Meter.Elapsed()
+			res, err := sess.Exec(strings.TrimSuffix(line, ";"))
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			if res.Cols != nil {
+				fmt.Println(strings.Join(res.Cols, " | "))
+				for i, row := range res.Rows {
+					if i == 50 {
+						fmt.Printf("... (%d more rows)\n", len(res.Rows)-50)
+						break
+					}
+					parts := make([]string, len(row))
+					for j, v := range row {
+						parts[j] = v.AsStr()
+					}
+					fmt.Println(strings.Join(parts, " | "))
+				}
+				fmt.Printf("%d row(s)", len(res.Rows))
+			} else {
+				fmt.Printf("%d row(s) affected", res.RowsAffected)
+			}
+			fmt.Printf("  [simulated %s]\n", cost.Fmt(sess.Meter.Lap(before)))
+		}
+		fmt.Print("sqlshell> ")
+	}
+}

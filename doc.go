@@ -1,0 +1,14 @@
+// Package r3bench reproduces "Database Performance in the Real World —
+// TPC-D and SAP R/3" (Doppelhammer, Höppler, Kemper, Kossmann; SIGMOD
+// 1997): a from-scratch relational engine, a TPC-D population generator,
+// an SAP R/3 application-system simulator, the benchmark's 17 queries and
+// 2 update functions in four implementation strategies, and a harness
+// that regenerates every table of the paper's evaluation on a simulated
+// 1996-hardware clock.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The root-level benchmarks (bench_test.go)
+// regenerate each paper table as a testing.B benchmark; cmd/r3bench runs
+// them as a standalone report.
+package r3bench

@@ -1,0 +1,62 @@
+// Quickstart: the embedded relational engine on its own — create a
+// schema, load rows, run queries, inspect plans, and read the simulated
+// 1996-hardware clock.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/engine"
+	"r3bench/internal/val"
+)
+
+func main() {
+	db := engine.Open(engine.Config{}) // 10 MB buffer, 1996 cost model
+	sess := db.NewSession()
+
+	mustExec := func(sql string, params ...val.Value) *engine.Result {
+		res, err := sess.Exec(sql, params...)
+		if err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+		return res
+	}
+
+	mustExec(`CREATE TABLE albums (
+		a_id INTEGER PRIMARY KEY,
+		a_title CHAR(40),
+		a_artist CHAR(30),
+		a_year INTEGER,
+		a_price DECIMAL(8,2))`)
+	mustExec(`CREATE INDEX albums_year ON albums (a_year)`)
+
+	titles := []string{"Blue Train", "Giant Steps", "Kind of Blue", "A Love Supreme",
+		"Mingus Ah Um", "Time Out", "Somethin' Else", "Moanin'"}
+	for i, t := range titles {
+		mustExec(`INSERT INTO albums VALUES (?, ?, ?, ?, ?)`,
+			val.Int(int64(i+1)), val.Str(t), val.Str("Artist"),
+			val.Int(int64(1957+i%5)), val.Float(9.99+float64(i)))
+	}
+	if err := db.AnalyzeAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	res := mustExec(`SELECT a_year, COUNT(*), AVG(a_price) FROM albums
+		GROUP BY a_year ORDER BY a_year`)
+	fmt.Println("albums per year:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %d: %d album(s), avg $%.2f\n",
+			row[0].AsInt(), row[1].AsInt(), row[2].AsFloat())
+	}
+
+	plan, err := sess.Explain(`SELECT a_title FROM albums WHERE a_year = 1959`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan for the 1959 lookup:\n%s", plan)
+
+	fmt.Printf("\nsimulated time on 1996 hardware: %s\n", cost.Fmt(sess.Meter.Elapsed()))
+	fmt.Printf("cost breakdown:\n%s", sess.Meter.Breakdown())
+}

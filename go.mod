@@ -1,0 +1,3 @@
+module r3bench
+
+go 1.22

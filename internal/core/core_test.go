@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun drives every paper table end to end at a tiny
+// scale factor and sanity-checks the printed reports.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	var buf bytes.Buffer
+	cfg := &Config{SF: 0.002, Out: &buf}
+	if err := RunAll(cfg); err != nil {
+		t.Fatalf("%v\noutput so far:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"table1", "VBAP", "Lineitem: position", // Table 1 mapping
+		"SAP/original data ratio", // Table 2
+		"ORDER+LINEITEM",          // Table 3
+		"Total (quer.)",           // Tables 4/5
+		"high (0 result tuples)",  // Table 6
+		"Native SQL",              // Table 7
+		"hit ratio",               // Table 8
+		"LINEITEM",                // Table 9
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "ERROR") || strings.Contains(out, "!!") {
+		t.Errorf("experiment reported errors:\n%s", out)
+	}
+}
+
+func TestFind(t *testing.T) {
+	if Find("table6") == nil {
+		t.Fatal("table6 must exist")
+	}
+	if Find("nope") != nil {
+		t.Fatal("unknown ID must return nil")
+	}
+	if len(Experiments()) != 9 {
+		t.Fatalf("expected 9 experiments, got %d", len(Experiments()))
+	}
+}
+
+// TestTable2RatioShape asserts the headline data-inflation result at a
+// small scale factor.
+func TestTable2RatioShape(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := &Config{SF: 0.002, Out: &buf}
+	if err := RunOne(cfg, "table2"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	idx := strings.Index(out, "SAP/original data ratio: ")
+	if idx < 0 {
+		t.Fatalf("no ratio line:\n%s", out)
+	}
+	var ratio float64
+	if _, err := fmt.Sscanf(out[idx:], "SAP/original data ratio: %fx", &ratio); err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 5 || ratio > 25 {
+		t.Errorf("data inflation ratio = %.1f, paper reports ~10x", ratio)
+	}
+}

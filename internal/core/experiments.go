@@ -1,0 +1,519 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/dbgen"
+	"r3bench/internal/r3"
+	"r3bench/internal/r3/reports"
+	"r3bench/internal/tpcd"
+	"r3bench/internal/val"
+	"r3bench/internal/warehouse"
+)
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID       string // "table2", ...
+	Title    string
+	PaperRef string
+	Run      func(cfg *Config) error
+}
+
+// Experiments lists every reproduced table in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "SAP tables used in the TPC-D benchmark", "Table 1", runTable1},
+		{"table2", "DB sizes: original TPC-D DB vs SAP DB", "Table 2", runTable2},
+		{"table3", "Loading the SAP database (batch input)", "Table 3", runTable3},
+		{"table4", "TPC-D power test, SAP R/3 2.2G", "Table 4", runTable4},
+		{"table5", "TPC-D power test, SAP R/3 3.0E", "Table 5", runTable5},
+		{"table6", "One-table query: parameterized access-path choice", "Table 6 / Fig 3", runTable6},
+		{"table7", "Grouping with complex aggregation: SAP vs RDBMS", "Table 7 / Fig 4", runTable7},
+		{"table8", "Application-server caching of MARA", "Table 8 / Fig 5", runTable8},
+		{"table9", "Constructing an SAP data warehouse", "Table 9", runTable9},
+	}
+}
+
+// Find returns the experiment with the given ID, or nil.
+func Find(id string) *Experiment {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			ex := e
+			return &ex
+		}
+	}
+	return nil
+}
+
+func (cfg *Config) printf(format string, args ...any) {
+	fmt.Fprintf(cfg.Out, format, args...)
+}
+
+func header(cfg *Config, e Experiment) {
+	cfg.printf("\n=== %s — %s (paper %s; SF=%.3g) ===\n\n", e.ID, e.Title, e.PaperRef, cfg.SF)
+}
+
+// --- Table 1 ---
+
+func runTable1(cfg *Config) error {
+	cfg.printf("%-8s  %-34s  %s\n", "SAP Tab.", "Description", "Orig. TPC-D Tab.")
+	for _, m := range r3.TPCDMapping {
+		cfg.printf("%-8s  %-34s  %s\n", m.SAP, m.Desc, m.Orig)
+	}
+	return nil
+}
+
+// --- Table 2: database sizes ---
+
+// table2Groups maps original tables to the SAP tables whose storage they
+// account for; STXL apportions by TDOBJECT.
+var table2Groups = []struct {
+	Orig string
+	SAP  []string
+	Text []string // STXL TDOBJECT values
+}{
+	{"REGION", []string{"T005U"}, []string{"T005U"}},
+	{"NATION", []string{"T005", "T005T"}, []string{"T005"}},
+	{"SUPPLIER", []string{"LFA1"}, []string{"LFA1"}},
+	{"PART", []string{"MARA", "MAKT", "A004", "KONP", "AUSP"}, []string{"MARA"}},
+	{"PARTSUPP", []string{"EINA", "EINE"}, []string{"EINA"}},
+	{"CUSTOMER", []string{"KNA1"}, []string{"KNA1"}},
+	{"ORDER", []string{"VBAK"}, []string{"VBAK"}},
+	{"LINEITEM", []string{"VBAP", "VBEP", "KONV"}, []string{"VBAP"}},
+}
+
+func runTable2(cfg *Config) error {
+	env := cfg.envOf()
+	rdb, err := env.RDB()
+	if err != nil {
+		return err
+	}
+	sys, err := env.Sys22()
+	if err != nil {
+		return err
+	}
+	// STXL apportioning by TDOBJECT row share.
+	stxlData, stxlIdx := sys.PhysicalSizes("STXL")
+	stxlCounts := map[string]int64{}
+	var stxlTotal int64
+	sess := sys.DB.NewSessionWithMeter(nil)
+	res, err := sess.Exec(`SELECT TDOBJECT, COUNT(*) FROM STXL GROUP BY TDOBJECT`)
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		stxlCounts[strings.TrimSpace(row[0].AsStr())] = row[1].AsInt()
+		stxlTotal += row[1].AsInt()
+	}
+	stxlShare := func(objects []string) (int64, int64) {
+		var rows int64
+		for _, o := range objects {
+			rows += stxlCounts[o]
+		}
+		if stxlTotal == 0 {
+			return 0, 0
+		}
+		return stxlData * rows / stxlTotal, stxlIdx * rows / stxlTotal
+	}
+
+	origOf := map[string]string{"ORDER": "ORDERS"}
+	kb := func(b int64) string { return fmt.Sprintf("%d", (b+1023)/1024) }
+	cfg.printf("%-10s  %12s %12s    %12s %12s\n", "", "Orig Data", "Orig Index", "SAP Data", "SAP Index")
+	var oD, oI, sD, sI int64
+	for _, grp := range table2Groups {
+		on := grp.Orig
+		if o := origOf[on]; o != "" {
+			on = o
+		}
+		t := rdb.Table(on)
+		od, oi := t.DataBytes(), t.IndexBytes()
+		var sd, si int64
+		for _, st := range grp.SAP {
+			d, i := sys.PhysicalSizes(st)
+			sd += d
+			si += i
+		}
+		td, ti := stxlShare(grp.Text)
+		sd += td
+		si += ti
+		cfg.printf("%-10s  %10s KB %10s KB    %10s KB %10s KB\n", grp.Orig, kb(od), kb(oi), kb(sd), kb(si))
+		oD += od
+		oI += oi
+		sD += sd
+		sI += si
+	}
+	cfg.printf("%-10s  %10s KB %10s KB    %10s KB %10s KB\n", "Total", kb(oD), kb(oI), kb(sD), kb(sI))
+	cfg.printf("\nSAP/original data ratio: %.1fx (paper: ~10x)   index ratio: %.1fx (paper: ~8x)\n",
+		float64(sD)/float64(oD), float64(sI)/float64(oI))
+	return nil
+}
+
+// --- Table 3: batch-input loading ---
+
+func runTable3(cfg *Config) error {
+	// A fresh system: loading is the experiment.
+	sys, err := r3.Install(r3.Config{Release: r3.Release22})
+	if err != nil {
+		return err
+	}
+	g := cfg.envOf().Gen
+	b := sys.NewBatchInput(2)
+	cfg.printf("%-18s  %15s  (two parallel batch-input processes)\n", "", "Loading Time")
+	mark := func(label string, n int64, before time.Duration) time.Duration {
+		now := b.Elapsed()
+		cfg.printf("%-18s  %15s  (%d records)\n", label, cost.Fmt(now-before), n)
+		return now
+	}
+	for _, n := range g.NationRows() {
+		if err := b.EnterNation(n); err != nil {
+			return err
+		}
+	}
+	for _, r := range g.Regions() {
+		if err := b.EnterRegion(r); err != nil {
+			return err
+		}
+	}
+	cfg.printf("%-18s  %15s\n", "REGION+NATION", "(entered interactively)")
+	t0 := b.Elapsed()
+	var cnt int64
+	if err := g.Suppliers(func(s dbgen.Supplier) error {
+		cnt++
+		return b.EnterSupplier(s)
+	}); err != nil {
+		return err
+	}
+	t0 = mark("SUPPLIER", cnt, t0)
+	cnt = 0
+	if err := g.Parts(func(p dbgen.Part) error {
+		cnt++
+		return b.EnterPart(p)
+	}); err != nil {
+		return err
+	}
+	t0 = mark("PART", cnt, t0)
+	cnt = 0
+	j := 0
+	if err := g.PartSupps(func(ps dbgen.PartSupp) error {
+		cnt++
+		err := b.EnterPartSupp(ps, j%4)
+		j++
+		return err
+	}); err != nil {
+		return err
+	}
+	t0 = mark("PARTSUPP", cnt, t0)
+	cnt = 0
+	if err := g.Customers(func(c dbgen.Customer) error {
+		cnt++
+		return b.EnterCustomer(c)
+	}); err != nil {
+		return err
+	}
+	t0 = mark("CUSTOMER", cnt, t0)
+	cnt = 0
+	if err := g.Orders(func(o *dbgen.Order) error {
+		cnt += 1 + int64(len(o.Lines))
+		return b.EnterOrder(o)
+	}); err != nil {
+		return err
+	}
+	mark("ORDER+LINEITEM", cnt, t0)
+	cfg.printf("%-18s  %15s  (%d records; paper at SF=0.2: ~26 days)\n",
+		"Total", cost.Fmt(b.Elapsed()), b.Records())
+	return nil
+}
+
+// --- Tables 4 and 5: power tests ---
+
+func powerTable(cfg *Config, title string, results []*tpcd.PowerResult) {
+	cfg.printf("%-14s", "Query/Update")
+	for _, pr := range results {
+		cfg.printf("  %18s", shortName(pr.Impl))
+	}
+	cfg.printf("\n")
+	for i := range results[0].Steps {
+		cfg.printf("%-14s", results[0].Steps[i].Label)
+		for _, pr := range results {
+			st := pr.Steps[i]
+			if st.Err != nil {
+				cfg.printf("  %18s", "ERROR")
+			} else {
+				cfg.printf("  %18s", cost.Fmt(st.Elapsed))
+			}
+		}
+		cfg.printf("\n")
+	}
+	cfg.printf("%-14s", "Total (quer.)")
+	for _, pr := range results {
+		cfg.printf("  %18s", cost.Fmt(pr.TotalQ))
+	}
+	cfg.printf("\n%-14s", "Total (all)")
+	for _, pr := range results {
+		cfg.printf("  %18s", cost.Fmt(pr.TotalAll))
+	}
+	cfg.printf("\n")
+	for _, pr := range results {
+		for _, st := range pr.Steps {
+			if st.Err != nil {
+				cfg.printf("!! %s %s: %v\n", pr.Impl, st.Label, st.Err)
+			}
+		}
+	}
+}
+
+func shortName(s string) string {
+	switch {
+	case strings.HasPrefix(s, "RDBMS"):
+		return "RDBMS"
+	case strings.HasPrefix(s, "Native"):
+		return "Native SQL"
+	default:
+		return "Open SQL"
+	}
+}
+
+func runTable4(cfg *Config) error {
+	env := cfg.envOf()
+	rdb, err := env.RDB()
+	if err != nil {
+		return err
+	}
+	sys2, err := env.Sys22()
+	if err != nil {
+		return err
+	}
+	g := env.Gen
+	results := []*tpcd.PowerResult{
+		tpcd.RunPowerTest(tpcd.NewRDBMS(rdb, g)),
+		tpcd.RunPowerTest(reports.New(sys2, g, reports.Native22)),
+		tpcd.RunPowerTest(reports.New(sys2, g, reports.Open22)),
+	}
+	powerTable(cfg, "2.2G", results)
+	return nil
+}
+
+func runTable5(cfg *Config) error {
+	env := cfg.envOf()
+	// A fresh original DB: Table 4's update functions mutate state.
+	rdb, err := env.RDB()
+	if err != nil {
+		return err
+	}
+	sys3, err := env.Sys30()
+	if err != nil {
+		return err
+	}
+	g := env.Gen
+	results := []*tpcd.PowerResult{
+		tpcd.RunPowerTest(tpcd.NewRDBMS(rdb, g)),
+		tpcd.RunPowerTest(reports.New(sys3, g, reports.Native30)),
+		tpcd.RunPowerTest(reports.New(sys3, g, reports.Open30)),
+	}
+	powerTable(cfg, "3.0E", results)
+	return nil
+}
+
+// --- Table 6: the parameterized access-path blunder ---
+
+func runTable6(cfg *Config) error {
+	env := cfg.envOf()
+	sys, err := env.Sys30()
+	if err != nil {
+		return err
+	}
+	// The experiment's setup: an index on the quantity field.
+	sess := sys.DB.NewSessionWithMeter(nil)
+	if sys.DB.Table("VBAP").ColIndex("KWMENG") >= 0 {
+		if _, err := sess.Exec(`CREATE INDEX VBAP_KWM ON VBAP (KWMENG)`); err != nil &&
+			!strings.Contains(err.Error(), "already exists") {
+			return err
+		}
+	}
+	defer sess.Exec(`DROP INDEX VBAP_KWM`)
+
+	run := func(bound float64) (nTime, oTime string, nRows, oRows int, err error) {
+		nm := cost.NewMeter(sys.DB.Model())
+		n := sys.NativeSQL(nm)
+		res, err := n.Exec(fmt.Sprintf(
+			`SELECT KWMENG FROM VBAP WHERE KWMENG < %g AND MANDT = '301'`, bound))
+		if err != nil {
+			return "", "", 0, 0, err
+		}
+		om := cost.NewMeter(sys.DB.Model())
+		o := sys.OpenSQL(om)
+		oCount := 0
+		err = o.Select("VBAP", []r3.Cond{r3.Lt("KWMENG", val.Float(bound))}, func(r3.Row) error {
+			oCount++
+			return nil
+		})
+		if err != nil {
+			return "", "", 0, 0, err
+		}
+		return cost.Fmt(nm.Elapsed()), cost.Fmt(om.Elapsed()), len(res.Rows), oCount, nil
+	}
+	cfg.printf("%-28s  %14s  %14s\n", "selectivity", "Native SQL", "Open SQL")
+	nT, oT, nR, oR, err := run(0)
+	if err != nil {
+		return err
+	}
+	cfg.printf("%-28s  %14s  %14s   (%d/%d rows)\n", "high (0 result tuples)", nT, oT, nR, oR)
+	nT, oT, nR, oR, err = run(9999)
+	if err != nil {
+		return err
+	}
+	cfg.printf("%-28s  %14s  %14s   (%d/%d rows)\n", "low (all tuples qualify)", nT, oT, nR, oR)
+
+	// Show why: the chosen plans.
+	pLit, err := sess.Explain(`SELECT KWMENG FROM VBAP WHERE KWMENG < 9999 AND MANDT = '301'`)
+	if err != nil {
+		return err
+	}
+	pPar, err := sess.Explain(`SELECT * FROM VBAP WHERE MANDT = ? AND KWMENG < ?`)
+	if err != nil {
+		return err
+	}
+	cfg.printf("\nNative (literal) plan:  %s", pLit)
+	cfg.printf("Open (translated, parameterized) plan:  %s", pPar)
+	cfg.printf("The generic ?-translation hides the bound from the optimizer, which\nblindly keeps the index — the paper's 1s-vs-2h blow-up.\n")
+	return nil
+}
+
+// --- Table 7: complex aggregation, pushdown vs application server ---
+
+func runTable7(cfg *Config) error {
+	env := cfg.envOf()
+	sys, err := env.Sys30()
+	if err != nil {
+		return err
+	}
+	// Native: grouping and complex aggregation entirely in the RDBMS
+	// (pipelined sort-group) — paper Figure 4, left.
+	nm := cost.NewMeter(sys.DB.Model())
+	n := sys.NativeSQL(nm)
+	resN, err := n.Exec(`
+SELECT KPOSN, AVG(KAWRT * (1 + KBETR / 1000))
+FROM KONV
+WHERE MANDT = '301' AND STUNR = '040' AND ZAEHK = '01' AND KSCHL = 'DISC'
+GROUP BY KPOSN
+ORDER BY KPOSN`)
+	if err != nil {
+		return err
+	}
+
+	// Open SQL: ship every qualifying KONV tuple and group in the
+	// application server with EXTRACT/SORT/LOOP AT END OF — two phases
+	// with an intermediate materialization (paper Figure 4, right).
+	om := cost.NewMeter(sys.DB.Model())
+	o := sys.OpenSQL(om)
+	tab := r3.NewITab(om, "KPOSN", "CHARGE")
+	err = o.Select("KONV", []r3.Cond{
+		r3.Eq("STUNR", val.Str("040")), r3.Eq("ZAEHK", val.Str("01")),
+		r3.Eq("KSCHL", val.Str("DISC")),
+	}, func(r r3.Row) error {
+		tab.Append(r.Get("KPOSN"),
+			val.Float(r.Get("KAWRT").AsFloat()*(1+r.Get("KBETR").AsFloat()/1000)))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var openRows int
+	err = tab.GroupBy([]string{"KPOSN"}, []r3.Agg{
+		{Fn: "AVG", Of: func(r []val.Value) val.Value { return r[1] }},
+	}, func(kv, av []val.Value) error {
+		openRows++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	cfg.printf("%-12s  %14s  %14s\n", "", "Native SQL", "Open SQL")
+	cfg.printf("%-12s  %14s  %14s\n", "cost", cost.Fmt(nm.Elapsed()), cost.Fmt(om.Elapsed()))
+	cfg.printf("\n(%d vs %d groups; paper: 4m11s vs 13m48s — >3x for the two-phase\napplication-server grouping)\n",
+		len(resN.Rows), openRows)
+	return nil
+}
+
+// --- Table 8: application-server caching ---
+
+func runTable8(cfg *Config) error {
+	env := cfg.envOf()
+	sys, err := env.Sys22()
+	if err != nil {
+		return err
+	}
+	g := env.Gen
+	// The paper's 2 MB and 20 MB caches, scaled with SF so the working
+	// set relationship (nothing fits / everything fits) is preserved.
+	scale := cfg.SF / 0.2
+	caches := []struct {
+		label string
+		bytes int64
+	}{
+		{"No Caching", 0},
+		{"2 MB Cache", int64(2 << 20 * scale)},
+		{"20 MB Cache", int64(20 << 20 * scale)},
+	}
+	cfg.printf("%-14s  %10s  %14s\n", "", "hit ratio", "cost for MARA")
+	for _, c := range caches {
+		buf := sys.SetBuffered("MARA", c.bytes)
+		m := cost.NewMeter(sys.DB.Model())
+		o := sys.OpenSQL(m)
+
+		// Figure 5: for every VBAP tuple a separate query on MARA.
+		var vbapCost, preCost int64
+		_ = vbapCost
+		preCost = int64(m.Elapsed())
+		err := o.Select("VBAP", nil, func(r r3.Row) error {
+			_, _, err := o.SelectSingle("MARA", []r3.Cond{r3.Eq("MATNR", r.Get("MATNR"))})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		_ = preCost
+		ratio := 0.0
+		if buf != nil {
+			ratio = buf.HitRatio()
+		}
+		cfg.printf("%-14s  %9.0f%%  %14s\n", c.label, ratio*100, cost.Fmt(m.Elapsed()))
+	}
+	sys.SetBuffered("MARA", 0)
+	_ = g
+	cfg.printf("\n(paper: 0%% / 11%% / 85%% hit ratio; 1h48m / 1h50m / 35m)\n")
+	return nil
+}
+
+// --- Table 9: warehouse extraction ---
+
+func runTable9(cfg *Config) error {
+	env := cfg.envOf()
+	sys, err := env.Sys30()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "r3bench-warehouse-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ex := warehouse.New(sys)
+	results, err := ex.ExtractAll(dir)
+	if err != nil {
+		return err
+	}
+	cfg.printf("%-12s  %14s  %10s\n", "", "running time", "rows")
+	var total time.Duration
+	for _, r := range results {
+		cfg.printf("%-12s  %14s  %10d\n", r.Table, cost.Fmt(r.Elapsed), r.Rows)
+		total += r.Elapsed
+	}
+	cfg.printf("%-12s  %14s\n", "total", cost.Fmt(total))
+	cfg.printf("\n(paper: 6h05m total — about one full Open SQL power test)\n")
+	return nil
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"os"
+)
+
+// RunAll executes every experiment in paper order against one shared
+// environment.
+func RunAll(cfg *Config) error {
+	normalize(cfg)
+	for _, e := range Experiments() {
+		header(cfg, e)
+		if err := e.Run(cfg); err != nil {
+			return fmt.Errorf("core: %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// RunOne executes a single experiment by ID ("table2", ...).
+func RunOne(cfg *Config, id string) error {
+	normalize(cfg)
+	e := Find(id)
+	if e == nil {
+		return fmt.Errorf("core: no experiment %q (try table1..table9)", id)
+	}
+	header(cfg, *e)
+	if err := e.Run(cfg); err != nil {
+		return fmt.Errorf("core: %s: %w", e.ID, err)
+	}
+	return nil
+}
+
+func normalize(cfg *Config) {
+	if cfg.SF == 0 {
+		cfg.SF = DefaultSF
+	}
+	if cfg.Out == nil {
+		cfg.Out = os.Stdout
+	}
+}

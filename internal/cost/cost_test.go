@@ -1,0 +1,129 @@
+package cost
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeterCharging(t *testing.T) {
+	m := NewMeter(Default1996())
+	m.Charge(RandRead, 10)
+	m.Charge(SeqRead, 5)
+	want := 10*8*time.Millisecond + 5*time.Millisecond
+	if got := m.Elapsed(); got != want {
+		t.Errorf("Elapsed = %v, want %v", got, want)
+	}
+	if m.Count(RandRead) != 10 || m.Count(SeqRead) != 5 {
+		t.Error("event counts wrong")
+	}
+	if m.ByKind(RandRead) != 80*time.Millisecond {
+		t.Errorf("ByKind(RandRead) = %v", m.ByKind(RandRead))
+	}
+	m.Charge(Check, 0) // zero is a no-op
+	if m.Count(Check) != 0 {
+		t.Error("zero charge must not count")
+	}
+}
+
+func TestMeterLapAndReset(t *testing.T) {
+	m := NewMeter(Default1996())
+	m.Charge(SeqRead, 3)
+	mark := m.Elapsed()
+	m.Charge(SeqRead, 2)
+	if m.Lap(mark) != 2*time.Millisecond {
+		t.Errorf("Lap = %v", m.Lap(mark))
+	}
+	m.Reset()
+	if m.Elapsed() != 0 || m.Count(SeqRead) != 0 {
+		t.Error("Reset must zero everything")
+	}
+}
+
+func TestChargeDuration(t *testing.T) {
+	m := NewMeter(Default1996())
+	m.ChargeDuration(SortCPU, 123*time.Millisecond)
+	if m.Elapsed() != 123*time.Millisecond {
+		t.Errorf("Elapsed = %v", m.Elapsed())
+	}
+	m.ChargeDuration(SortCPU, 0)
+	if m.Count(SortCPU) != 1 {
+		t.Error("zero duration must not count as an event")
+	}
+}
+
+func TestUniformIOAblation(t *testing.T) {
+	u := Default1996().UniformIO()
+	if u.PerEvent[RandRead] != u.PerEvent[SeqRead] {
+		t.Error("UniformIO must equalise read costs")
+	}
+	if Default1996().PerEvent[RandRead] == Default1996().PerEvent[SeqRead] {
+		t.Error("default model must distinguish random from sequential")
+	}
+}
+
+func TestMeterConcurrency(t *testing.T) {
+	m := NewMeter(Default1996())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Charge(TupleCPU, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Count(TupleCPU) != 8000 {
+		t.Errorf("concurrent charges lost: %d", m.Count(TupleCPU))
+	}
+}
+
+func TestFmtPaperStyle(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{5*time.Minute + 17*time.Second, "5m 17s"},
+		{34 * time.Second, "34s"},
+		{2*time.Hour + 14*time.Minute + 56*time.Second, "2h 14m 56s"},
+		{25*24*time.Hour + 19*time.Hour + 55*time.Minute, "25d 19h 55m"},
+		{250 * time.Millisecond, "250ms"},
+		{0, "0ms"},
+		{-2 * time.Second, "-2s"},
+		{time.Minute + 5*time.Second, "1m 05s"},
+	}
+	for _, c := range cases {
+		if got := Fmt(c.d); got != c.want {
+			t.Errorf("Fmt(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	m := NewMeter(Default1996())
+	m.Charge(RandRead, 100)
+	m.Charge(TupleCPU, 10)
+	b := m.Breakdown()
+	if !strings.Contains(b, "rand-read") || !strings.Contains(b, "tuple-cpu") {
+		t.Errorf("Breakdown missing rows:\n%s", b)
+	}
+	if strings.Contains(b, "check") {
+		t.Error("Breakdown must omit zero rows")
+	}
+	// Largest contributor first.
+	if strings.Index(b, "rand-read") > strings.Index(b, "tuple-cpu") {
+		t.Error("Breakdown must sort by contribution")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if SeqRead.String() != "seq-read" || Commit.String() != "commit" {
+		t.Error("kind names wrong")
+	}
+	if got := Kind(99).String(); got != "kind(99)" {
+		t.Errorf("out of range kind = %q", got)
+	}
+}

@@ -1,0 +1,135 @@
+package dbgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteTbl writes the whole population as DBGEN-style pipe-delimited
+// .tbl files into dir, returning the total bytes written. This is the
+// ~200 MB ASCII form the paper starts from ("for SF=0.2, the DBGEN tool
+// generates an ASCII file of about 200 MB").
+func (g *Generator) WriteTbl(dir string) (int64, error) {
+	var total int64
+	write := func(name string, fill func(w *bufio.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		if err := fill(w); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		st, err := f.Stat()
+		if err == nil {
+			total += st.Size()
+		}
+		return f.Close()
+	}
+
+	if err := write("region.tbl", func(w *bufio.Writer) error {
+		for _, r := range g.Regions() {
+			fmt.Fprintf(w, "%d|%s|%s|\n", r.Key, r.Name, r.Comment)
+		}
+		return nil
+	}); err != nil {
+		return total, err
+	}
+	if err := write("nation.tbl", func(w *bufio.Writer) error {
+		for _, n := range g.NationRows() {
+			fmt.Fprintf(w, "%d|%s|%d|%s|\n", n.Key, n.Name, n.RegionKey, n.Comment)
+		}
+		return nil
+	}); err != nil {
+		return total, err
+	}
+	if err := write("supplier.tbl", func(w *bufio.Writer) error {
+		return g.Suppliers(func(s Supplier) error {
+			_, err := fmt.Fprintf(w, "%d|%s|%s|%d|%s|%.2f|%s|\n",
+				s.Key, s.Name, s.Address, s.NationKey, s.Phone, s.AcctBal, s.Comment)
+			return err
+		})
+	}); err != nil {
+		return total, err
+	}
+	if err := write("part.tbl", func(w *bufio.Writer) error {
+		return g.Parts(func(p Part) error {
+			_, err := fmt.Fprintf(w, "%d|%s|%s|%s|%s|%d|%s|%.2f|%s|\n",
+				p.Key, p.Name, p.Mfgr, p.Brand, p.Type, p.Size, p.Container, p.RetailPrice, p.Comment)
+			return err
+		})
+	}); err != nil {
+		return total, err
+	}
+	if err := write("partsupp.tbl", func(w *bufio.Writer) error {
+		return g.PartSupps(func(ps PartSupp) error {
+			_, err := fmt.Fprintf(w, "%d|%d|%d|%.2f|%s|\n",
+				ps.PartKey, ps.SuppKey, ps.AvailQty, ps.SupplyCost, ps.Comment)
+			return err
+		})
+	}); err != nil {
+		return total, err
+	}
+	if err := write("customer.tbl", func(w *bufio.Writer) error {
+		return g.Customers(func(c Customer) error {
+			_, err := fmt.Fprintf(w, "%d|%s|%s|%d|%s|%.2f|%s|%s|\n",
+				c.Key, c.Name, c.Address, c.NationKey, c.Phone, c.AcctBal, c.MktSegment, c.Comment)
+			return err
+		})
+	}); err != nil {
+		return total, err
+	}
+	var liW *bufio.Writer
+	if err := write("orders.tbl", func(w *bufio.Writer) error {
+		liF, err := os.Create(filepath.Join(dir, "lineitem.tbl"))
+		if err != nil {
+			return err
+		}
+		defer liF.Close()
+		liW = bufio.NewWriter(liF)
+		err = g.Orders(func(o *Order) error {
+			if _, err := fmt.Fprintf(w, "%d|%d|%s|%.2f|%s|%s|%s|%d|%s|\n",
+				o.Key, o.CustKey, o.Status, o.TotalPrice, o.Date.AsStr(),
+				o.Priority, o.Clerk, o.ShipPriority, o.Comment); err != nil {
+				return err
+			}
+			for _, li := range o.Lines {
+				if err := writeLineitem(liW, li); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := liW.Flush(); err != nil {
+			return err
+		}
+		st, err := liF.Stat()
+		if err == nil {
+			total += st.Size()
+		}
+		return nil
+	}); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+func writeLineitem(w io.Writer, li Lineitem) error {
+	_, err := fmt.Fprintf(w, "%d|%d|%d|%d|%d|%.2f|%.2f|%.2f|%s|%s|%s|%s|%s|%s|%s|%s|\n",
+		li.OrderKey, li.PartKey, li.SuppKey, li.LineNumber, li.Quantity,
+		li.ExtendedPrice, li.Discount, li.Tax, li.ReturnFlag, li.LineStatus,
+		li.ShipDate.AsStr(), li.CommitDate.AsStr(), li.ReceiptDate.AsStr(),
+		li.ShipInstruct, li.ShipMode, li.Comment)
+	return err
+}

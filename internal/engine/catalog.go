@@ -1,0 +1,294 @@
+// Package engine implements the relational database engine that stands in
+// for the paper's anonymous commercial RDBMS: catalog, table statistics,
+// a cost-based optimizer (access-path selection and join ordering), an
+// iterator executor with nested-loop / index-nested-loop / hash joins and
+// pipelined sort-based grouping, views, parameterized prepared cursors
+// (the substrate for SAP R/3's cursor caching), and SQL DML/DDL.
+//
+// All physical work — page I/O, tuple CPU, sorting, client/server row
+// shipping — is charged to the session's cost meter, so experiments read
+// simulated 1996-style running times (see internal/cost).
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"r3bench/internal/btree"
+	"r3bench/internal/cost"
+	"r3bench/internal/sqlparse"
+	"r3bench/internal/storage"
+	"r3bench/internal/val"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name    string // upper case
+	Type    val.ColType
+	NotNull bool
+}
+
+// Table is a stored base table.
+type Table struct {
+	Name       string
+	Cols       []Column
+	Heap       *storage.HeapFile
+	Indexes    []*Index
+	PrimaryKey []int // column positions; empty when no PK
+
+	colIdx map[string]int
+	stats  *TableStats
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	if i, ok := t.colIdx[strings.ToUpper(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Rows returns the live row count.
+func (t *Table) Rows() int64 { return t.Heap.Rows() }
+
+// DataBytes returns the heap size in bytes.
+func (t *Table) DataBytes() int64 { return t.Heap.DataBytes() }
+
+// IndexBytes returns the total modelled size of the table's indexes.
+func (t *Table) IndexBytes() int64 {
+	var total int64
+	for _, ix := range t.Indexes {
+		total += ix.Tree.SizeBytes()
+	}
+	return total
+}
+
+// Index is a secondary or primary-key index.
+type Index struct {
+	Name      string
+	Table     *Table
+	ColIdxs   []int
+	Unique    bool
+	Clustered bool // key order matches heap order (primary key of a sorted load)
+	Tree      *btree.Tree
+}
+
+// keyFor builds the index key for a full table row.
+func (ix *Index) keyFor(row []val.Value) []byte {
+	key := make([]byte, 0, 16*len(ix.ColIdxs))
+	for _, ci := range ix.ColIdxs {
+		key = val.AppendKey(key, row[ci])
+	}
+	return key
+}
+
+// DB is an embedded relational database instance.
+type DB struct {
+	mu     sync.RWMutex
+	disk   *storage.Disk
+	pool   *storage.BufferPool
+	model  cost.Model
+	tables map[string]*Table
+	views  map[string]*sqlparse.SelectStmt
+}
+
+// Config controls an engine instance.
+type Config struct {
+	// BufferBytes is the database buffer size. The paper's SAP R/3
+	// installation allots 10 MB by default.
+	BufferBytes int
+	// CostModel is the virtual-clock model; zero value means
+	// cost.Default1996.
+	CostModel cost.Model
+}
+
+// DefaultBufferBytes mirrors the paper's default RDBMS buffer (10 MB).
+const DefaultBufferBytes = 10 << 20
+
+// Open creates an empty database.
+func Open(cfg Config) *DB {
+	if cfg.BufferBytes == 0 {
+		cfg.BufferBytes = DefaultBufferBytes
+	}
+	zero := cost.Model{}
+	if cfg.CostModel == zero {
+		cfg.CostModel = cost.Default1996()
+	}
+	disk := storage.NewDisk()
+	return &DB{
+		disk:   disk,
+		pool:   storage.NewBufferPool(disk, cfg.BufferBytes),
+		model:  cfg.CostModel,
+		tables: make(map[string]*Table),
+		views:  make(map[string]*sqlparse.SelectStmt),
+	}
+}
+
+// Pool exposes the buffer pool (for harness hit-ratio reporting).
+func (db *DB) Pool() *storage.BufferPool { return db.pool }
+
+// Model returns the database's cost model.
+func (db *DB) Model() cost.Model { return db.model }
+
+// Table returns a table by name (case-insensitive), or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToUpper(name)]
+}
+
+// TableNames returns all table names.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// createTable registers a new table from a parsed definition.
+func (db *DB) createTable(ct *sqlparse.CreateTable) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name := strings.ToUpper(ct.Name)
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("engine: table %s already exists", name)
+	}
+	if _, dup := db.views[name]; dup {
+		return nil, fmt.Errorf("engine: %s already names a view", name)
+	}
+	t := &Table{Name: name, colIdx: make(map[string]int)}
+	layout := make([]val.ColType, 0, len(ct.Cols))
+	for i, cd := range ct.Cols {
+		cn := strings.ToUpper(cd.Name)
+		if _, dup := t.colIdx[cn]; dup {
+			return nil, fmt.Errorf("engine: duplicate column %s.%s", name, cn)
+		}
+		t.Cols = append(t.Cols, Column{Name: cn, Type: cd.Type, NotNull: cd.NotNull})
+		t.colIdx[cn] = i
+		layout = append(layout, cd.Type)
+	}
+	for _, pk := range ct.PrimaryKey {
+		ci := t.ColIndex(pk)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: primary key column %s not in table %s", pk, name)
+		}
+		t.PrimaryKey = append(t.PrimaryKey, ci)
+	}
+	t.Heap = storage.NewHeapFile(db.disk, db.pool, val.NewRowCodec(layout))
+	t.stats = newTableStats(len(t.Cols))
+	if len(t.PrimaryKey) > 0 {
+		pkIdx := &Index{
+			Name:      name + "_PK",
+			Table:     t,
+			ColIdxs:   append([]int(nil), t.PrimaryKey...),
+			Unique:    true,
+			Clustered: true, // loads arrive in key order in our workloads
+			Tree:      btree.New(true),
+		}
+		t.Indexes = append(t.Indexes, pkIdx)
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// createIndex builds a new index over existing rows.
+func (db *DB) createIndex(ci *sqlparse.CreateIndex, m *cost.Meter) (*Index, error) {
+	db.mu.Lock()
+	t := db.tables[strings.ToUpper(ci.Table)]
+	db.mu.Unlock()
+	if t == nil {
+		return nil, fmt.Errorf("engine: no table %s", ci.Table)
+	}
+	name := strings.ToUpper(ci.Name)
+	for _, ix := range t.Indexes {
+		if ix.Name == name {
+			return nil, fmt.Errorf("engine: index %s already exists", name)
+		}
+	}
+	ix := &Index{Name: name, Table: t, Unique: ci.Unique, Tree: btree.New(ci.Unique)}
+	for _, cn := range ci.Cols {
+		pos := t.ColIndex(cn)
+		if pos < 0 {
+			return nil, fmt.Errorf("engine: index %s: no column %s in %s", name, cn, t.Name)
+		}
+		ix.ColIdxs = append(ix.ColIdxs, pos)
+	}
+	err := t.Heap.Scan(m, func(rid storage.RID, row []val.Value) error {
+		return ix.Tree.Insert(ix.keyFor(row), rid, m)
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	t.Indexes = append(t.Indexes, ix)
+	db.mu.Unlock()
+	return ix, nil
+}
+
+// dropIndex removes an index by name from whichever table owns it.
+func (db *DB) dropIndex(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name = strings.ToUpper(name)
+	for _, t := range db.tables {
+		for i, ix := range t.Indexes {
+			if ix.Name == name {
+				t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("engine: no index %s", name)
+}
+
+// dropTable removes a table, its indexes and storage.
+func (db *DB) dropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name = strings.ToUpper(name)
+	t, ok := db.tables[name]
+	if !ok {
+		return fmt.Errorf("engine: no table %s", name)
+	}
+	t.Heap.Drop()
+	delete(db.tables, name)
+	return nil
+}
+
+// createView registers a named view.
+func (db *DB) createView(cv *sqlparse.CreateView) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name := strings.ToUpper(cv.Name)
+	if _, dup := db.views[name]; dup {
+		return fmt.Errorf("engine: view %s already exists", name)
+	}
+	if _, dup := db.tables[name]; dup {
+		return fmt.Errorf("engine: %s already names a table", name)
+	}
+	db.views[name] = cv.Query
+	return nil
+}
+
+// dropView removes a view.
+func (db *DB) dropView(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name = strings.ToUpper(name)
+	if _, ok := db.views[name]; !ok {
+		return fmt.Errorf("engine: no view %s", name)
+	}
+	delete(db.views, name)
+	return nil
+}
+
+// view returns the view query, or nil.
+func (db *DB) view(name string) *sqlparse.SelectStmt {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.views[strings.ToUpper(name)]
+}

@@ -1,0 +1,464 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/sqlparse"
+	"r3bench/internal/storage"
+	"r3bench/internal/val"
+)
+
+// Session is a client connection to the database. All work done through a
+// session charges its Meter; the Interface/RowShip charges model the
+// client/server boundary the paper's Section 4 experiments measure.
+type Session struct {
+	db    *DB
+	Meter *cost.Meter
+}
+
+// NewSession opens a session charging against the database's cost model.
+func (db *DB) NewSession() *Session {
+	return &Session{db: db, Meter: cost.NewMeter(db.model)}
+}
+
+// NewSessionWithMeter opens a session charging an existing meter (used by
+// the R/3 layer, which shares one virtual clock between application
+// server and RDBMS). A nil meter gets a fresh one.
+func (db *DB) NewSessionWithMeter(m *cost.Meter) *Session {
+	if m == nil {
+		m = cost.NewMeter(db.model)
+	}
+	return &Session{db: db, Meter: m}
+}
+
+// DB returns the session's database.
+func (s *Session) DB() *DB { return s.db }
+
+// Result is a fully materialized statement result.
+type Result struct {
+	Cols         []string
+	Rows         [][]val.Value
+	RowsAffected int64
+}
+
+// optimizeCharge is the modelled cost of one parse+optimize round; cursor
+// caching (prepared statements) avoids it on reopen.
+const optimizeCharge = 4 * time.Millisecond
+
+// Exec parses, plans and executes one SQL statement.
+func (s *Session) Exec(sql string, params ...val.Value) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.Meter.Charge(cost.Interface, 1)
+	s.Meter.ChargeDuration(cost.Interface, optimizeCharge)
+	return s.execParsed(stmt, params)
+}
+
+// Query is Exec restricted to SELECT statements.
+func (s *Session) Query(sql string, params ...val.Value) (*Result, error) {
+	res, err := s.Exec(sql, params...)
+	if err != nil {
+		return nil, err
+	}
+	if res.Cols == nil {
+		return nil, fmt.Errorf("engine: Query on a non-SELECT statement")
+	}
+	return res, nil
+}
+
+func (s *Session) execParsed(stmt sqlparse.Statement, params []val.Value) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		plan, err := s.db.planSelect(st, nil)
+		if err != nil {
+			return nil, err
+		}
+		return s.runSelect(plan, params)
+	case *sqlparse.CreateTable:
+		if _, err := s.db.createTable(st); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparse.CreateIndex:
+		if _, err := s.db.createIndex(st, s.Meter); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparse.DropIndex:
+		return &Result{}, s.db.dropIndex(st.Name)
+	case *sqlparse.DropTable:
+		return &Result{}, s.db.dropTable(st.Name)
+	case *sqlparse.CreateView:
+		return &Result{}, s.db.createView(st)
+	case *sqlparse.DropView:
+		return &Result{}, s.db.dropView(st.Name)
+	case *sqlparse.InsertStmt:
+		return s.execInsert(st, params)
+	case *sqlparse.DeleteStmt:
+		return s.execDelete(st, params)
+	case *sqlparse.UpdateStmt:
+		return s.execUpdate(st, params)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// runSelect executes a compiled plan, charging client row shipping.
+func (s *Session) runSelect(plan *selectPlan, params []val.Value) (*Result, error) {
+	rt := &runtime{sess: s, params: params, subCache: make(map[*selectPlan][][]val.Value)}
+	res := &Result{Cols: plan.outCols}
+	err := plan.run(rt, nil, func(row []val.Value) error {
+		s.Meter.Charge(cost.RowShip, 1)
+		res.Rows = append(res.Rows, append([]val.Value(nil), row...))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stmt is a prepared statement: parsed and optimized once, re-executable
+// with fresh parameters. This is the engine-side half of SAP R/3's cursor
+// caching — and, because the plan is chosen before the parameter values
+// exist, the vehicle for the paper's Section 4.1 access-path experiment.
+type Stmt struct {
+	sess *Session
+	plan *selectPlan
+	ast  sqlparse.Statement
+}
+
+// Prepare parses and (for SELECT) optimizes a statement.
+func (s *Session) Prepare(sql string) (*Stmt, error) {
+	ast, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.Meter.Charge(cost.Interface, 1)
+	s.Meter.ChargeDuration(cost.Interface, optimizeCharge)
+	st := &Stmt{sess: s, ast: ast}
+	if sel, ok := ast.(*sqlparse.SelectStmt); ok {
+		if st.plan, err = s.db.planSelect(sel, nil); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// Query re-executes the prepared statement (a cursor REOPEN): one
+// interface round trip, no re-optimization.
+func (st *Stmt) Query(params ...val.Value) (*Result, error) {
+	st.sess.Meter.Charge(cost.Interface, 1)
+	if st.plan != nil {
+		return st.sess.runSelect(st.plan, params)
+	}
+	return st.sess.execParsed(st.ast, params)
+}
+
+// Explain returns a one-line-per-step description of the plan chosen for
+// a SELECT — the observability hook the Table 6 experiment uses to show
+// *why* the parameterized query misbehaves.
+func (s *Session) Explain(sql string, params ...val.Value) (string, error) {
+	ast, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := ast.(*sqlparse.SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("engine: EXPLAIN supports only SELECT")
+	}
+	plan, err := s.db.planSelect(sel, nil)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, step := range plan.steps {
+		fmt.Fprintf(&b, "%d: %s\n", i+1, describeStep(step))
+	}
+	if plan.agg != nil {
+		fmt.Fprintf(&b, "%d: sort-group (%d keys, %d aggregates)\n",
+			len(plan.steps)+1, len(plan.agg.groupFns), len(plan.agg.specs))
+	}
+	return b.String(), nil
+}
+
+func describeStep(st stepper) string {
+	switch st := st.(type) {
+	case *scanStep:
+		if st.rel.derived != nil {
+			return fmt.Sprintf("derived scan %s", st.rel.alias)
+		}
+		if st.access.index != nil {
+			return fmt.Sprintf("index scan %s via %s", st.rel.alias, st.access.index.Name)
+		}
+		return fmt.Sprintf("seq scan %s", st.rel.alias)
+	case *inlStep:
+		return fmt.Sprintf("index nested-loop join %s via %s", st.rel.alias, st.index.Name)
+	case *hashStep:
+		return fmt.Sprintf("hash join %s (%d key(s))", st.rel.alias, len(st.buildKeyFns))
+	case *outerStep:
+		return fmt.Sprintf("left outer join %s", st.rel.alias)
+	case *filterStep:
+		return fmt.Sprintf("filter (%d predicate(s))", len(st.filters))
+	default:
+		return fmt.Sprintf("%T", st)
+	}
+}
+
+// --- DML ---
+
+// evalConst evaluates an expression with no row context (INSERT values,
+// parameters allowed).
+func (s *Session) evalConst(e sqlparse.Expr, params []val.Value) (val.Value, error) {
+	cc := &compiler{db: s.db, sc: &scope{}}
+	fn, err := cc.compile(e)
+	if err != nil {
+		return val.Null, err
+	}
+	rt := &runtime{sess: s, params: params, subCache: make(map[*selectPlan][][]val.Value)}
+	return fn(rt, nil)
+}
+
+func (s *Session) execInsert(st *sqlparse.InsertStmt, params []val.Value) (*Result, error) {
+	t := s.db.Table(st.Table)
+	if t == nil {
+		return nil, errNoTable(st.Table)
+	}
+	colMap := make([]int, 0, len(st.Cols))
+	if len(st.Cols) > 0 {
+		for _, cn := range st.Cols {
+			ci := t.ColIndex(cn)
+			if ci < 0 {
+				return nil, fmt.Errorf("engine: no column %s in %s", cn, t.Name)
+			}
+			colMap = append(colMap, ci)
+		}
+	}
+	var n int64
+	for _, exprRow := range st.Rows {
+		row := make([]val.Value, len(t.Cols))
+		if len(colMap) > 0 {
+			if len(exprRow) != len(colMap) {
+				return nil, fmt.Errorf("engine: INSERT has %d values for %d columns", len(exprRow), len(colMap))
+			}
+			for i, e := range exprRow {
+				v, err := s.evalConst(e, params)
+				if err != nil {
+					return nil, err
+				}
+				row[colMap[i]] = v
+			}
+		} else {
+			if len(exprRow) != len(t.Cols) {
+				return nil, fmt.Errorf("engine: INSERT has %d values for %d columns", len(exprRow), len(t.Cols))
+			}
+			for i, e := range exprRow {
+				v, err := s.evalConst(e, params)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+		}
+		if err := s.db.insertRow(t, row, s.Meter); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	// Autocommit: force the table's dirty pages and the log.
+	t.Heap.Flush(s.Meter)
+	s.Meter.Charge(cost.Commit, 1)
+	return &Result{RowsAffected: n}, nil
+}
+
+// insertRow validates, coerces, stores and indexes one row.
+func (db *DB) insertRow(t *Table, row []val.Value, m *cost.Meter) error {
+	if len(row) != len(t.Cols) {
+		return fmt.Errorf("engine: row width %d != %d for %s", len(row), len(t.Cols), t.Name)
+	}
+	for i, c := range t.Cols {
+		row[i] = coerceToType(row[i], c.Type)
+		if c.NotNull && row[i].IsNull() {
+			return fmt.Errorf("engine: NULL in NOT NULL column %s.%s", t.Name, c.Name)
+		}
+	}
+	rid, err := t.Heap.Insert(row, m)
+	if err != nil {
+		return err
+	}
+	for i, ix := range t.Indexes {
+		if err := ix.Tree.Insert(ix.keyFor(row), rid, m); err != nil {
+			// Roll back: remove from heap and already-updated indexes.
+			for j := 0; j < i; j++ {
+				_ = t.Indexes[j].Tree.Delete(t.Indexes[j].keyFor(row), rid, m)
+			}
+			_ = t.Heap.Delete(rid, m)
+			return fmt.Errorf("engine: %s: %w", t.Name, err)
+		}
+	}
+	return nil
+}
+
+// collectMatches runs a single-table scan/index plan for DML, returning
+// matching RIDs and row copies.
+func (s *Session) collectMatches(t *Table, where sqlparse.Expr, params []val.Value) ([]storage.RID, [][]val.Value, error) {
+	sel := &sqlparse.SelectStmt{
+		Select: []sqlparse.SelectItem{{Star: true}},
+		From:   []sqlparse.TableRef{&sqlparse.BaseTable{Name: t.Name, Alias: t.Name}},
+		Where:  where,
+		Limit:  -1,
+	}
+	plan, err := s.db.planSelect(sel, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt := &runtime{sess: s, params: params, subCache: make(map[*selectPlan][][]val.Value)}
+	be := &blockExec{rt: rt, row: make([]val.Value, plan.nSlots), state: make(map[stepper]any)}
+	be.stack = rowStack{be.row}
+	var rids []storage.RID
+	var rows [][]val.Value
+	err = runSteps(plan.steps, 0, be, func() error {
+		rids = append(rids, be.curRID)
+		rows = append(rows, append([]val.Value(nil), be.row...))
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rids, rows, nil
+}
+
+func (s *Session) execDelete(st *sqlparse.DeleteStmt, params []val.Value) (*Result, error) {
+	t := s.db.Table(st.Table)
+	if t == nil {
+		return nil, errNoTable(st.Table)
+	}
+	rids, rows, err := s.collectMatches(t, st.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	for i, rid := range rids {
+		if err := t.Heap.Delete(rid, s.Meter); err != nil {
+			return nil, err
+		}
+		for _, ix := range t.Indexes {
+			if err := ix.Tree.Delete(ix.keyFor(rows[i]), rid, s.Meter); err != nil {
+				return nil, err
+			}
+		}
+	}
+	t.Heap.Flush(s.Meter)
+	s.Meter.Charge(cost.Commit, 1)
+	return &Result{RowsAffected: int64(len(rids))}, nil
+}
+
+func (s *Session) execUpdate(st *sqlparse.UpdateStmt, params []val.Value) (*Result, error) {
+	t := s.db.Table(st.Table)
+	if t == nil {
+		return nil, errNoTable(st.Table)
+	}
+	// Compile SET expressions against the table's row.
+	entries := make([]scopeEntry, len(t.Cols))
+	for i, c := range t.Cols {
+		entries[i] = scopeEntry{table: t.Name, column: c.Name}
+	}
+	cc := &compiler{db: s.db, sc: &scope{cols: entries}}
+	type setFn struct {
+		col int
+		fn  exprFn
+	}
+	var sets []setFn
+	for _, a := range st.Set {
+		ci := t.ColIndex(a.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: no column %s in %s", a.Column, t.Name)
+		}
+		fn, err := cc.compile(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, setFn{col: ci, fn: fn})
+	}
+	rids, rows, err := s.collectMatches(t, st.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	rt := &runtime{sess: s, params: params, subCache: make(map[*selectPlan][][]val.Value)}
+	for i, rid := range rids {
+		oldRow := rows[i]
+		newRow := append([]val.Value(nil), oldRow...)
+		for _, sf := range sets {
+			v, err := sf.fn(rt, rowStack{oldRow})
+			if err != nil {
+				return nil, err
+			}
+			newRow[sf.col] = coerceToType(v, t.Cols[sf.col].Type)
+			if t.Cols[sf.col].NotNull && newRow[sf.col].IsNull() {
+				return nil, fmt.Errorf("engine: NULL in NOT NULL column %s.%s", t.Name, t.Cols[sf.col].Name)
+			}
+		}
+		if err := t.Heap.Update(rid, newRow, s.Meter); err != nil {
+			return nil, err
+		}
+		for _, ix := range t.Indexes {
+			oldKey, newKey := ix.keyFor(oldRow), ix.keyFor(newRow)
+			if string(oldKey) != string(newKey) {
+				if err := ix.Tree.Delete(oldKey, rid, s.Meter); err != nil {
+					return nil, err
+				}
+				if err := ix.Tree.Insert(newKey, rid, s.Meter); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	t.Heap.Flush(s.Meter)
+	s.Meter.Charge(cost.Commit, 1)
+	return &Result{RowsAffected: int64(len(rids))}, nil
+}
+
+// InsertRow inserts one row without committing — the building block for
+// higher layers (SAP R/3's tuple-at-a-time inserts) that manage their own
+// transaction boundaries.
+func (db *DB) InsertRow(tableName string, row []val.Value, m *cost.Meter) error {
+	t := db.Table(tableName)
+	if t == nil {
+		return errNoTable(tableName)
+	}
+	return db.insertRow(t, row, m)
+}
+
+// FlushTable forces the table's dirty pages (part of a commit).
+func (db *DB) FlushTable(tableName string, m *cost.Meter) error {
+	t := db.Table(tableName)
+	if t == nil {
+		return errNoTable(tableName)
+	}
+	t.Heap.Flush(m)
+	return nil
+}
+
+// BulkLoad appends rows through the bulk-loading interface: validation and
+// index maintenance happen, but there is one commit for the whole batch —
+// the facility the paper notes SAP R/3's batch input does NOT use.
+func (db *DB) BulkLoad(tableName string, rows [][]val.Value, m *cost.Meter) error {
+	t := db.Table(tableName)
+	if t == nil {
+		return errNoTable(tableName)
+	}
+	for _, row := range rows {
+		if err := db.insertRow(t, row, m); err != nil {
+			return err
+		}
+	}
+	t.Heap.Flush(m)
+	if m != nil {
+		m.Charge(cost.Commit, 1)
+	}
+	return nil
+}

@@ -1,0 +1,675 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/storage"
+	"r3bench/internal/val"
+)
+
+// errStopIteration stops a pipeline early (LIMIT, EXISTS) without error.
+var errStopIteration = errors.New("engine: stop iteration")
+
+// blockExec is the per-execution state of one query block: the shared row
+// buffer, the row stack (outer frames + the shared row), and per-step
+// scratch state (hash tables, materialized derived relations).
+type blockExec struct {
+	rt     *runtime
+	stack  rowStack
+	row    []val.Value
+	state  map[stepper]any
+	curRID storage.RID // last RID emitted by a scan (single-relation DML)
+}
+
+// stepper is one stage of the left-deep join pipeline. run is invoked once
+// per row produced by the earlier steps; it fills its relation's slots in
+// be.row and calls next for every match.
+type stepper interface {
+	run(be *blockExec, next func() error) error
+}
+
+// runSteps drives the pipeline from step i.
+func runSteps(steps []stepper, i int, be *blockExec, sink func() error) error {
+	if i == len(steps) {
+		return sink()
+	}
+	return steps[i].run(be, func() error {
+		return runSteps(steps, i+1, be, sink)
+	})
+}
+
+// evalFilters evaluates a conjunction; unknown (NULL) is not true.
+func evalFilters(be *blockExec, fns []exprFn) (bool, error) {
+	for _, f := range fns {
+		v, err := f(be.rt, be.stack)
+		if err != nil {
+			return false, err
+		}
+		if v.IsNull() || !v.IsTrue() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// --- scan step (sequential, index, or derived) ---
+
+// scanStep reads one relation through its access path; as a non-leading
+// step it degenerates to a (re-)scanning nested-loop join.
+type scanStep struct {
+	rel          *relInfo
+	access       accessPath
+	extraFilters []exprFn
+}
+
+func (s *scanStep) run(be *blockExec, next func() error) error {
+	return runAccess(be, s.rel, s.access, s.extraFilters, next)
+}
+
+// inlStep probes an index of its relation with equality values taken from
+// already-bound relations: an index nested-loop join.
+type inlStep struct {
+	rel     *relInfo
+	index   *Index
+	eqFns   []exprFn
+	filters []exprFn
+}
+
+func (s *inlStep) run(be *blockExec, next func() error) error {
+	ap := accessPath{index: s.index, eqFns: s.eqFns}
+	return runAccess(be, s.rel, ap, s.filters, next)
+}
+
+// filterStep applies residual predicates without binding a relation.
+type filterStep struct {
+	filters []exprFn
+}
+
+func (s *filterStep) run(be *blockExec, next func() error) error {
+	ok, err := evalFilters(be, s.filters)
+	if err != nil || !ok {
+		return err
+	}
+	return next()
+}
+
+// runAccess streams the relation's rows into be.row under the access path
+// plus extra filters.
+func runAccess(be *blockExec, rel *relInfo, ap accessPath, extra []exprFn, next func() error) error {
+	if rel.derived != nil {
+		return runDerived(be, rel, ap, extra, next)
+	}
+	off := rel.offset
+	emitRow := func(rid storage.RID, row []val.Value) error {
+		copy(be.row[off:off+rel.nCols], row)
+		ok, err := evalFilters(be, ap.filters)
+		if err != nil || !ok {
+			return err
+		}
+		ok, err = evalFilters(be, extra)
+		if err != nil || !ok {
+			return err
+		}
+		be.curRID = rid
+		return next()
+	}
+	if ap.index == nil {
+		return rel.table.Heap.Scan(be.rt.meter(), emitRow)
+	}
+	return runIndexScan(be, rel, ap, emitRow)
+}
+
+// boundVal normalises an index-scan bound: stored CHAR values are
+// right-trimmed, so bounds must be too.
+func boundVal(v val.Value) val.Value {
+	if v.K == val.KStr {
+		return val.Str(strings.TrimRight(v.S, " "))
+	}
+	return v
+}
+
+// runIndexScan evaluates the bound expressions, walks the index range and
+// fetches heap rows.
+func runIndexScan(be *blockExec, rel *relInfo, ap accessPath, emitRow func(storage.RID, []val.Value) error) error {
+	prefix := make([]byte, 0, 32)
+	for _, f := range ap.eqFns {
+		v, err := f(be.rt, be.stack)
+		if err != nil {
+			return err
+		}
+		prefix = val.AppendKey(prefix, boundVal(v))
+	}
+	lo := prefix
+	if ap.loFn != nil {
+		v, err := ap.loFn(be.rt, be.stack)
+		if err != nil {
+			return err
+		}
+		lo = val.AppendKey(append([]byte(nil), prefix...), boundVal(v))
+		if !ap.loInc {
+			lo = append(lo, 0xFF)
+		}
+	}
+	var hi []byte
+	hiStrict := false
+	if ap.hiFn != nil {
+		v, err := ap.hiFn(be.rt, be.stack)
+		if err != nil {
+			return err
+		}
+		hi = val.AppendKey(append([]byte(nil), prefix...), boundVal(v))
+		if ap.hiInc {
+			hi = append(hi, 0xFF)
+		} else {
+			hiStrict = true
+		}
+	} else {
+		hi = append(append([]byte(nil), prefix...), 0xFF)
+	}
+
+	m := be.rt.meter()
+	it := ap.index.Tree.Seek(lo, m)
+	buf := make([]val.Value, 0, rel.nCols)
+	for it.Next() {
+		cmp := bytes.Compare(it.Key, hi)
+		if cmp > 0 || (hiStrict && cmp >= 0) {
+			break
+		}
+		buf = buf[:0]
+		row, err := rel.table.Heap.Fetch(it.RID, m, buf)
+		if err != nil {
+			return err
+		}
+		if err := emitRow(it.RID, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runDerived materializes the derived relation (a view with aggregation
+// or a subquery) and scans the result. Uncorrelated derived relations are
+// cached for the whole statement; correlated ones re-run per execution.
+func runDerived(be *blockExec, rel *relInfo, ap accessPath, extra []exprFn, next func() error) error {
+	rows, err := materializeSub(be.rt, rel.derived, outerOf(be))
+	if err != nil {
+		return err
+	}
+	off := rel.offset
+	for _, r := range rows {
+		copy(be.row[off:off+rel.nCols], r)
+		ok, err := evalFilters(be, ap.filters)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		ok, err = evalFilters(be, extra)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// outerOf returns the outer frames of a block execution (everything above
+// the block's own row).
+func outerOf(be *blockExec) rowStack {
+	return be.stack[:len(be.stack)-1]
+}
+
+// materializeSub runs a subplan to completion, caching uncorrelated
+// results for the statement.
+func materializeSub(rt *runtime, sub *selectPlan, outer rowStack) ([][]val.Value, error) {
+	if !sub.correlated {
+		if rows, ok := rt.subCache[sub]; ok {
+			return rows, nil
+		}
+	}
+	var rows [][]val.Value
+	err := sub.run(rt, outer, func(r []val.Value) error {
+		rows = append(rows, append([]val.Value(nil), r...))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !sub.correlated {
+		rt.subCache[sub] = rows
+	}
+	return rows, nil
+}
+
+// --- hash join step ---
+
+// hashStep builds a hash table over its relation once per block execution
+// and probes it with key values from earlier relations.
+type hashStep struct {
+	rel         *relInfo
+	access      accessPath
+	buildKeyFns []exprFn // evaluated on the build scratch row
+	probeFns    []exprFn // evaluated on the probe (current) row
+	filters     []exprFn
+}
+
+// hashTable is the built side of a hash join.
+type hashTable map[string][][]val.Value
+
+func (s *hashStep) run(be *blockExec, next func() error) error {
+	ht, ok := be.state[s].(hashTable)
+	if !ok {
+		var err error
+		if ht, err = s.build(be); err != nil {
+			return err
+		}
+		be.state[s] = ht
+	}
+	key := make([]byte, 0, 32)
+	for _, f := range s.probeFns {
+		v, err := f(be.rt, be.stack)
+		if err != nil {
+			return err
+		}
+		key = val.AppendKey(key, v)
+	}
+	m := be.rt.meter()
+	off := s.rel.offset
+	for _, match := range ht[string(key)] {
+		m.Charge(cost.TupleCPU, 1)
+		copy(be.row[off:off+s.rel.nCols], match)
+		ok, err := evalFilters(be, s.filters)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// build scans the relation through its access path into a hash table,
+// charging spill I/O when the build side exceeds working memory.
+func (s *hashStep) build(be *blockExec) (hashTable, error) {
+	ht := make(hashTable)
+	scratch := make([]val.Value, len(be.row))
+	bstack := append(append(rowStack{}, outerOf(be)...), scratch)
+	bbe := &blockExec{rt: be.rt, stack: bstack, row: scratch, state: be.state}
+	off := s.rel.offset
+	var nRows int64
+	err := runAccess(bbe, s.rel, s.access, nil, func() error {
+		key := make([]byte, 0, 32)
+		for _, f := range s.buildKeyFns {
+			v, err := f(be.rt, bstack)
+			if err != nil {
+				return err
+			}
+			key = val.AppendKey(key, v)
+		}
+		ht[string(key)] = append(ht[string(key)], append([]val.Value(nil), scratch[off:off+s.rel.nCols]...))
+		nRows++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := be.rt.meter()
+	m.Charge(cost.TupleCPU, nRows)
+	buildBytes := float64(nRows) * s.rel.rowBytes
+	if buildBytes > workMemBytes {
+		// Grace-style partitioning: write and re-read the overflow.
+		pages := int64((buildBytes - workMemBytes) / storage.PageSize)
+		m.Charge(cost.PageWrite, pages)
+		m.Charge(cost.SeqRead, pages)
+	}
+	return ht, nil
+}
+
+// --- left outer join step ---
+
+// outerStep scans its relation per outer row under the ON condition and
+// emits one NULL-extended row when nothing matches.
+type outerStep struct {
+	rel       *relInfo
+	access    accessPath
+	onFilters []exprFn
+}
+
+func (s *outerStep) run(be *blockExec, next func() error) error {
+	matched := false
+	err := runAccess(be, s.rel, s.access, s.onFilters, func() error {
+		matched = true
+		return next()
+	})
+	if err != nil {
+		return err
+	}
+	if !matched {
+		off := s.rel.offset
+		for i := 0; i < s.rel.nCols; i++ {
+			be.row[off+i] = val.Null
+		}
+		return next()
+	}
+	return nil
+}
+
+// --- block execution: joins → aggregation → projection → order/limit ---
+
+// groupAcc is one group's accumulator set.
+type groupAcc struct {
+	keys []val.Value
+	accs []aggState
+}
+
+// aggState accumulates one aggregate.
+type aggState struct {
+	count   int64
+	sum     float64
+	sumInt  int64
+	allInt  bool
+	min     val.Value
+	max     val.Value
+	seen    map[string]struct{} // DISTINCT
+	nonNull bool
+}
+
+func newAggState(spec aggSpec) aggState {
+	st := aggState{allInt: true}
+	if spec.distinct {
+		st.seen = make(map[string]struct{})
+	}
+	return st
+}
+
+func (st *aggState) add(spec aggSpec, v val.Value) {
+	if spec.arg != nil && v.IsNull() {
+		return
+	}
+	if st.seen != nil {
+		k := string(val.AppendKey(nil, v))
+		if _, dup := st.seen[k]; dup {
+			return
+		}
+		st.seen[k] = struct{}{}
+	}
+	st.count++
+	st.nonNull = true
+	switch spec.fn {
+	case "SUM", "AVG":
+		if v.K == val.KInt {
+			st.sumInt += v.I
+		} else {
+			st.allInt = false
+		}
+		st.sum += v.AsFloat()
+	case "MIN":
+		if st.min.IsNull() || val.Compare(v, st.min) < 0 {
+			st.min = v
+		}
+	case "MAX":
+		if st.max.IsNull() || val.Compare(v, st.max) > 0 {
+			st.max = v
+		}
+	}
+}
+
+func (st *aggState) result(spec aggSpec) val.Value {
+	switch spec.fn {
+	case "COUNT":
+		return val.Int(st.count)
+	case "SUM":
+		if !st.nonNull {
+			return val.Null
+		}
+		if st.allInt {
+			return val.Int(st.sumInt)
+		}
+		return val.Float(st.sum)
+	case "AVG":
+		if st.count == 0 {
+			return val.Null
+		}
+		return val.Float(st.sum / float64(st.count))
+	case "MIN":
+		return st.min
+	case "MAX":
+		return st.max
+	}
+	return val.Null
+}
+
+// run executes the block, calling emit for every output row (a reused
+// buffer is not used: emitted rows are safe to retain only if copied; the
+// engine's own callers copy).
+func (p *selectPlan) run(rt *runtime, outer rowStack, emit func([]val.Value) error) error {
+	be := &blockExec{
+		rt:    rt,
+		row:   make([]val.Value, p.nSlots),
+		state: make(map[stepper]any),
+	}
+	be.stack = append(append(rowStack{}, outer...), be.row)
+	m := rt.meter()
+
+	type outRow struct {
+		proj []val.Value
+		keys []val.Value
+	}
+	var collected []outRow
+	needSort := len(p.orderKeys) > 0
+	var dedup map[string]struct{}
+	if p.distinct {
+		dedup = make(map[string]struct{})
+	}
+	emitted := 0
+
+	// produce projects the current frame (join row or aggregate row) and
+	// routes it through distinct / sort / limit.
+	produce := func(frame rowStack) error {
+		proj := make([]val.Value, len(p.projections))
+		for i, f := range p.projections {
+			v, err := f(rt, frame)
+			if err != nil {
+				return err
+			}
+			proj[i] = v
+		}
+		if dedup != nil {
+			k := string(val.EncodeKey(proj...))
+			if _, dup := dedup[k]; dup {
+				return nil
+			}
+			dedup[k] = struct{}{}
+			m.Charge(cost.TupleCPU, 1)
+		}
+		if needSort {
+			var keys []val.Value
+			for _, kf := range p.orderKeys {
+				v, err := kf(rt, frame)
+				if err != nil {
+					return err
+				}
+				keys = append(keys, v)
+			}
+			collected = append(collected, outRow{proj: proj, keys: keys})
+			return nil
+		}
+		if p.limit >= 0 && emitted >= p.limit {
+			return errStopIteration
+		}
+		emitted++
+		if err := emit(proj); err != nil {
+			return err
+		}
+		if p.limit >= 0 && emitted >= p.limit {
+			return errStopIteration
+		}
+		return nil
+	}
+
+	var err error
+	if p.agg == nil {
+		err = runSteps(p.steps, 0, be, func() error {
+			return produce(be.stack)
+		})
+	} else {
+		err = p.runAggregated(be, produce, outer)
+	}
+	if err != nil && err != errStopIteration {
+		return err
+	}
+
+	if needSort {
+		chargeSort(m, int64(len(collected)), int64(len(p.projections)+len(p.orderKeys))*24)
+		sort.SliceStable(collected, func(i, j int) bool {
+			for k := range p.orderKeys {
+				c := val.Compare(collected[i].keys[k], collected[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if p.orderDesc[k] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		n := len(collected)
+		if p.limit >= 0 && p.limit < n {
+			n = p.limit
+		}
+		for i := 0; i < n; i++ {
+			if err := emit(collected[i].proj); err != nil {
+				if err == errStopIteration {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runAggregated drains the join pipeline into group accumulators, then
+// finalizes groups through HAVING and projection.
+//
+// The engine's grouping is pipelined sort-group (sort, then aggregate
+// while streaming) — the cost charged follows that model, which is the
+// paper's point of contrast with SAP R/3's two-phase materialized
+// grouping (Section 4.2).
+func (p *selectPlan) runAggregated(be *blockExec, produce func(rowStack) error, outer rowStack) error {
+	rt := be.rt
+	m := rt.meter()
+	groups := make(map[string]*groupAcc)
+	var order []string
+	var nInput int64
+
+	err := runSteps(p.steps, 0, be, func() error {
+		nInput++
+		key := make([]byte, 0, 32)
+		keys := make([]val.Value, len(p.agg.groupFns))
+		for i, gf := range p.agg.groupFns {
+			v, err := gf(rt, be.stack)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+			key = val.AppendKey(key, v)
+		}
+		g, ok := groups[string(key)]
+		if !ok {
+			g = &groupAcc{keys: keys, accs: make([]aggState, len(p.agg.specs))}
+			for i, spec := range p.agg.specs {
+				g.accs[i] = newAggState(spec)
+			}
+			groups[string(key)] = g
+			order = append(order, string(key))
+		}
+		for i, spec := range p.agg.specs {
+			if spec.arg == nil { // COUNT(*)
+				g.accs[i].count++
+				g.accs[i].nonNull = true
+				continue
+			}
+			v, err := spec.arg(rt, be.stack)
+			if err != nil {
+				return err
+			}
+			g.accs[i].add(spec, v)
+		}
+		return nil
+	})
+	if err != nil && err != errStopIteration {
+		return err
+	}
+	// Pipelined sort-group cost: sort the input once; no intermediate
+	// materialization.
+	chargeSort(m, nInput, 48)
+
+	// A query with aggregates but no GROUP BY yields exactly one row,
+	// even over empty input.
+	if len(p.agg.groupFns) == 0 && len(order) == 0 {
+		g := &groupAcc{accs: make([]aggState, len(p.agg.specs))}
+		for i, spec := range p.agg.specs {
+			g.accs[i] = newAggState(spec)
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	for _, k := range order {
+		g := groups[k]
+		aggRow := make([]val.Value, len(g.keys)+len(p.agg.specs))
+		copy(aggRow, g.keys)
+		for i, spec := range p.agg.specs {
+			aggRow[len(g.keys)+i] = g.accs[i].result(spec)
+		}
+		frame := append(append(rowStack{}, outer...), aggRow)
+		if p.havingFn != nil {
+			hv, err := p.havingFn(rt, frame)
+			if err != nil {
+				return err
+			}
+			if hv.IsNull() || !hv.IsTrue() {
+				continue
+			}
+		}
+		m.Charge(cost.TupleCPU, 1)
+		if err := produce(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chargeSort charges an n·log n comparison sort plus external-merge I/O
+// when the data exceeds working memory.
+func chargeSort(m *cost.Meter, n int64, rowBytes int64) {
+	if n <= 1 {
+		return
+	}
+	per := m.Model().PerEvent[cost.SortCPU]
+	m.ChargeDuration(cost.SortCPU, time.Duration(float64(n)*math.Log2(float64(n)))*per)
+	total := n * rowBytes
+	if total > workMemBytes {
+		pages := total / storage.PageSize
+		m.Charge(cost.PageWrite, pages)
+		m.Charge(cost.SeqRead, pages)
+	}
+}

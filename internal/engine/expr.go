@@ -1,0 +1,683 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/sqlparse"
+	"r3bench/internal/val"
+)
+
+// runtime is the per-execution state threaded through compiled
+// expressions and iterators.
+type runtime struct {
+	sess   *Session
+	params []val.Value
+	// subCache memoises materialized results of uncorrelated subqueries
+	// within one statement execution.
+	subCache map[*selectPlan][][]val.Value
+}
+
+func (rt *runtime) meter() *cost.Meter { return rt.sess.Meter }
+
+// rowStack is the stack of in-flight rows: index 0 is the outermost
+// query's current row, the last element is the current query's row.
+// Correlated subqueries resolve outer references through it.
+type rowStack [][]val.Value
+
+// exprFn is a compiled expression.
+type exprFn func(rt *runtime, rows rowStack) (val.Value, error)
+
+// scopeEntry names one slot of a query's row layout.
+type scopeEntry struct {
+	table  string // alias, upper case
+	column string // upper case
+}
+
+// scope is a lexical name-resolution scope; parent scopes belong to
+// enclosing queries.
+type scope struct {
+	parent *scope
+	cols   []scopeEntry
+}
+
+// resolve finds (depth, index) for a column reference; depth 0 is this
+// scope.
+func (sc *scope) resolve(tbl, col string) (int, int, error) {
+	depth := 0
+	for s := sc; s != nil; s = s.parent {
+		found := -1
+		for i, e := range s.cols {
+			if e.column != col {
+				continue
+			}
+			if tbl != "" && e.table != tbl {
+				continue
+			}
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("engine: ambiguous column %s", col)
+			}
+			found = i
+		}
+		if found >= 0 {
+			return depth, found, nil
+		}
+		depth++
+	}
+	if tbl != "" {
+		return 0, 0, fmt.Errorf("engine: unknown column %s.%s", tbl, col)
+	}
+	return 0, 0, fmt.Errorf("engine: unknown column %s", col)
+}
+
+// compiler compiles expressions of one query block.
+type compiler struct {
+	db *DB
+	sc *scope
+	// usedOuter is set when any compiled expression resolved through a
+	// parent scope — i.e. the block is correlated.
+	usedOuter bool
+	// maxDepth is the deepest outer-scope distance referenced (0 = only
+	// this block).
+	maxDepth int
+	// maxParam tracks the highest parameter index seen (1-based count).
+	maxParam int
+	// hook, when set, intercepts sub-expressions before normal
+	// compilation; used for post-aggregation rewriting.
+	hook func(e sqlparse.Expr) (exprFn, bool, error)
+}
+
+func (c *compiler) compile(e sqlparse.Expr) (exprFn, error) {
+	if c.hook != nil {
+		if fn, handled, err := c.hook(e); handled {
+			return fn, err
+		}
+	}
+	switch e := e.(type) {
+	case *sqlparse.Literal:
+		v := e.Val
+		return func(*runtime, rowStack) (val.Value, error) { return v, nil }, nil
+
+	case *sqlparse.Param:
+		idx := e.Index
+		if idx+1 > c.maxParam {
+			c.maxParam = idx + 1
+		}
+		return func(rt *runtime, _ rowStack) (val.Value, error) {
+			if idx >= len(rt.params) {
+				return val.Null, fmt.Errorf("engine: parameter %d not bound", idx+1)
+			}
+			return rt.params[idx], nil
+		}, nil
+
+	case *sqlparse.ColumnRef:
+		depth, idx, err := c.sc.resolve(e.Table, e.Column)
+		if err != nil {
+			return nil, err
+		}
+		if depth > 0 {
+			c.usedOuter = true
+			if depth > c.maxDepth {
+				c.maxDepth = depth
+			}
+		}
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			fi := len(rows) - 1 - depth
+			if fi < 0 || fi >= len(rows) {
+				return val.Null, fmt.Errorf("engine: missing frame for depth %d", depth)
+			}
+			return rows[fi][idx], nil
+		}, nil
+
+	case *sqlparse.Unary:
+		x, err := c.compile(e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "-":
+			return func(rt *runtime, rows rowStack) (val.Value, error) {
+				v, err := x(rt, rows)
+				if err != nil {
+					return val.Null, err
+				}
+				return val.Neg(v), nil
+			}, nil
+		case "NOT":
+			return func(rt *runtime, rows rowStack) (val.Value, error) {
+				v, err := x(rt, rows)
+				if err != nil {
+					return val.Null, err
+				}
+				if v.IsNull() {
+					return val.Null, nil
+				}
+				return val.Bool(!v.IsTrue()), nil
+			}, nil
+		default:
+			return nil, fmt.Errorf("engine: unknown unary op %q", e.Op)
+		}
+
+	case *sqlparse.Binary:
+		return c.compileBinary(e)
+
+	case *sqlparse.Between:
+		x, err := c.compile(e.X)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := c.compile(e.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.compile(e.Hi)
+		if err != nil {
+			return nil, err
+		}
+		not := e.Not
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			xv, err := x(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			lov, err := lo(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			hiv, err := hi(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if xv.IsNull() || lov.IsNull() || hiv.IsNull() {
+				return val.Null, nil
+			}
+			in := val.Compare(xv, lov) >= 0 && val.Compare(xv, hiv) <= 0
+			return val.Bool(in != not), nil
+		}, nil
+
+	case *sqlparse.InList:
+		x, err := c.compile(e.X)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]exprFn, len(e.List))
+		for i, le := range e.List {
+			if items[i], err = c.compile(le); err != nil {
+				return nil, err
+			}
+		}
+		not := e.Not
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			xv, err := x(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if xv.IsNull() {
+				return val.Null, nil
+			}
+			sawNull := false
+			for _, item := range items {
+				iv, err := item(rt, rows)
+				if err != nil {
+					return val.Null, err
+				}
+				if iv.IsNull() {
+					sawNull = true
+					continue
+				}
+				if val.Equal(xv, iv) {
+					return val.Bool(!not), nil
+				}
+			}
+			if sawNull {
+				return val.Null, nil
+			}
+			return val.Bool(not), nil
+		}, nil
+
+	case *sqlparse.IsNull:
+		x, err := c.compile(e.X)
+		if err != nil {
+			return nil, err
+		}
+		not := e.Not
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			v, err := x(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			return val.Bool(v.IsNull() != not), nil
+		}, nil
+
+	case *sqlparse.Like:
+		x, err := c.compile(e.X)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := c.compile(e.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		not := e.Not
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			xv, err := x(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			pv, err := pat(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if xv.IsNull() || pv.IsNull() {
+				return val.Null, nil
+			}
+			return val.Bool(likeMatch(xv.AsStr(), pv.AsStr()) != not), nil
+		}, nil
+
+	case *sqlparse.CaseExpr:
+		type arm struct{ cond, then exprFn }
+		arms := make([]arm, len(e.Whens))
+		for i, w := range e.Whens {
+			cond, err := c.compile(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			then, err := c.compile(w.Then)
+			if err != nil {
+				return nil, err
+			}
+			arms[i] = arm{cond, then}
+		}
+		var els exprFn
+		if e.Else != nil {
+			var err error
+			if els, err = c.compile(e.Else); err != nil {
+				return nil, err
+			}
+		}
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			for _, a := range arms {
+				cv, err := a.cond(rt, rows)
+				if err != nil {
+					return val.Null, err
+				}
+				if cv.IsTrue() {
+					return a.then(rt, rows)
+				}
+			}
+			if els != nil {
+				return els(rt, rows)
+			}
+			return val.Null, nil
+		}, nil
+
+	case *sqlparse.FuncCall:
+		if isAggregateName(e.Name) {
+			return nil, fmt.Errorf("engine: aggregate %s not allowed here", e.Name)
+		}
+		return c.compileScalarFunc(e)
+
+	case *sqlparse.ScalarSubquery:
+		return c.compileScalarSubquery(e)
+
+	case *sqlparse.Exists:
+		return c.compileExists(e)
+
+	case *sqlparse.InSubquery:
+		return c.compileInSubquery(e)
+
+	default:
+		return nil, fmt.Errorf("engine: unsupported expression %T", e)
+	}
+}
+
+func (c *compiler) compileBinary(e *sqlparse.Binary) (exprFn, error) {
+	l, err := c.compile(e.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.compile(e.R)
+	if err != nil {
+		return nil, err
+	}
+	op := e.Op
+	switch op {
+	case "AND":
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			lv, err := l(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if !lv.IsNull() && !lv.IsTrue() {
+				return val.Bool(false), nil
+			}
+			rv, err := r(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if !rv.IsNull() && !rv.IsTrue() {
+				return val.Bool(false), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return val.Null, nil
+			}
+			return val.Bool(true), nil
+		}, nil
+	case "OR":
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			lv, err := l(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if !lv.IsNull() && lv.IsTrue() {
+				return val.Bool(true), nil
+			}
+			rv, err := r(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if !rv.IsNull() && rv.IsTrue() {
+				return val.Bool(true), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return val.Null, nil
+			}
+			return val.Bool(false), nil
+		}, nil
+	case "+", "-", "*", "/":
+		fn := map[string]func(val.Value, val.Value) val.Value{
+			"+": val.Add, "-": val.Sub, "*": val.Mul, "/": val.Div,
+		}[op]
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			lv, err := l(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			rv, err := r(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			return fn(lv, rv), nil
+		}, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			lv, err := l(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			rv, err := r(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return val.Null, nil
+			}
+			cmp := val.Compare(lv, rv)
+			var ok bool
+			switch op {
+			case "=":
+				ok = cmp == 0
+			case "<>":
+				ok = cmp != 0
+			case "<":
+				ok = cmp < 0
+			case "<=":
+				ok = cmp <= 0
+			case ">":
+				ok = cmp > 0
+			case ">=":
+				ok = cmp >= 0
+			}
+			return val.Bool(ok), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown operator %q", op)
+	}
+}
+
+// scalar function implementations; INSTR is deliberately "non-standard" —
+// the vendor extension the paper's Native SQL reports exploit and Open
+// SQL cannot express.
+func (c *compiler) compileScalarFunc(e *sqlparse.FuncCall) (exprFn, error) {
+	args := make([]exprFn, len(e.Args))
+	for i, a := range e.Args {
+		var err error
+		if args[i], err = c.compile(a); err != nil {
+			return nil, err
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("engine: %s takes %d arguments, got %d", e.Name, n, len(args))
+		}
+		return nil
+	}
+	evalArgs := func(rt *runtime, rows rowStack) ([]val.Value, error) {
+		out := make([]val.Value, len(args))
+		for i, a := range args {
+			v, err := a(rt, rows)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch e.Name {
+	case "YEAR":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			vs, err := evalArgs(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if vs[0].IsNull() {
+				return val.Null, nil
+			}
+			s := vs[0].AsStr() // dates render as YYYY-MM-DD
+			if len(s) < 4 {
+				return val.Null, nil
+			}
+			return val.Int(int64(atoi(s[:4]))), nil
+		}, nil
+	case "MONTH":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			vs, err := evalArgs(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if vs[0].IsNull() {
+				return val.Null, nil
+			}
+			s := vs[0].AsStr()
+			if len(s) < 7 {
+				return val.Null, nil
+			}
+			return val.Int(int64(atoi(s[5:7]))), nil
+		}, nil
+	case "SUBSTR", "SUBSTRING":
+		if len(args) != 2 && len(args) != 3 {
+			return nil, fmt.Errorf("engine: SUBSTR takes 2 or 3 arguments")
+		}
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			vs, err := evalArgs(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if vs[0].IsNull() {
+				return val.Null, nil
+			}
+			s := vs[0].AsStr()
+			start := int(vs[1].AsInt()) - 1
+			if start < 0 {
+				start = 0
+			}
+			if start > len(s) {
+				start = len(s)
+			}
+			end := len(s)
+			if len(vs) == 3 {
+				end = start + int(vs[2].AsInt())
+				if end > len(s) {
+					end = len(s)
+				}
+				if end < start {
+					end = start
+				}
+			}
+			return val.Str(s[start:end]), nil
+		}, nil
+	case "UPPER", "LOWER":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		upper := e.Name == "UPPER"
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			vs, err := evalArgs(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if vs[0].IsNull() {
+				return val.Null, nil
+			}
+			if upper {
+				return val.Str(strings.ToUpper(vs[0].AsStr())), nil
+			}
+			return val.Str(strings.ToLower(vs[0].AsStr())), nil
+		}, nil
+	case "LENGTH":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			vs, err := evalArgs(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if vs[0].IsNull() {
+				return val.Null, nil
+			}
+			return val.Int(int64(len(vs[0].AsStr()))), nil
+		}, nil
+	case "ABS":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			vs, err := evalArgs(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			v := vs[0]
+			if v.IsNull() {
+				return val.Null, nil
+			}
+			if v.K == val.KInt && v.I < 0 {
+				return val.Int(-v.I), nil
+			}
+			if v.K == val.KFloat && v.F < 0 {
+				return val.Float(-v.F), nil
+			}
+			return v, nil
+		}, nil
+	case "MOD":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			vs, err := evalArgs(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if vs[0].IsNull() || vs[1].IsNull() || vs[1].AsInt() == 0 {
+				return val.Null, nil
+			}
+			return val.Int(vs[0].AsInt() % vs[1].AsInt()), nil
+		}, nil
+	case "COALESCE":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("engine: COALESCE needs arguments")
+		}
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			for _, a := range args {
+				v, err := a(rt, rows)
+				if err != nil {
+					return val.Null, err
+				}
+				if !v.IsNull() {
+					return v, nil
+				}
+			}
+			return val.Null, nil
+		}, nil
+	case "INSTR": // vendor extension: position of substring, 0 if absent
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return func(rt *runtime, rows rowStack) (val.Value, error) {
+			vs, err := evalArgs(rt, rows)
+			if err != nil {
+				return val.Null, err
+			}
+			if vs[0].IsNull() || vs[1].IsNull() {
+				return val.Null, nil
+			}
+			return val.Int(int64(strings.Index(vs[0].AsStr(), vs[1].AsStr()) + 1)), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown function %s", e.Name)
+	}
+}
+
+func atoi(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			break
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return n
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single byte).
+func likeMatch(s, pat string) bool {
+	// Iterative two-pointer algorithm with backtracking on the last %.
+	si, pi := 0, 0
+	star, sMark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star = pi
+			sMark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			sMark++
+			si = sMark
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+func isAggregateName(name string) bool {
+	switch name {
+	case "SUM", "AVG", "COUNT", "MIN", "MAX":
+		return true
+	}
+	return false
+}

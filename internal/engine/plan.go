@@ -1,0 +1,557 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"time"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/sqlparse"
+	"r3bench/internal/val"
+)
+
+// selectPlan is a fully compiled and optimized SELECT block.
+type selectPlan struct {
+	db      *DB
+	steps   []stepper // left-deep join pipeline in execution order
+	nSlots  int       // width of the shared join row
+	outCols []string
+	sql     string
+	nRels   int
+	layout  []scopeEntry
+
+	// Output phase.
+	projections []exprFn
+	agg         *aggPlan
+	havingFn    exprFn
+	distinct    bool
+	orderKeys   []exprFn
+	orderDesc   []bool
+	limit       int
+
+	// correlated is true when the block references enclosing-query
+	// columns; correlated plans cannot cache their materialized results.
+	correlated bool
+	// outerDepth is how far up the scope chain the block reaches (0 =
+	// self-contained, 1 = parent, ...).
+	outerDepth int
+	nParams    int
+}
+
+// aggPlan describes grouping and aggregation for one block.
+type aggPlan struct {
+	groupFns []exprFn  // evaluated on the join row
+	specs    []aggSpec // accumulators
+}
+
+// aggSpec is one aggregate call site.
+type aggSpec struct {
+	fn       string        // SUM, AVG, COUNT, MIN, MAX
+	arg      exprFn        // nil for COUNT(*)
+	argAST   sqlparse.Expr // for call-site deduplication
+	distinct bool
+}
+
+// relInfo is one FROM-list relation during planning.
+type relInfo struct {
+	alias   string
+	table   *Table      // base relation, or nil
+	derived *selectPlan // derived (view with aggregation etc.)
+	offset  int         // first slot in the shared row
+	nCols   int
+
+	pushed []conjunct // single-relation conjuncts, applied at the scan
+	access accessPath // chosen access path
+	// estimates
+	baseRows float64
+	estRows  float64 // after pushed conjuncts
+	rowBytes float64
+	outer    bool // LEFT OUTER JOIN right side (fixed-order planning)
+	onConjs  []conjunct
+	// soleRelation marks the only relation of a single-table block, where
+	// the rule-based blind-index fallback applies (Section 4.1).
+	soleRelation bool
+}
+
+// conjunct is one AND-factor of the WHERE/ON clauses.
+type conjunct struct {
+	expr sqlparse.Expr
+	fn   exprFn
+	mask uint64 // bitmask of block relations referenced
+	sel  float64
+	// equi-join shape (colA = colB across two relations)
+	isJoin     bool
+	relA, relB int
+	colA, colB int // column index within the relation
+	// sargable single-relation shape (col op constantish)
+	sargRel   int
+	sargCol   int
+	sargOp    string // "=", "<", "<=", ">", ">=", "between"
+	sargVal   sqlparse.Expr
+	sargFn    exprFn
+	sargKnown bool // value known at plan time (literal)
+	sargLit   val.Value
+	// between extras
+	betweenHi    exprFn
+	betweenHiLit val.Value
+}
+
+// accessPath is the chosen way to read one relation.
+type accessPath struct {
+	index   *Index
+	eqFns   []exprFn // equality bounds on the leading index columns
+	loFn    exprFn   // optional range low on the next column
+	hiFn    exprFn
+	loInc   bool
+	hiInc   bool
+	filters []exprFn // remaining pushed conjuncts
+	// blindBound marks a bound whose value is unknown at plan time (a
+	// parameter or outer reference) — no statistics could be applied.
+	blindBound bool
+	estCost    float64
+	estRows    float64
+	describe   string
+}
+
+// planConsts converts the cost model into float64 milliseconds for
+// estimation.
+type planConsts struct {
+	seq, rand, cpu float64
+}
+
+func (db *DB) planConsts() planConsts {
+	m := db.model
+	return planConsts{
+		seq:  float64(m.PerEvent[cost.SeqRead]) / float64(time.Millisecond),
+		rand: float64(m.PerEvent[cost.RandRead]) / float64(time.Millisecond),
+		cpu:  float64(m.PerEvent[cost.TupleCPU]) / float64(time.Millisecond),
+	}
+}
+
+// planSelect compiles and optimizes one SELECT block. outerScope is the
+// scope chain of enclosing queries (nil at the top level).
+func (db *DB) planSelect(s *sqlparse.SelectStmt, outerScope *scope) (*selectPlan, error) {
+	p := &selectPlan{db: db, limit: s.Limit}
+
+	// 1. Flatten FROM into relations; inner-join ON conjuncts merge into
+	// the WHERE pool, outer joins pin fixed order.
+	var rels []*relInfo
+	var conjPool []sqlparse.Expr
+	hasOuter := false
+	var flatten func(ref sqlparse.TableRef, outerRight bool, on []sqlparse.Expr) error
+	flatten = func(ref sqlparse.TableRef, outerRight bool, on []sqlparse.Expr) error {
+		switch r := ref.(type) {
+		case *sqlparse.BaseTable:
+			ri, err := db.buildRelInfo(r, outerScope)
+			if err != nil {
+				return err
+			}
+			ri.outer = outerRight
+			if outerRight {
+				// ON conjuncts stay attached to the outer-joined relation.
+				for _, e := range on {
+					ri.onConjs = append(ri.onConjs, conjunct{expr: e})
+				}
+			}
+			rels = append(rels, ri)
+			return nil
+		case *sqlparse.Join:
+			if err := flatten(r.Left, false, nil); err != nil {
+				return err
+			}
+			onList := splitConjuncts(r.On)
+			if r.Kind == sqlparse.LeftOuterJoin {
+				hasOuter = true
+				return flatten(r.Right, true, onList)
+			}
+			if err := flatten(r.Right, false, nil); err != nil {
+				return err
+			}
+			conjPool = append(conjPool, onList...)
+			return nil
+		default:
+			return fmt.Errorf("engine: unsupported FROM item %T", ref)
+		}
+	}
+	for _, ref := range s.From {
+		if err := flatten(ref, false, nil); err != nil {
+			return nil, err
+		}
+	}
+	if len(rels) > 63 {
+		return nil, fmt.Errorf("engine: too many relations (%d)", len(rels))
+	}
+	p.nRels = len(rels)
+
+	// 2. Assign slots and build the block scope.
+	offset := 0
+	var entries []scopeEntry
+	for _, ri := range rels {
+		ri.offset = offset
+		offset += ri.nCols
+		entries = append(entries, db.relScopeEntries(ri)...)
+	}
+	p.nSlots = offset
+	sc := &scope{parent: outerScope, cols: entries}
+	p.layout = entries
+	cc := &compiler{db: db, sc: sc}
+
+	// 3. Split WHERE into conjuncts and classify.
+	if s.Where != nil {
+		conjPool = append(conjPool, splitConjuncts(s.Where)...)
+	}
+	var conjs []conjunct
+	for _, e := range conjPool {
+		cj, err := p.classifyConjunct(cc, rels, e)
+		if err != nil {
+			return nil, err
+		}
+		conjs = append(conjs, cj)
+	}
+	// Outer-join ON conjuncts get compiled but stay with their relation.
+	for _, ri := range rels {
+		for i := range ri.onConjs {
+			cj, err := p.classifyConjunct(cc, rels, ri.onConjs[i].expr)
+			if err != nil {
+				return nil, err
+			}
+			ri.onConjs[i] = cj
+		}
+	}
+
+	// 4. Distribute single-relation conjuncts and pick access paths.
+	var joinConjs []conjunct
+	for _, cj := range conjs {
+		if !cj.isJoin && cj.mask != 0 && bits.OnesCount64(cj.mask) == 1 {
+			ri := rels[bits.TrailingZeros64(cj.mask)]
+			ri.pushed = append(ri.pushed, cj)
+		} else {
+			joinConjs = append(joinConjs, cj)
+		}
+	}
+	pc := db.planConsts()
+	for i, ri := range rels {
+		ri.soleRelation = len(rels) == 1
+		db.chooseAccessPath(pc, ri, i)
+	}
+
+	// 5. Join ordering.
+	var err error
+	if hasOuter {
+		p.steps, err = p.fixedOrderSteps(pc, rels, joinConjs)
+	} else {
+		p.steps, err = p.optimizeJoinOrder(pc, rels, joinConjs)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// 6. Output phase: aggregation detection, projection, ordering.
+	if err := p.planOutput(cc, s); err != nil {
+		return nil, err
+	}
+	p.correlated = cc.maxDepth > 0
+	p.outerDepth = cc.maxDepth
+	if cc.maxParam > p.nParams {
+		p.nParams = cc.maxParam
+	}
+	return p, nil
+}
+
+// buildRelInfo resolves one FROM table: base table, view (merged or
+// materialized), or error.
+func (db *DB) buildRelInfo(bt *sqlparse.BaseTable, outerScope *scope) (*relInfo, error) {
+	name := strings.ToUpper(bt.Name)
+	alias := strings.ToUpper(bt.Alias)
+	if t := db.Table(name); t != nil {
+		ri := &relInfo{alias: alias, table: t, nCols: len(t.Cols)}
+		ri.baseRows = float64(t.RowEstimate())
+		if ri.baseRows < 1 {
+			ri.baseRows = 1
+		}
+		ri.rowBytes = float64(t.Heap.Codec().RowBytes())
+		return ri, nil
+	}
+	if vq := db.view(name); vq != nil {
+		sub, err := db.planSelect(vq, outerScope)
+		if err != nil {
+			return nil, fmt.Errorf("engine: expanding view %s: %w", name, err)
+		}
+		ri := &relInfo{alias: alias, derived: sub, nCols: len(sub.outCols)}
+		ri.baseRows = 1000 // no stats for derived relations
+		ri.rowBytes = float64(len(sub.outCols) * 24)
+		return ri, nil
+	}
+	return nil, errNoTable(name)
+}
+
+// relScopeEntries lists the scope entries contributed by one relation.
+func (db *DB) relScopeEntries(ri *relInfo) []scopeEntry {
+	out := make([]scopeEntry, 0, ri.nCols)
+	if ri.table != nil {
+		for _, c := range ri.table.Cols {
+			out = append(out, scopeEntry{table: ri.alias, column: c.Name})
+		}
+		return out
+	}
+	for _, c := range ri.derived.outCols {
+		out = append(out, scopeEntry{table: ri.alias, column: strings.ToUpper(c)})
+	}
+	return out
+}
+
+// splitConjuncts flattens nested ANDs.
+func splitConjuncts(e sqlparse.Expr) []sqlparse.Expr {
+	if b, ok := e.(*sqlparse.Binary); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []sqlparse.Expr{e}
+}
+
+// relMask computes which block relations an expression references
+// (depth-0 column refs only). Expressions containing subqueries get the
+// full mask: a correlated subquery may reference any of our relations
+// through the scope chain, so it is only safe to evaluate once every
+// relation is bound.
+func (p *selectPlan) relMask(rels []*relInfo, e sqlparse.Expr, cc *compiler) uint64 {
+	full := uint64(1)<<uint(len(rels)) - 1
+	var mask uint64
+	hasSub := false
+	var walk func(e sqlparse.Expr)
+	walk = func(e sqlparse.Expr) {
+		switch e := e.(type) {
+		case *sqlparse.ColumnRef:
+			if d, idx, err := cc.sc.resolve(e.Table, e.Column); err == nil && d == 0 {
+				// Find which relation owns slot idx.
+				for i, ri := range rels {
+					if idx >= ri.offset && idx < ri.offset+ri.nCols {
+						mask |= 1 << uint(i)
+						break
+					}
+				}
+			}
+		case *sqlparse.Unary:
+			walk(e.X)
+		case *sqlparse.Binary:
+			walk(e.L)
+			walk(e.R)
+		case *sqlparse.Between:
+			walk(e.X)
+			walk(e.Lo)
+			walk(e.Hi)
+		case *sqlparse.InList:
+			walk(e.X)
+			for _, x := range e.List {
+				walk(x)
+			}
+		case *sqlparse.InSubquery:
+			hasSub = true
+		case *sqlparse.Exists:
+			hasSub = true
+		case *sqlparse.IsNull:
+			walk(e.X)
+		case *sqlparse.Like:
+			walk(e.X)
+			walk(e.Pattern)
+		case *sqlparse.FuncCall:
+			for _, a := range e.Args {
+				walk(a)
+			}
+		case *sqlparse.CaseExpr:
+			for _, w := range e.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			if e.Else != nil {
+				walk(e.Else)
+			}
+		case *sqlparse.ScalarSubquery:
+			hasSub = true
+		}
+	}
+	walk(e)
+	if hasSub {
+		return full
+	}
+	return mask
+}
+
+// classifyConjunct compiles a conjunct and detects join-edge and sargable
+// shapes.
+func (p *selectPlan) classifyConjunct(cc *compiler, rels []*relInfo, e sqlparse.Expr) (conjunct, error) {
+	cj := conjunct{expr: e, sel: 0.25, sargRel: -1, relA: -1}
+	fn, err := cc.compile(e)
+	if err != nil {
+		return cj, err
+	}
+	cj.fn = fn
+	cj.mask = p.relMask(rels, e, cc)
+	// Subquery predicates must run after all referenced relations are
+	// bound; relMask already covers depth-0 refs in the X side. Predicates
+	// containing subqueries also need every relation referenced *inside*
+	// the subquery's correlation, which resolve through the scope chain;
+	// those are depth-0 for the subquery's compiler, not ours, so the
+	// mask above is correct.
+	switch ex := e.(type) {
+	case *sqlparse.Binary:
+		if lc, ok := ex.L.(*sqlparse.ColumnRef); ok {
+			if rc, ok2 := ex.R.(*sqlparse.ColumnRef); ok2 && ex.Op == "=" {
+				la, li := p.findRelCol(rels, cc, lc)
+				ra, rix := p.findRelCol(rels, cc, rc)
+				if la >= 0 && ra >= 0 && la != ra {
+					cj.isJoin = true
+					cj.relA, cj.colA = la, li
+					cj.relB, cj.colB = ra, rix
+					cj.sel = p.joinSel(rels, cj)
+					return cj, nil
+				}
+			}
+		}
+		// col op value (value free of this block's relations)
+		if cr, vx, op, ok := sargShape(rels, cc, p, ex); ok {
+			rel, col := p.findRelCol(rels, cc, cr)
+			if rel >= 0 {
+				cj.sargRel, cj.sargCol, cj.sargOp, cj.sargVal = rel, col, op, vx
+				if sf, err := cc.compile(vx); err == nil {
+					cj.sargFn = sf
+				}
+				if lit, ok := vx.(*sqlparse.Literal); ok {
+					cj.sargKnown = true
+					cj.sargLit = lit.Val
+				}
+				cj.sel = p.sargSel(rels[rel], cj)
+				return cj, nil
+			}
+		}
+		cj.sel = 0.25
+	case *sqlparse.Between:
+		if cr, ok := ex.X.(*sqlparse.ColumnRef); ok && !ex.Not {
+			if exprConst(rels, cc, p, ex.Lo) && exprConst(rels, cc, p, ex.Hi) {
+				rel, col := p.findRelCol(rels, cc, cr)
+				if rel >= 0 {
+					// Treated as a range sarg on [lo, hi].
+					cj.sargRel, cj.sargCol, cj.sargOp = rel, col, "between"
+					loFn, err1 := cc.compile(ex.Lo)
+					hiFn, err2 := cc.compile(ex.Hi)
+					if err1 == nil && err2 == nil {
+						cj.sargFn = loFn
+						cj.betweenHi = hiFn
+					}
+					loLit, ok1 := ex.Lo.(*sqlparse.Literal)
+					hiLit, ok2 := ex.Hi.(*sqlparse.Literal)
+					if ok1 && ok2 {
+						cj.sargKnown = true
+						cj.sargLit = loLit.Val
+						cj.betweenHiLit = hiLit.Val
+					}
+					cj.sel = p.sargSel(rels[rel], cj)
+					return cj, nil
+				}
+			}
+		}
+		cj.sel = 0.2
+	case *sqlparse.Like:
+		cj.sel = defaultLikeSel
+	case *sqlparse.InList:
+		cj.sel = defaultInSel
+	case *sqlparse.InSubquery, *sqlparse.Exists:
+		cj.sel = 0.5
+	case *sqlparse.IsNull:
+		cj.sel = 0.05
+	}
+	return cj, nil
+}
+
+// findRelCol resolves a column ref to (relation index, column-in-rel), or
+// (-1, -1).
+func (p *selectPlan) findRelCol(rels []*relInfo, cc *compiler, cr *sqlparse.ColumnRef) (int, int) {
+	d, idx, err := cc.sc.resolve(cr.Table, cr.Column)
+	if err != nil || d != 0 {
+		return -1, -1
+	}
+	for i, ri := range rels {
+		if idx >= ri.offset && idx < ri.offset+ri.nCols {
+			return i, idx - ri.offset
+		}
+	}
+	return -1, -1
+}
+
+// sargShape matches `col op v` or `v op col` where v references none of
+// the block's relations.
+func sargShape(rels []*relInfo, cc *compiler, p *selectPlan, b *sqlparse.Binary) (*sqlparse.ColumnRef, sqlparse.Expr, string, bool) {
+	flip := map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+	op := b.Op
+	if _, ok := flip[op]; !ok {
+		return nil, nil, "", false
+	}
+	if cr, ok := b.L.(*sqlparse.ColumnRef); ok && exprConst(rels, cc, p, b.R) {
+		return cr, b.R, op, true
+	}
+	if cr, ok := b.R.(*sqlparse.ColumnRef); ok && exprConst(rels, cc, p, b.L) {
+		return cr, b.L, flip[op], true
+	}
+	return nil, nil, "", false
+}
+
+// exprConst reports whether e references none of this block's relations
+// (it may reference parameters or outer queries — both constant during a
+// scan of this block).
+func exprConst(rels []*relInfo, cc *compiler, p *selectPlan, e sqlparse.Expr) bool {
+	switch e.(type) {
+	case *sqlparse.ScalarSubquery, *sqlparse.Exists, *sqlparse.InSubquery:
+		// Subqueries can be constant, but bounding index scans with them
+		// would force evaluation order; keep them as filters.
+		return false
+	}
+	return p.relMask(rels, e, cc) == 0
+}
+
+// sargSel estimates a sargable conjunct's selectivity.
+func (p *selectPlan) sargSel(ri *relInfo, cj conjunct) float64 {
+	if ri.table == nil {
+		return defaultRangeSel
+	}
+	st := ri.table.stats
+	switch cj.sargOp {
+	case "=":
+		if cj.sargKnown {
+			return st.selEquals(cj.sargCol, cj.sargLit)
+		}
+		// Unknown operand: still use the distinct count — the column's
+		// cardinality is known even when the value is not.
+		return st.selEquals(cj.sargCol, val.Int(0))
+	case "between":
+		if cj.sargKnown {
+			lo := st.selRange(cj.sargCol, ">=", cj.sargLit, true)
+			hi := st.selRange(cj.sargCol, "<=", cj.betweenHiLit, true)
+			s := lo + hi - 1
+			return clampSel(s)
+		}
+		return defaultRangeSel
+	default:
+		return st.selRange(cj.sargCol, cj.sargOp, cj.sargLit, cj.sargKnown)
+	}
+}
+
+// joinSel estimates an equi-join edge's selectivity.
+func (p *selectPlan) joinSel(rels []*relInfo, cj conjunct) float64 {
+	d := 10.0
+	if t := rels[cj.relA].table; t != nil && t.stats.Analyzed() {
+		t.stats.mu.RLock()
+		if cj.colA < len(t.stats.Columns) && t.stats.Columns[cj.colA].Distinct > 0 {
+			d = math.Max(d, float64(t.stats.Columns[cj.colA].Distinct))
+		}
+		t.stats.mu.RUnlock()
+	}
+	if t := rels[cj.relB].table; t != nil && t.stats.Analyzed() {
+		t.stats.mu.RLock()
+		if cj.colB < len(t.stats.Columns) && t.stats.Columns[cj.colB].Distinct > 0 {
+			d = math.Max(d, float64(t.stats.Columns[cj.colB].Distinct))
+		}
+		t.stats.mu.RUnlock()
+	}
+	return 1 / d
+}

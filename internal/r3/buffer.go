@@ -1,0 +1,135 @@
+package r3
+
+import (
+	"container/list"
+	"sync"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/val"
+)
+
+// TableBuffer is the application-server table cache of paper Section 2.3
+// ("caching data in SAP R/3 application servers in order to avoid calls
+// to the RDBMS altogether"). It caches full rows by primary key with LRU
+// eviction under a byte budget. Cache coherency across servers is only
+// periodic in real SAP R/3; this simulation has one server, so writes
+// simply invalidate.
+type TableBuffer struct {
+	mu       sync.Mutex
+	table    string
+	capBytes int64
+	rowBytes int64 // modelled size of one cached row
+	entries  map[string]*list.Element
+	lru      *list.List
+	hits     int64
+	misses   int64
+}
+
+type bufEntry struct {
+	key string
+	row []val.Value
+}
+
+// newTableBuffer builds a buffer for one table.
+func newTableBuffer(table string, capBytes int64, rowBytes int64) *TableBuffer {
+	return &TableBuffer{
+		table:    table,
+		capBytes: capBytes,
+		rowBytes: rowBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// lookup checks the buffer, charging the cache-management CPU the paper
+// observes ("the overhead of cache management and the testing whether or
+// not a required tuple was resident").
+func (b *TableBuffer) lookup(key string, m *cost.Meter) ([]val.Value, bool) {
+	m.Charge(cost.TupleCPU, 4) // hash, probe, LRU maintenance
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.entries[key]; ok {
+		b.hits++
+		b.lru.MoveToFront(e)
+		return e.Value.(*bufEntry).row, true
+	}
+	b.misses++
+	return nil, false
+}
+
+// insert caches a row, evicting LRU entries past the byte budget.
+func (b *TableBuffer) insert(key string, row []val.Value, m *cost.Meter) {
+	m.Charge(cost.TupleCPU, 4)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.entries[key]; dup {
+		return
+	}
+	for int64(b.lru.Len()+1)*b.rowBytes > b.capBytes && b.lru.Len() > 0 {
+		victim := b.lru.Back()
+		delete(b.entries, victim.Value.(*bufEntry).key)
+		b.lru.Remove(victim)
+	}
+	if b.rowBytes > b.capBytes {
+		return // degenerate budget: nothing fits
+	}
+	cp := append([]val.Value(nil), row...)
+	b.entries[key] = b.lru.PushFront(&bufEntry{key: key, row: cp})
+}
+
+// invalidate drops a key (writes through SAP invalidate the buffer).
+func (b *TableBuffer) invalidate(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.entries[key]; ok {
+		delete(b.entries, key)
+		b.lru.Remove(e)
+	}
+}
+
+// HitRatio reports the fraction of lookups served from the buffer.
+func (b *TableBuffer) HitRatio() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := b.hits + b.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(total)
+}
+
+// ResetStats zeroes the hit/miss counters (the buffer content stays).
+func (b *TableBuffer) ResetStats() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hits, b.misses = 0, 0
+}
+
+// SetBuffered enables application-server buffering for a table with the
+// given byte budget (0 disables). Returns the buffer for stats access.
+func (sys *System) SetBuffered(table string, capBytes int64) *TableBuffer {
+	t := sys.Table(table)
+	if t == nil {
+		return nil
+	}
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	if capBytes <= 0 {
+		delete(sys.buffers, t.Name)
+		return nil
+	}
+	var rowBytes int64
+	for _, col := range t.Cols {
+		rowBytes += int64(col.Type.Width)
+	}
+	b := newTableBuffer(t.Name, capBytes, rowBytes)
+	sys.buffers[t.Name] = b
+	return b
+}
+
+// Buffer returns the active buffer for a table, or nil.
+func (sys *System) Buffer(table string) *TableBuffer {
+	sys.mu.RLock()
+	defer sys.mu.RUnlock()
+	return sys.buffers[table]
+}

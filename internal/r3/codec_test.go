@@ -1,0 +1,109 @@
+package r3
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"r3bench/internal/val"
+)
+
+// TestPoolKeyRoundTrip: VARKEY encoding/decoding must be lossless for
+// trimmed values.
+func TestPoolKeyRoundTrip(t *testing.T) {
+	var a004 *LogicalTable
+	for _, lt := range sapTables() {
+		if lt.Name == "A004" {
+			a004 = lt
+		}
+	}
+	row := make([]val.Value, len(a004.Cols))
+	for i, c := range a004.Cols {
+		if c.Type.Kind == val.KStr {
+			row[i] = val.Str("V")
+		} else {
+			row[i] = val.DateFromYMD(1995, 1, 1)
+		}
+	}
+	row[a004.ColIndex("MATNR")] = val.Str(Key16(42))
+	vk := a004.keyString(row)
+	decoded, err := a004.decodeKeyString(vk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded["MATNR"].AsStr() != Key16(42) {
+		t.Fatalf("MATNR = %v", decoded["MATNR"])
+	}
+	if decoded["MANDT"].AsStr() != row[0].AsStr() {
+		t.Fatalf("MANDT = %v", decoded["MANDT"])
+	}
+}
+
+// TestClusterPackRoundTrip: pack/unpack of KONV rows must preserve every
+// non-filler field.
+func TestClusterPackRoundTrip(t *testing.T) {
+	var konv *LogicalTable
+	for _, lt := range sapTables() {
+		if lt.Name == "KONV" {
+			konv = lt
+		}
+	}
+	skip := konv.skipSet()
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 1000; trial++ {
+		row := make([]val.Value, len(konv.Cols))
+		for i, c := range konv.Cols {
+			switch c.Type.Kind {
+			case val.KStr:
+				row[i] = val.Str(Key16(r.Int63n(1e6)))
+			case val.KFloat:
+				row[i] = val.Float(float64(r.Intn(200000)-100000) / 100)
+			default:
+				row[i] = val.Date(int64(r.Intn(20000)))
+			}
+		}
+		packed := konv.packRow(row, skip)
+		keyVals := map[string]val.Value{}
+		for _, kc := range konv.ClusterPrefix {
+			keyVals[kc] = row[konv.ColIndex(kc)]
+		}
+		out, err := konv.unpackRow(packed, skip, keyVals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range konv.Cols {
+			if c.Name == "FILLER" {
+				continue
+			}
+			if val.Compare(out[i], row[i]) != 0 {
+				t.Fatalf("trial %d: %s = %v, want %v", trial, c.Name, out[i], row[i])
+			}
+		}
+	}
+}
+
+// TestKey16Properties: Key16 must preserve numeric order lexically.
+func TestKey16Properties(t *testing.T) {
+	ordered := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return Key16(x) <= Key16(y)
+	}
+	if err := quick.Check(ordered, nil); err != nil {
+		t.Error(err)
+	}
+	if len(Key16(0)) != 16 || len(Key16(1<<40)) != 16 {
+		t.Error("Key16 width wrong")
+	}
+}
+
+// TestDialogScalesCoverAllRecordTypes guards the Table 3 calibration.
+func TestDialogScalesCoverAllRecordTypes(t *testing.T) {
+	for _, k := range []string{"ORDER", "LINEITEM", "PART", "CUSTOMER", "PARTSUPP", "SUPPLIER"} {
+		if dialogScale[k] <= 0 {
+			t.Errorf("no dialog scale for %s", k)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package r3
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/engine"
+	"r3bench/internal/val"
+)
+
+// Release is an SAP R/3 version.
+type Release int
+
+// The two releases the paper measures.
+const (
+	Release22 Release = iota // 2.2G: no join/aggregate pushdown in Open SQL
+	Release30                // 3.0E: JOIN and simple aggregates push down
+)
+
+// String renders the release the paper's way.
+func (r Release) String() string {
+	if r == Release22 {
+		return "2.2G"
+	}
+	return "3.0E"
+}
+
+// poolTableName is the physical table holding all pool tables, and
+// clusterSuffix names cluster tables' physical realization.
+const (
+	poolTableName = "ATAB"
+	clusterSuffix = "_C"
+	// clusterVarData is the packed-data width of one physical cluster row.
+	clusterVarData = 600
+	// fieldSep separates packed logical field values.
+	fieldSep = "\x01"
+	// rowSep separates packed logical rows within one cluster tuple.
+	rowSep = "\x02"
+)
+
+// Config controls an R/3 installation.
+type Config struct {
+	Release Release
+	Client  string // defaults to DefaultClient
+	// BufferBytes is the RDBMS buffer (paper default: 10 MB; the rest of
+	// the machine's memory belongs to the application server).
+	BufferBytes int
+	CostModel   cost.Model
+}
+
+// System is one installed SAP R/3 instance plus its back-end RDBMS.
+type System struct {
+	DB      *engine.DB
+	Client  string
+	mu      sync.RWMutex
+	version Release
+	ddic    map[string]*LogicalTable
+	buffers map[string]*TableBuffer
+}
+
+// Install creates a fresh R/3 system: data dictionary, physical schema
+// and indexes on an empty engine.
+func Install(cfg Config) (*System, error) {
+	if cfg.Client == "" {
+		cfg.Client = DefaultClient
+	}
+	sys := &System{
+		DB:      engine.Open(engine.Config{BufferBytes: cfg.BufferBytes, CostModel: cfg.CostModel}),
+		Client:  cfg.Client,
+		version: cfg.Release,
+		ddic:    make(map[string]*LogicalTable),
+		buffers: make(map[string]*TableBuffer),
+	}
+	for _, t := range sapTables() {
+		sys.ddic[t.Name] = t
+	}
+	if err := sys.createPhysical(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// Version returns the installed release.
+func (sys *System) Version() Release {
+	sys.mu.RLock()
+	defer sys.mu.RUnlock()
+	return sys.version
+}
+
+// Table returns a data-dictionary entry, or nil.
+func (sys *System) Table(name string) *LogicalTable {
+	sys.mu.RLock()
+	defer sys.mu.RUnlock()
+	return sys.ddic[strings.ToUpper(name)]
+}
+
+// Tables lists all logical tables.
+func (sys *System) Tables() []*LogicalTable {
+	sys.mu.RLock()
+	defer sys.mu.RUnlock()
+	out := make([]*LogicalTable, 0, len(sys.ddic))
+	for _, t := range sys.ddic {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Encapsulated reports whether the logical table can only be read through
+// SAP R/3's interfaces (pool and cluster tables; paper Section 2.2).
+func (sys *System) Encapsulated(name string) bool {
+	t := sys.Table(name)
+	return t != nil && t.Kind != Transparent
+}
+
+// createPhysical realizes the dictionary on the RDBMS.
+func (sys *System) createPhysical() error {
+	s := sys.DB.NewSessionWithMeter(nil)
+	// The shared table pool.
+	if _, err := s.Exec(fmt.Sprintf(
+		`CREATE TABLE %s (TABNAME CHAR(10), VARKEY CHAR(64), VARDATA CHAR(200),
+		 PRIMARY KEY (TABNAME, VARKEY))`, poolTableName)); err != nil {
+		return err
+	}
+	for _, t := range sys.ddic {
+		if err := sys.createPhysicalFor(s, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sys *System) createPhysicalFor(s *engine.Session, t *LogicalTable) error {
+	switch t.Kind {
+	case Pooled:
+		return nil // lives in the shared pool table
+	case Clustered:
+		ddl := fmt.Sprintf(`CREATE TABLE %s%s (`, t.Name, clusterSuffix)
+		var keyList []string
+		for _, kc := range t.ClusterPrefix {
+			ct := t.Cols[t.ColIndex(kc)].Type
+			ddl += fmt.Sprintf("%s %s, ", kc, typeDDL(ct))
+			keyList = append(keyList, kc)
+		}
+		ddl += fmt.Sprintf("PAGENO INTEGER, VARDATA CHAR(%d), PRIMARY KEY (%s, PAGENO))",
+			clusterVarData, strings.Join(keyList, ", "))
+		_, err := s.Exec(ddl)
+		return err
+	default:
+		var parts []string
+		for _, col := range t.Cols {
+			parts = append(parts, col.Name+" "+typeDDL(col.Type))
+		}
+		parts = append(parts, "PRIMARY KEY ("+strings.Join(t.KeyCols, ", ")+")")
+		if _, err := s.Exec(fmt.Sprintf("CREATE TABLE %s (%s)", t.Name, strings.Join(parts, ", "))); err != nil {
+			return err
+		}
+		for ixName, cols := range t.Indexes {
+			if _, err := s.Exec(fmt.Sprintf("CREATE INDEX %s ON %s (%s)",
+				ixName, t.Name, strings.Join(cols, ", "))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func typeDDL(ct val.ColType) string {
+	switch ct.Kind {
+	case val.KStr:
+		return fmt.Sprintf("CHAR(%d)", ct.Width)
+	case val.KInt:
+		if ct.Width == 8 {
+			return "BIGINT"
+		}
+		return "INTEGER"
+	case val.KDate:
+		return "DATE"
+	default:
+		return "DECIMAL(15,2)"
+	}
+}
+
+// --- logical row codecs for pool and cluster storage ---
+
+// keyString concatenates the fixed-width key values of a logical row.
+func (t *LogicalTable) keyString(row []val.Value) string {
+	var b strings.Builder
+	for _, kc := range t.KeyCols {
+		ci := t.ColIndex(kc)
+		w := t.Cols[ci].Type.Width
+		s := row[ci].AsStr()
+		if len(s) > w {
+			s = s[:w]
+		}
+		b.WriteString(s)
+		b.WriteString(strings.Repeat(" ", w-len(s)))
+	}
+	return b.String()
+}
+
+// keyPrefixString concatenates the first n key values.
+func (t *LogicalTable) keyPrefixString(vals []val.Value) string {
+	var b strings.Builder
+	for i, v := range vals {
+		ci := t.ColIndex(t.KeyCols[i])
+		w := t.Cols[ci].Type.Width
+		s := v.AsStr()
+		if len(s) > w {
+			s = s[:w]
+		}
+		b.WriteString(s)
+		b.WriteString(strings.Repeat(" ", w-len(s)))
+	}
+	return b.String()
+}
+
+// packRow encodes the logical row's non-prefix values; trailing FILLER
+// columns pack empty (the space savings that make cluster storage
+// compact — and that triple KONV's size on conversion to transparent).
+func (t *LogicalTable) packRow(row []val.Value, skip map[string]bool) string {
+	parts := make([]string, 0, len(t.Cols))
+	for i, col := range t.Cols {
+		if skip[col.Name] {
+			continue
+		}
+		parts = append(parts, row[i].AsStr())
+	}
+	return strings.Join(parts, fieldSep)
+}
+
+// unpackRow decodes a packed row back to logical values, restoring the
+// skipped (cluster-key) columns from keyVals.
+func (t *LogicalTable) unpackRow(packed string, skip map[string]bool, keyVals map[string]val.Value) ([]val.Value, error) {
+	parts := strings.Split(packed, fieldSep)
+	out := make([]val.Value, len(t.Cols))
+	j := 0
+	for i, col := range t.Cols {
+		if skip[col.Name] {
+			out[i] = keyVals[col.Name]
+			continue
+		}
+		if j >= len(parts) {
+			return nil, fmt.Errorf("r3: short packed row for %s", t.Name)
+		}
+		out[i] = parseAs(parts[j], col.Type)
+		j++
+	}
+	return out, nil
+}
+
+func parseAs(s string, ct val.ColType) val.Value {
+	if s == "" && ct.Kind != val.KStr {
+		return val.Null
+	}
+	switch ct.Kind {
+	case val.KStr:
+		return val.Str(s)
+	case val.KDate:
+		d, err := val.ParseDate(s)
+		if err != nil {
+			return val.Null
+		}
+		return d
+	case val.KInt:
+		return val.Int(val.Str(s).AsInt())
+	default:
+		return val.Float(val.Str(s).AsFloat())
+	}
+}
+
+func (t *LogicalTable) skipSet() map[string]bool {
+	skip := map[string]bool{"FILLER": true}
+	for _, kc := range t.ClusterPrefix {
+		skip[kc] = true
+	}
+	return skip
+}

@@ -1,0 +1,391 @@
+package r3
+
+import (
+	"fmt"
+	"strings"
+
+	"r3bench/internal/dbgen"
+	"r3bench/internal/val"
+)
+
+// This file maps TPC-D business entities onto the SAP schema (the
+// vertical partitioning of the paper's Table 1) and provides the direct
+// loader used to set up query experiments. Timed loading — the paper's
+// Table 3 — goes through the batch-input facility instead.
+
+// F is shorthand for a logical row's field assignment.
+type F = map[string]val.Value
+
+// SAPRow is one logical row destined for an SAP table.
+type SAPRow struct {
+	Table  string
+	Fields F
+}
+
+func str(s string) val.Value { return val.Str(s) }
+
+// stxl builds the comment-text row all objects share.
+func stxl(object, name, text string) SAPRow {
+	return SAPRow{"STXL", F{"TDOBJECT": str(object), "TDNAME": str(name),
+		"TDID": str("0001"), "TDSPRAS": str("EN"), "CLUSTD": str(text)}}
+}
+
+// NationRows maps one NATION record (paper: T005, T005T + text).
+func NationRows(n dbgen.Nation) []SAPRow {
+	key := Key16(n.Key)
+	return []SAPRow{
+		{"T005", F{"LAND1": str(key), "LANDK": str(Key16(n.RegionKey)),
+			"WAERS": str("USD"), "SPRAS": str("EN")}},
+		{"T005T", F{"SPRAS": str("EN"), "LAND1": str(key), "LANDX": str(n.Name),
+			"NATIO": str(n.Name)}},
+		stxl("T005", key, n.Comment),
+	}
+}
+
+// RegionRows maps one REGION record (T005U + text).
+func RegionRows(r dbgen.Region) []SAPRow {
+	key := Key16(r.Key)
+	return []SAPRow{
+		{"T005U", F{"SPRAS": str("EN"), "BLAND": str(key), "BEZEI": str(r.Name)}},
+		stxl("T005U", key, r.Comment),
+	}
+}
+
+// SupplierRows maps one SUPPLIER record (LFA1 + text).
+func SupplierRows(s dbgen.Supplier) []SAPRow {
+	key := Key16(s.Key)
+	return []SAPRow{
+		{"LFA1", F{"LIFNR": str(key), "NAME1": str(s.Name), "STRAS": str(s.Address),
+			"LAND1": str(Key16(s.NationKey)), "TELF1": str(s.Phone),
+			"ACCBL": val.Float(s.AcctBal)}},
+		stxl("LFA1", key, s.Comment),
+	}
+}
+
+// PartRows maps one PART record across MARA, MAKT, A004 (pool), KONP and
+// AUSP characteristic rows — the paper's point that one TPC-D table
+// shatters into many SAP tables.
+func PartRows(p dbgen.Part) []SAPRow {
+	key := Key16(p.Key)
+	knumh := key // condition record number mirrors the material number
+	return []SAPRow{
+		{"MARA", F{"MATNR": str(key), "MTART": str(p.Type), "MFRNR": str(p.Mfgr),
+			"MEINS": str("EA")}},
+		{"MAKT", F{"MATNR": str(key), "SPRAS": str("EN"), "MAKTX": str(p.Name),
+			"MAKTG": str(strings.ToUpper(p.Name))}},
+		{"A004", F{"KAPPL": str("V"), "KSCHL": str("PR00"), "MATNR": str(key),
+			"KNUMH": str(knumh), "DATAB": val.DateFromYMD(1992, 1, 1),
+			"DATBI": val.DateFromYMD(1999, 12, 31)}},
+		{"KONP", F{"KNUMH": str(knumh), "KOPOS": str("01"), "KSCHL": str("PR00"),
+			"KBETR": val.Float(p.RetailPrice), "KONWA": str("USD")}},
+		{"AUSP", F{"OBJEK": str(key), "ATINN": str("SIZE"), "KLART": str("001"),
+			"ATFLV": val.Float(float64(p.Size))}},
+		{"AUSP", F{"OBJEK": str(key), "ATINN": str("BRAND"), "KLART": str("001"),
+			"ATWRT": str(p.Brand)}},
+		{"AUSP", F{"OBJEK": str(key), "ATINN": str("CONTAINER"), "KLART": str("001"),
+			"ATWRT": str(p.Container)}},
+		stxl("MARA", key, p.Comment),
+	}
+}
+
+// InfnrFor derives the purchasing-info-record number of a (part, j)
+// combination — the EINA/EINE key.
+func InfnrFor(partKey int64, j int) string {
+	return Key16((partKey-1)*4 + int64(j) + 1)
+}
+
+// PartSuppRows maps one PARTSUPP record (EINA, EINE + text). j is the
+// supplier's ordinal (0–3) within the part.
+func PartSuppRows(ps dbgen.PartSupp, j int) []SAPRow {
+	infnr := InfnrFor(ps.PartKey, j)
+	return []SAPRow{
+		{"EINA", F{"INFNR": str(infnr), "MATNR": str(Key16(ps.PartKey)),
+			"LIFNR": str(Key16(ps.SuppKey))}},
+		{"EINE", F{"INFNR": str(infnr), "EKORG": str("0001"),
+			"NORBM": val.Float(float64(ps.AvailQty)), "NETPR": val.Float(ps.SupplyCost),
+			"APLFZ": val.Float(0)}},
+		stxl("EINA", infnr, ps.Comment),
+	}
+}
+
+// CustomerRows maps one CUSTOMER record (KNA1 + text).
+func CustomerRows(c dbgen.Customer) []SAPRow {
+	key := Key16(c.Key)
+	return []SAPRow{
+		{"KNA1", F{"KUNNR": str(key), "NAME1": str(c.Name), "STRAS": str(c.Address),
+			"LAND1": str(Key16(c.NationKey)), "TELF1": str(c.Phone),
+			"BRSCH": str(c.MktSegment), "ACCBL": val.Float(c.AcctBal)}},
+		stxl("KNA1", key, c.Comment),
+	}
+}
+
+// OrderHeaderRows maps an ORDER record's header (VBAK + text). The
+// pricing document number KNUMV equals the order number.
+func OrderHeaderRows(o *dbgen.Order) []SAPRow {
+	vbeln := Key16(o.Key)
+	return []SAPRow{
+		{"VBAK", F{"VBELN": str(vbeln), "KUNNR": str(Key16(o.CustKey)),
+			"AUDAT": o.Date, "NETWR": val.Float(o.TotalPrice), "GBSTK": str(o.Status),
+			"KNUMV": str(vbeln), "SUBMI": str(o.Priority), "ERNAM": str(o.Clerk),
+			"LPRIO": val.Float(float64(o.ShipPriority))}},
+		stxl("VBAK", vbeln, o.Comment),
+	}
+}
+
+// LineItemRows maps one LINEITEM record (VBAP, VBEP + text). The KONV
+// pricing rows come separately from KonvRows because cluster rows of one
+// document must be written as a group.
+func LineItemRows(li dbgen.Lineitem) []SAPRow {
+	vbeln, posnr := Key16(li.OrderKey), Posnr(li.LineNumber)
+	return []SAPRow{
+		{"VBAP", F{"VBELN": str(vbeln), "POSNR": str(posnr),
+			"MATNR": str(Key16(li.PartKey)), "LIFNR": str(Key16(li.SuppKey)),
+			"KWMENG": val.Float(float64(li.Quantity)), "NETWR": val.Float(li.ExtendedPrice),
+			"ABGRU": str(li.ReturnFlag), "SDABW": str(li.ShipInstruct),
+			"VSBED": str(li.ShipMode)}},
+		{"VBEP", F{"VBELN": str(vbeln), "POSNR": str(posnr), "ETENR": str("0001"),
+			"EDATU": li.ShipDate, "WADAT": li.CommitDate, "MBDAT": li.ReceiptDate,
+			"LFSTA": str(li.LineStatus), "BMENG": val.Float(float64(li.Quantity))}},
+		stxl("VBAP", vbeln+posnr, li.Comment),
+	}
+}
+
+// KonvRows maps one order's pricing conditions: two KONV rows per
+// lineitem — the DISC row carries the discount as a negative per-mille
+// rate, the TAX row the tax (paper Figure 4's KAWRT * (1 + KBETR/1000)).
+func KonvRows(o *dbgen.Order) []F {
+	var rows []F
+	vbeln := Key16(o.Key)
+	for _, li := range o.Lines {
+		posnr := Posnr(li.LineNumber)
+		rows = append(rows,
+			F{"KNUMV": str(vbeln), "KPOSN": str(posnr), "STUNR": str("040"),
+				"ZAEHK": str("01"), "KSCHL": str("DISC"),
+				"KBETR": val.Float(-li.Discount * 1000), "KAWRT": val.Float(li.ExtendedPrice),
+				"KWERT": val.Float(-li.Discount * li.ExtendedPrice)},
+			F{"KNUMV": str(vbeln), "KPOSN": str(posnr), "STUNR": str("050"),
+				"ZAEHK": str("01"), "KSCHL": str("TAX"),
+				"KBETR": val.Float(li.Tax * 1000), "KAWRT": val.Float(li.ExtendedPrice),
+				"KWERT": val.Float(li.Tax * li.ExtendedPrice)},
+		)
+	}
+	return rows
+}
+
+// --- direct loader (experiment setup; not the timed Table 3 path) ---
+
+// directLoader batches physical rows per physical table.
+type directLoader struct {
+	sys     *System
+	batches map[string][][]val.Value
+}
+
+const directBatch = 4096
+
+func (dl *directLoader) fullRow(t *LogicalTable, fields F) ([]val.Value, error) {
+	row := make([]val.Value, len(t.Cols))
+	row[0] = val.Str(dl.sys.Client)
+	for name, v := range fields {
+		ci := t.ColIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("r3: no field %s in %s", name, t.Name)
+		}
+		row[ci] = v
+	}
+	for i, col := range t.Cols {
+		if row[i].IsNull() && col.Type.Kind == val.KStr {
+			row[i] = val.Str("")
+		}
+	}
+	return row, nil
+}
+
+func (dl *directLoader) add(r SAPRow) error {
+	t := dl.sys.Table(r.Table)
+	if t == nil {
+		return fmt.Errorf("r3: unknown table %s", r.Table)
+	}
+	row, err := dl.fullRow(t, r.Fields)
+	if err != nil {
+		return err
+	}
+	switch t.Kind {
+	case Transparent:
+		return dl.push(t.Name, row)
+	case Pooled:
+		skip := map[string]bool{"FILLER": true}
+		for _, kc := range t.KeyCols {
+			skip[kc] = true
+		}
+		return dl.push(poolTableName, []val.Value{
+			val.Str(t.Name), val.Str(t.keyString(row)), val.Str(t.packRow(row, skip))})
+	default:
+		return fmt.Errorf("r3: cluster table %s needs addClusterGroup", t.Name)
+	}
+}
+
+// addClusterGroup packs one cluster key's logical rows into physical
+// tuples.
+func (dl *directLoader) addClusterGroup(table string, groups []F) error {
+	t := dl.sys.Table(table)
+	if t == nil {
+		return fmt.Errorf("r3: unknown table %s", table)
+	}
+	if t.Kind == Transparent {
+		// After a 3.0 conversion the rows load individually.
+		for _, fields := range groups {
+			row, err := dl.fullRow(t, fields)
+			if err != nil {
+				return err
+			}
+			if err := dl.push(t.Name, row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	skip := t.skipSet()
+	var keyVals []val.Value
+	var cur strings.Builder
+	pageNo := int64(0)
+	flush := func() error {
+		if cur.Len() == 0 {
+			return nil
+		}
+		phys := append(append([]val.Value{}, keyVals...), val.Int(pageNo), val.Str(cur.String()))
+		cur.Reset()
+		pageNo++
+		return dl.push(t.Name+clusterSuffix, phys)
+	}
+	for gi, fields := range groups {
+		row, err := dl.fullRow(t, fields)
+		if err != nil {
+			return err
+		}
+		if gi == 0 {
+			for _, kc := range t.ClusterPrefix {
+				keyVals = append(keyVals, row[t.ColIndex(kc)])
+			}
+		}
+		packed := t.packRow(row, skip)
+		if cur.Len() > 0 && cur.Len()+len(rowSep)+len(packed) > clusterVarData {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		if cur.Len() > 0 {
+			cur.WriteString(rowSep)
+		}
+		cur.WriteString(packed)
+	}
+	return flush()
+}
+
+func (dl *directLoader) push(phys string, row []val.Value) error {
+	dl.batches[phys] = append(dl.batches[phys], row)
+	if len(dl.batches[phys]) >= directBatch {
+		return dl.flushOne(phys)
+	}
+	return nil
+}
+
+func (dl *directLoader) flushOne(phys string) error {
+	rows := dl.batches[phys]
+	if len(rows) == 0 {
+		return nil
+	}
+	dl.batches[phys] = nil
+	return dl.sys.DB.BulkLoad(phys, rows, nil)
+}
+
+func (dl *directLoader) flushAll() error {
+	for phys := range dl.batches {
+		if err := dl.flushOne(phys); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDirect fills the SAP database from a generated population without
+// timing (experiment setup). The measured load path is BatchInput.
+func (sys *System) LoadDirect(g *dbgen.Generator) error {
+	dl := &directLoader{sys: sys, batches: make(map[string][][]val.Value)}
+	for _, n := range g.NationRows() {
+		for _, r := range NationRows(n) {
+			if err := dl.add(r); err != nil {
+				return err
+			}
+		}
+	}
+	for _, rg := range g.Regions() {
+		for _, r := range RegionRows(rg) {
+			if err := dl.add(r); err != nil {
+				return err
+			}
+		}
+	}
+	if err := g.Suppliers(func(s dbgen.Supplier) error {
+		for _, r := range SupplierRows(s) {
+			if err := dl.add(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := g.Parts(func(p dbgen.Part) error {
+		for _, r := range PartRows(p) {
+			if err := dl.add(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	j := 0
+	if err := g.PartSupps(func(ps dbgen.PartSupp) error {
+		for _, r := range PartSuppRows(ps, j%4) {
+			if err := dl.add(r); err != nil {
+				return err
+			}
+		}
+		j++
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := g.Customers(func(c dbgen.Customer) error {
+		for _, r := range CustomerRows(c) {
+			if err := dl.add(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := g.Orders(func(o *dbgen.Order) error {
+		for _, r := range OrderHeaderRows(o) {
+			if err := dl.add(r); err != nil {
+				return err
+			}
+		}
+		for _, li := range o.Lines {
+			for _, r := range LineItemRows(li) {
+				if err := dl.add(r); err != nil {
+					return err
+				}
+			}
+		}
+		return dl.addClusterGroup("KONV", KonvRows(o))
+	}); err != nil {
+		return err
+	}
+	if err := dl.flushAll(); err != nil {
+		return err
+	}
+	return sys.DB.AnalyzeAll()
+}

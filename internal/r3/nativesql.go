@@ -1,0 +1,162 @@
+package r3
+
+import (
+	"fmt"
+	"strings"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/engine"
+	"r3bench/internal/sqlparse"
+	"r3bench/internal/val"
+)
+
+// NativeSQL is the EXEC SQL interface of paper Section 2.3: statements go
+// straight to the RDBMS, bypassing the data dictionary. That buys the
+// full power of the back end (vendor functions, arbitrary SQL) at three
+// costs the paper lists: statements may be vendor-specific, encapsulated
+// (pool/cluster) tables are unreachable, and nothing injects the MANDT
+// client predicate for you — the report author must remember it
+// (Section 4.1's cautionary example).
+type NativeSQL struct {
+	sys  *System
+	sess *engine.Session
+	sc   *stmtCache
+}
+
+// NativeSQL opens an EXEC SQL connection charging the given meter.
+func (sys *System) NativeSQL(m *cost.Meter) *NativeSQL {
+	sess := sys.DB.NewSessionWithMeter(m)
+	return &NativeSQL{sys: sys, sess: sess, sc: newStmtCache(sess)}
+}
+
+// Meter returns the connection's virtual clock.
+func (n *NativeSQL) Meter() *cost.Meter { return n.sess.Meter }
+
+// Session exposes the raw engine session (EXPLAIN etc.).
+func (n *NativeSQL) Session() *engine.Session { return n.sess }
+
+// Exec runs one SQL statement directly on the RDBMS. Statements that
+// reference encapsulated tables fail: "EXEC SQL commands cannot access
+// encapsulated relations".
+func (n *NativeSQL) Exec(sql string, params ...val.Value) (*engine.Result, error) {
+	if err := n.checkEncapsulation(sql); err != nil {
+		return nil, err
+	}
+	return n.sess.Exec(sql, params...)
+}
+
+// Prepare readies a reusable cursor (EXEC SQL with host variables).
+func (n *NativeSQL) Prepare(sql string) (*engine.Stmt, error) {
+	if err := n.checkEncapsulation(sql); err != nil {
+		return nil, err
+	}
+	return n.sc.get(sql)
+}
+
+func (n *NativeSQL) checkEncapsulation(sql string) error {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range referencedTables(stmt) {
+		if n.sys.Encapsulated(tbl) {
+			return fmt.Errorf("r3: Native SQL cannot access encapsulated table %s (%s)",
+				tbl, n.sys.Table(tbl).Kind)
+		}
+	}
+	return nil
+}
+
+// referencedTables collects every table name a statement touches,
+// including subqueries.
+func referencedTables(stmt sqlparse.Statement) []string {
+	var out []string
+	add := func(name string) { out = append(out, strings.ToUpper(name)) }
+
+	var walkSel func(s *sqlparse.SelectStmt)
+	var walkExpr func(e sqlparse.Expr)
+	var walkRef func(r sqlparse.TableRef)
+	walkRef = func(r sqlparse.TableRef) {
+		switch r := r.(type) {
+		case *sqlparse.BaseTable:
+			add(r.Name)
+		case *sqlparse.Join:
+			walkRef(r.Left)
+			walkRef(r.Right)
+			walkExpr(r.On)
+		}
+	}
+	walkExpr = func(e sqlparse.Expr) {
+		switch e := e.(type) {
+		case nil:
+		case *sqlparse.Unary:
+			walkExpr(e.X)
+		case *sqlparse.Binary:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case *sqlparse.Between:
+			walkExpr(e.X)
+			walkExpr(e.Lo)
+			walkExpr(e.Hi)
+		case *sqlparse.InList:
+			walkExpr(e.X)
+			for _, x := range e.List {
+				walkExpr(x)
+			}
+		case *sqlparse.InSubquery:
+			walkExpr(e.X)
+			walkSel(e.Sub)
+		case *sqlparse.Exists:
+			walkSel(e.Sub)
+		case *sqlparse.ScalarSubquery:
+			walkSel(e.Sub)
+		case *sqlparse.IsNull:
+			walkExpr(e.X)
+		case *sqlparse.Like:
+			walkExpr(e.X)
+			walkExpr(e.Pattern)
+		case *sqlparse.FuncCall:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *sqlparse.CaseExpr:
+			for _, w := range e.Whens {
+				walkExpr(w.Cond)
+				walkExpr(w.Then)
+			}
+			walkExpr(e.Else)
+		}
+	}
+	walkSel = func(s *sqlparse.SelectStmt) {
+		for _, r := range s.From {
+			walkRef(r)
+		}
+		walkExpr(s.Where)
+		walkExpr(s.Having)
+		for _, it := range s.Select {
+			walkExpr(it.Expr)
+		}
+		for _, g := range s.GroupBy {
+			walkExpr(g)
+		}
+		for _, o := range s.OrderBy {
+			walkExpr(o.Expr)
+		}
+	}
+
+	switch st := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		walkSel(st)
+	case *sqlparse.InsertStmt:
+		add(st.Table)
+	case *sqlparse.DeleteStmt:
+		add(st.Table)
+		walkExpr(st.Where)
+	case *sqlparse.UpdateStmt:
+		add(st.Table)
+		walkExpr(st.Where)
+	case *sqlparse.CreateView:
+		walkSel(st.Query)
+	}
+	return out
+}

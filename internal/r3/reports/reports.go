@@ -1,0 +1,175 @@
+// Package reports implements the TPC-D workload as SAP R/3 reports, in
+// the strategies the paper benchmarks:
+//
+//   - Native SQL, Release 2.2: EXEC SQL for everything transparent, but
+//     KONV is encapsulated, so every query touching discount or tax
+//     breaks in two — SQL for the transparent part, nested Open SQL
+//     SELECTs against the cluster per result row (paper Section 3.4.3).
+//   - Native SQL, Release 3.0: full push-down SQL on the SAP schema
+//     (KONV converted to transparent), including the vendor string
+//     function INSTR that keeps the reports non-portable.
+//   - Open SQL, Release 2.2: single-table SELECT loops plus join views;
+//     all joins not expressible as key-relationship views, and all
+//     grouping/aggregation, run in the application server.
+//   - Open SQL, Release 3.0: join push-down via the new JOIN syntax,
+//     simple aggregates push down, complex aggregations still client-side
+//     in internal tables (two-phase grouping).
+//
+// The update functions run through the batch-input facility in every
+// strategy, as in the paper.
+package reports
+
+import (
+	"fmt"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/dbgen"
+	"r3bench/internal/r3"
+	"r3bench/internal/val"
+)
+
+// Strategy selects a report implementation family.
+type Strategy int
+
+// The four measured strategies.
+const (
+	Native22 Strategy = iota
+	Native30
+	Open22
+	Open30
+)
+
+// String names the strategy the paper's way.
+func (s Strategy) String() string {
+	switch s {
+	case Native22:
+		return "Native SQL (SAP DB, 2.2G)"
+	case Native30:
+		return "Native SQL (SAP DB, 3.0E)"
+	case Open22:
+		return "Open SQL (SAP DB, 2.2G)"
+	default:
+		return "Open SQL (SAP DB, 3.0E)"
+	}
+}
+
+// SAPImpl runs TPC-D through SAP R/3; it satisfies tpcd.Implementation.
+type SAPImpl struct {
+	sys      *r3.System
+	gen      *dbgen.Generator
+	strategy Strategy
+	m        *cost.Meter
+	o        *r3.OpenSQL
+	n        *r3.NativeSQL
+}
+
+// New opens a report session of the given strategy against an installed,
+// loaded system.
+func New(sys *r3.System, g *dbgen.Generator, strategy Strategy) *SAPImpl {
+	m := cost.NewMeter(sys.DB.Model())
+	return &SAPImpl{
+		sys:      sys,
+		gen:      g,
+		strategy: strategy,
+		m:        m,
+		o:        sys.OpenSQL(m),
+		n:        sys.NativeSQL(m),
+	}
+}
+
+// Name implements tpcd.Implementation.
+func (s *SAPImpl) Name() string { return s.strategy.String() }
+
+// Meter implements tpcd.Implementation.
+func (s *SAPImpl) Meter() *cost.Meter { return s.m }
+
+// RunQuery implements tpcd.Implementation.
+func (s *SAPImpl) RunQuery(q int) ([][]val.Value, error) {
+	var table map[int]func() ([][]val.Value, error)
+	switch s.strategy {
+	case Native22:
+		table = s.native22Queries()
+	case Native30:
+		table = s.native30Queries()
+	case Open22:
+		table = s.open22Queries()
+	default:
+		table = s.open30Queries()
+	}
+	fn, ok := table[q]
+	if !ok {
+		return nil, fmt.Errorf("reports: no Q%d for %s", q, s.strategy)
+	}
+	rows, err := fn()
+	if err != nil {
+		return nil, fmt.Errorf("reports: %s Q%d: %w", s.strategy, q, err)
+	}
+	return rows, nil
+}
+
+// RunUF1 enters the new-order set through batch input — identical in all
+// strategies ("these two variants show virtually identical performance").
+func (s *SAPImpl) RunUF1() error {
+	b := s.batchInput()
+	return s.gen.UF1Orders(func(o *dbgen.Order) error {
+		return b.EnterOrder(o)
+	})
+}
+
+// RunUF2 deletes the delete set through batch input.
+func (s *SAPImpl) RunUF2() error {
+	b := s.batchInput()
+	for _, k := range s.gen.UF2OrderKeys() {
+		if err := b.DeleteOrder(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchInput opens a batch-input session charging this report's meter.
+func (s *SAPImpl) batchInput() *r3.BatchInput {
+	return s.sys.NewBatchInputWithMeter(1, s.m)
+}
+
+// --- shared helpers ---
+
+// key16 is a local alias.
+func key16(n int64) string { return r3.Key16(n) }
+
+// sf passes the generator's scale factor (Q11's fraction).
+func (s *SAPImpl) sf() float64 { return s.gen.SF }
+
+// discountRate reads the DISC condition of one document item through a
+// nested Open SQL SELECT — the only way to reach KONV while it is a
+// cluster table. Returns l_discount (0.05 style).
+func (s *SAPImpl) discountRate(knumv, kposn string) (float64, error) {
+	var rate float64
+	err := s.o.Select("KONV", []r3.Cond{
+		r3.Eq("KNUMV", val.Str(knumv)), r3.Eq("KPOSN", val.Str(kposn)),
+		r3.Eq("KSCHL", val.Str("DISC")),
+	}, func(r r3.Row) error {
+		rate = -r.Get("KBETR").AsFloat() / 1000
+		return r3.StopSelect
+	})
+	if err != nil && err != r3.StopSelect {
+		return 0, err
+	}
+	return rate, nil
+}
+
+// taxRate reads the TAX condition of one document item.
+func (s *SAPImpl) taxRate(knumv, kposn string) (float64, error) {
+	var rate float64
+	err := s.o.Select("KONV", []r3.Cond{
+		r3.Eq("KNUMV", val.Str(knumv)), r3.Eq("KPOSN", val.Str(kposn)),
+		r3.Eq("KSCHL", val.Str("TAX")),
+	}, func(r r3.Row) error {
+		rate = r.Get("KBETR").AsFloat() / 1000
+		return r3.StopSelect
+	})
+	if err != nil && err != r3.StopSelect {
+		return 0, err
+	}
+	return rate, nil
+}

@@ -1,0 +1,271 @@
+// Package sqlparse implements the SQL dialect of the engine: a lexer,
+// AST and recursive-descent parser for the subset exercised by the TPC-D
+// suite and by SAP R/3's generated SQL — SELECT with joins, nested
+// subqueries (IN / EXISTS / scalar), CASE, LIKE, BETWEEN, grouping,
+// HAVING, ordering, LIMIT, the DDL to create tables / indexes / views,
+// and INSERT / UPDATE / DELETE. Identifiers are case-insensitive and
+// normalised to upper case; `?` placeholders produce positional
+// parameters (the vehicle for the paper's Section 4.1 experiment).
+package sqlparse
+
+import (
+	"r3bench/internal/val"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a query block.
+type SelectStmt struct {
+	Distinct bool
+	Select   []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one output column: an expression with an optional alias,
+// or a `*` / `t.*` wildcard.
+type SelectItem struct {
+	Expr      Expr
+	Alias     string
+	Star      bool
+	TableStar string // "T" for T.*
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableRef is an item in a FROM clause.
+type TableRef interface{ tableRef() }
+
+// BaseTable references a stored table or view.
+type BaseTable struct {
+	Name  string
+	Alias string // defaults to Name
+}
+
+func (*BaseTable) tableRef() {}
+
+// JoinKind distinguishes join flavours.
+type JoinKind int
+
+// Join flavours.
+const (
+	InnerJoin JoinKind = iota
+	LeftOuterJoin
+)
+
+// Join is an explicit JOIN ... ON ... tree.
+type Join struct {
+	Kind        JoinKind
+	Left, Right TableRef
+	On          Expr
+}
+
+func (*Join) tableRef() {}
+
+// Expr is any scalar or boolean expression.
+type Expr interface{ expr() }
+
+// ColumnRef names a column, optionally qualified.
+type ColumnRef struct {
+	Table  string // "" when unqualified
+	Column string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val val.Value
+}
+
+// Param is a positional `?` placeholder (0-based).
+type Param struct {
+	Index int
+}
+
+// Unary is a prefix operator: "-" or "NOT".
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is an infix operator: arithmetic (+ - * /), comparison
+// (= <> < <= > >=), or logical (AND OR).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Between is X [NOT] BETWEEN Lo AND Hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// InList is X [NOT] IN (e, e, ...).
+type InList struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// InSubquery is X [NOT] IN (SELECT ...).
+type InSubquery struct {
+	X   Expr
+	Sub *SelectStmt
+	Not bool
+}
+
+// Exists is [NOT] EXISTS (SELECT ...).
+type Exists struct {
+	Sub *SelectStmt
+	Not bool
+}
+
+// IsNull is X IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// Like is X [NOT] LIKE pattern, with standard % and _ wildcards.
+type Like struct {
+	X, Pattern Expr
+	Not        bool
+}
+
+// FuncCall is an aggregate or scalar function call.
+type FuncCall struct {
+	Name     string // upper case
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x)
+}
+
+// When is one WHEN ... THEN ... arm of a CASE.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []When
+	Else  Expr
+}
+
+// ScalarSubquery is (SELECT ...) used as a value.
+type ScalarSubquery struct {
+	Sub *SelectStmt
+}
+
+func (*ColumnRef) expr()      {}
+func (*Literal) expr()        {}
+func (*Param) expr()          {}
+func (*Unary) expr()          {}
+func (*Binary) expr()         {}
+func (*Between) expr()        {}
+func (*InList) expr()         {}
+func (*InSubquery) expr()     {}
+func (*Exists) expr()         {}
+func (*IsNull) expr()         {}
+func (*Like) expr()           {}
+func (*FuncCall) expr()       {}
+func (*CaseExpr) expr()       {}
+func (*ScalarSubquery) expr() {}
+
+// ColDef is one column definition in CREATE TABLE.
+type ColDef struct {
+	Name    string
+	Type    val.ColType
+	NotNull bool
+}
+
+// CreateTable defines a table with an optional primary key.
+type CreateTable struct {
+	Name       string
+	Cols       []ColDef
+	PrimaryKey []string
+}
+
+func (*CreateTable) stmt() {}
+
+// CreateIndex defines a secondary (or unique) index.
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Cols   []string
+	Unique bool
+}
+
+func (*CreateIndex) stmt() {}
+
+// DropIndex removes an index by name.
+type DropIndex struct {
+	Name string
+}
+
+func (*DropIndex) stmt() {}
+
+// DropTable removes a table and its indexes.
+type DropTable struct {
+	Name string
+}
+
+func (*DropTable) stmt() {}
+
+// CreateView defines a named view over a query.
+type CreateView struct {
+	Name  string
+	Query *SelectStmt
+}
+
+func (*CreateView) stmt() {}
+
+// DropView removes a view.
+type DropView struct {
+	Name string
+}
+
+func (*DropView) stmt() {}
+
+// InsertStmt inserts literal rows (expressions over parameters allowed).
+type InsertStmt struct {
+	Table string
+	Cols  []string // empty means full-width rows
+	Rows  [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// Assign is one SET clause of an UPDATE.
+type Assign struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt updates matching rows in place.
+type UpdateStmt struct {
+	Table string
+	Set   []Assign
+	Where Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// DeleteStmt deletes matching rows.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}

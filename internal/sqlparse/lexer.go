@@ -1,0 +1,168 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkPunct // single/double-char operators and separators
+	tkParam // ?
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords and idents upper-cased; punct literal
+	pos  int
+}
+
+// keywords is the reserved-word set; identifiers matching these lex as
+// tkKeyword.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "BETWEEN": true, "IN": true, "EXISTS": true, "IS": true,
+	"NULL": true, "LIKE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"OUTER": true, "ON": true, "CREATE": true, "TABLE": true, "INDEX": true,
+	"UNIQUE": true, "VIEW": true, "DROP": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"PRIMARY": true, "KEY": true, "DATE": true, "INTEGER": true, "INT": true,
+	"BIGINT": true, "DECIMAL": true, "CHAR": true, "VARCHAR": true,
+}
+
+// lexer splits SQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenises the whole input eagerly.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tkEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and -- comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tkEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		text := strings.ToUpper(l.src[start:l.pos])
+		kind := tkIdent
+		if keywords[text] {
+			kind = tkKeyword
+		}
+		return token{kind: kind, text: text, pos: start}, nil
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return token{kind: tkNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("sqlparse: unterminated string at %s", lineCol(l.src, start))
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return token{kind: tkString, text: sb.String(), pos: start}, nil
+	case c == '?':
+		l.pos++
+		return token{kind: tkParam, text: "?", pos: start}, nil
+	default:
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			return token{kind: tkPunct, text: two, pos: start}, nil
+		}
+		switch c {
+		case '(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>', ';':
+			l.pos++
+			return token{kind: tkPunct, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sqlparse: unexpected character %q at %s", c, lineCol(l.src, start))
+	}
+}
+
+// lineCol renders a byte offset as "line L, col C" for error messages.
+func lineCol(src string, pos int) string {
+	line, col := 1, pos
+	for i := 0; i < pos && i < len(src); i++ {
+		if src[i] == '\n' {
+			line++
+			col = pos - i - 1
+		}
+	}
+	return fmt.Sprintf("line %d, col %d", line, col)
+}

@@ -1,0 +1,979 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"r3bench/internal/val"
+)
+
+// Parse parses one SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tkPunct, ";")
+	if !p.at(tkEOF, "") {
+		return nil, p.errf("trailing input after statement")
+	}
+	return stmt, nil
+}
+
+// MustParse parses or panics; for statically-known query text.
+func MustParse(src string) Statement {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	src    string
+	toks   []token
+	pos    int
+	params int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) peek() token {
+	if p.pos+1 >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.pos+1]
+}
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// atKw reports whether the current token is the given keyword.
+func (p *parser) atKw(kw string) bool { return p.at(tkKeyword, kw) }
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKw(kw string) bool { return p.accept(tkKeyword, kw) }
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	t := p.cur()
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expectKw(kw string) error {
+	_, err := p.expect(tkKeyword, kw)
+	return err
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tkIdent {
+		return "", p.errf("expected identifier, found %q", p.cur().text)
+	}
+	name := p.cur().text
+	p.pos++
+	return name, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line := 1
+	col := p.cur().pos
+	for i := 0; i < p.cur().pos && i < len(p.src); i++ {
+		if p.src[i] == '\n' {
+			line++
+			col = p.cur().pos - i - 1
+		}
+	}
+	return fmt.Errorf("sqlparse: %s (line %d, col %d)", fmt.Sprintf(format, args...), line, col)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.atKw("SELECT"):
+		return p.parseSelect()
+	case p.atKw("CREATE"):
+		return p.parseCreate()
+	case p.atKw("DROP"):
+		return p.parseDrop()
+	case p.atKw("INSERT"):
+		return p.parseInsert()
+	case p.atKw("UPDATE"):
+		return p.parseUpdate()
+	case p.atKw("DELETE"):
+		return p.parseDelete()
+	default:
+		return nil, p.errf("expected a statement, found %q", p.cur().text)
+	}
+}
+
+// --- SELECT ---
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{Limit: -1}
+	s.Distinct = p.acceptKw("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Select = append(s.Select, item)
+		if !p.accept(tkPunct, ",") {
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, ref)
+		if !p.accept(tkPunct, ",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.accept(tkPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = h
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.accept(tkPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		t, err := p.expect(tkNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tkPunct, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* wildcard
+	if p.cur().kind == tkIdent && p.peek().kind == tkPunct && p.peek().text == "." {
+		if p.pos+2 < len(p.toks) && p.toks[p.pos+2].kind == tkPunct && p.toks[p.pos+2].text == "*" {
+			name := p.cur().text
+			p.pos += 3
+			return SelectItem{TableStar: name}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.cur().kind == tkIdent {
+		item.Alias = p.cur().text
+		p.pos++
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	left, err := p.parseBaseTable()
+	if err != nil {
+		return nil, err
+	}
+	var ref TableRef = left
+	for {
+		kind := InnerJoin
+		switch {
+		case p.atKw("JOIN"):
+			p.pos++
+		case p.atKw("INNER"):
+			p.pos++
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+		case p.atKw("LEFT"):
+			p.pos++
+			p.acceptKw("OUTER")
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = LeftOuterJoin
+		default:
+			return ref, nil
+		}
+		right, err := p.parseBaseTable()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ref = &Join{Kind: kind, Left: ref, Right: right, On: on}
+	}
+}
+
+func (p *parser) parseBaseTable() (*BaseTable, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	bt := &BaseTable{Name: name, Alias: name}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		bt.Alias = a
+	} else if p.cur().kind == tkIdent {
+		bt.Alias = p.cur().text
+		p.pos++
+	}
+	return bt, nil
+}
+
+// --- expressions ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKw("NOT") && !(p.peek().kind == tkKeyword && p.peek().text == "EXISTS") {
+		p.pos++
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.atKw("EXISTS") || (p.atKw("NOT") && p.peek().text == "EXISTS") {
+		not := p.acceptKw("NOT")
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, "("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &Exists{Sub: sub, Not: not}, nil
+	}
+	x, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	not := false
+	if p.atKw("NOT") && (p.peek().text == "BETWEEN" || p.peek().text == "IN" || p.peek().text == "LIKE") {
+		p.pos++
+		not = true
+	}
+	switch {
+	case p.acceptKw("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: x, Lo: lo, Hi: hi, Not: not}, nil
+	case p.acceptKw("IN"):
+		if _, err := p.expect(tkPunct, "("); err != nil {
+			return nil, err
+		}
+		if p.atKw("SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkPunct, ")"); err != nil {
+				return nil, err
+			}
+			return &InSubquery{X: x, Sub: sub, Not: not}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(tkPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &InList{X: x, List: list, Not: not}, nil
+	case p.acceptKw("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Like{X: x, Pattern: pat, Not: not}, nil
+	case p.acceptKw("IS"):
+		isNot := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: x, Not: isNot}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "=", "<", ">"} {
+		if p.accept(tkPunct, op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: x, R: r}, nil
+		}
+	}
+	return x, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tkPunct, "+"):
+			op = "+"
+		case p.accept(tkPunct, "-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tkPunct, "*"):
+			op = "*"
+		case p.accept(tkPunct, "/"):
+			op = "/"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tkPunct, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tkNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Literal{Val: val.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Literal{Val: val.Int(n)}, nil
+	case tkString:
+		p.pos++
+		return &Literal{Val: val.Str(t.text)}, nil
+	case tkParam:
+		p.pos++
+		idx := p.params
+		p.params++
+		return &Param{Index: idx}, nil
+	case tkKeyword:
+		switch t.text {
+		case "NULL":
+			p.pos++
+			return &Literal{Val: val.Null}, nil
+		case "DATE":
+			p.pos++
+			lit, err := p.expect(tkString, "")
+			if err != nil {
+				return nil, err
+			}
+			d, err := val.ParseDate(lit.text)
+			if err != nil {
+				return nil, p.errf("bad date literal %q", lit.text)
+			}
+			return &Literal{Val: d}, nil
+		case "CASE":
+			return p.parseCase()
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.text)
+	case tkPunct:
+		if t.text == "(" {
+			p.pos++
+			if p.atKw("SELECT") {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tkPunct, ")"); err != nil {
+					return nil, err
+				}
+				return &ScalarSubquery{Sub: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected %q in expression", t.text)
+	case tkIdent:
+		// function call?
+		if p.peek().kind == tkPunct && p.peek().text == "(" {
+			return p.parseFuncCall()
+		}
+		p.pos++
+		if p.accept(tkPunct, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.text, Column: col}, nil
+		}
+		return &ColumnRef{Column: t.text}, nil
+	default:
+		return nil, p.errf("unexpected token %q", t.text)
+	}
+}
+
+func (p *parser) parseFuncCall() (Expr, error) {
+	name := p.cur().text
+	p.pos += 2 // ident and "("
+	fc := &FuncCall{Name: name}
+	if p.accept(tkPunct, "*") {
+		fc.Star = true
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	fc.Distinct = p.acceptKw("DISTINCT")
+	if !p.at(tkPunct, ")") {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, a)
+			if !p.accept(tkPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tkPunct, ")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKw("CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	for p.acceptKw("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, When{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.acceptKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// --- DDL / DML ---
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.pos++ // CREATE
+	unique := p.acceptKw("UNIQUE")
+	switch {
+	case p.acceptKw("TABLE"):
+		if unique {
+			return nil, p.errf("UNIQUE TABLE is not a thing")
+		}
+		return p.parseCreateTable()
+	case p.acceptKw("INDEX"):
+		return p.parseCreateIndex(unique)
+	case p.acceptKw("VIEW"):
+		if unique {
+			return nil, p.errf("UNIQUE VIEW is not a thing")
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AS"); err != nil {
+			return nil, err
+		}
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateView{Name: name, Query: q}, nil
+	default:
+		return nil, p.errf("expected TABLE, INDEX or VIEW after CREATE")
+	}
+}
+
+func (p *parser) parseColType() (val.ColType, error) {
+	t := p.cur()
+	if t.kind != tkKeyword {
+		return val.ColType{}, p.errf("expected a type, found %q", t.text)
+	}
+	p.pos++
+	switch t.text {
+	case "INTEGER", "INT":
+		return val.Int4, nil
+	case "BIGINT":
+		return val.Int8, nil
+	case "DATE":
+		return val.Date4, nil
+	case "DECIMAL":
+		if p.accept(tkPunct, "(") {
+			if _, err := p.expect(tkNumber, ""); err != nil {
+				return val.ColType{}, err
+			}
+			if p.accept(tkPunct, ",") {
+				if _, err := p.expect(tkNumber, ""); err != nil {
+					return val.ColType{}, err
+				}
+			}
+			if _, err := p.expect(tkPunct, ")"); err != nil {
+				return val.ColType{}, err
+			}
+		}
+		return val.Dec8, nil
+	case "CHAR", "VARCHAR":
+		if _, err := p.expect(tkPunct, "("); err != nil {
+			return val.ColType{}, err
+		}
+		n, err := p.expect(tkNumber, "")
+		if err != nil {
+			return val.ColType{}, err
+		}
+		w, err := strconv.Atoi(n.text)
+		if err != nil || w < 1 {
+			return val.ColType{}, p.errf("bad char width %q", n.text)
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return val.ColType{}, err
+		}
+		return val.Char(w), nil
+	default:
+		return val.ColType{}, p.errf("unknown type %q", t.text)
+	}
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkPunct, "("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		if p.atKw("PRIMARY") {
+			p.pos++
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkPunct, "("); err != nil {
+				return nil, err
+			}
+			for {
+				c, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, c)
+				if !p.accept(tkPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tkPunct, ")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.parseColType()
+			if err != nil {
+				return nil, err
+			}
+			def := ColDef{Name: col, Type: typ}
+			if p.atKw("NOT") {
+				p.pos++
+				if err := p.expectKw("NULL"); err != nil {
+					return nil, err
+				}
+				def.NotNull = true
+			}
+			if p.atKw("PRIMARY") {
+				p.pos++
+				if err := p.expectKw("KEY"); err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, col)
+			}
+			ct.Cols = append(ct.Cols, def)
+		}
+		if !p.accept(tkPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tkPunct, ")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) parseCreateIndex(unique bool) (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkPunct, "("); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndex{Name: name, Table: table, Unique: unique}
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ci.Cols = append(ci.Cols, c)
+		if !p.accept(tkPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tkPunct, ")"); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.pos++ // DROP
+	switch {
+	case p.acceptKw("TABLE"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Name: name}, nil
+	case p.acceptKw("INDEX"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndex{Name: name}, nil
+	case p.acceptKw("VIEW"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropView{Name: name}, nil
+	default:
+		return nil, p.errf("expected TABLE, INDEX or VIEW after DROP")
+	}
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.pos++ // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: table}
+	if p.accept(tkPunct, "(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Cols = append(ins.Cols, c)
+			if !p.accept(tkPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tkPunct, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(tkPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(tkPunct, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.pos++ // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	u := &UpdateStmt{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Set = append(u.Set, Assign{Column: col, Value: e})
+		if !p.accept(tkPunct, ",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = w
+	}
+	return u, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.pos++ // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeleteStmt{Table: table}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = w
+	}
+	return d, nil
+}

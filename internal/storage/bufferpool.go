@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+
+	"r3bench/internal/cost"
+)
+
+// pageKey identifies a page across files.
+type pageKey struct {
+	file FileID
+	page PageID
+}
+
+type frame struct {
+	key   pageKey
+	data  []byte
+	dirty bool
+	elem  *list.Element
+}
+
+// BufferPool caches disk pages with LRU replacement and charges page I/O to
+// the accessing session's cost meter. Its capacity models the paper's
+// database buffer (10 MB by default in the SAP R/3 installation).
+//
+// A read that hits the pool is free; a miss charges cost.SeqRead when the
+// page immediately follows the previous page read from the same file
+// (prefetchable sequential access) and cost.RandRead otherwise. Writing
+// back a dirty page charges cost.PageWrite.
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     *Disk
+	capacity int // in pages
+	frames   map[pageKey]*frame
+	lru      *list.List // front = most recently used
+	lastRead map[FileID]PageID
+
+	hits, misses int64
+}
+
+// NewBufferPool returns a pool over disk holding at most capacityBytes of
+// pages (minimum one page).
+func NewBufferPool(disk *Disk, capacityBytes int) *BufferPool {
+	capPages := capacityBytes / PageSize
+	if capPages < 1 {
+		capPages = 1
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capPages,
+		frames:   make(map[pageKey]*frame),
+		lru:      list.New(),
+		lastRead: make(map[FileID]PageID),
+	}
+}
+
+// CapacityPages returns the pool capacity in pages.
+func (bp *BufferPool) CapacityPages() int { return bp.capacity }
+
+// HitRatio returns the fraction of page requests served from the pool.
+func (bp *BufferPool) HitRatio() float64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	total := bp.hits + bp.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(bp.hits) / float64(total)
+}
+
+// Get returns the page's data, faulting it in if needed and charging m.
+// The returned slice aliases the cached page; callers may mutate it only
+// via MarkDirty.
+func (bp *BufferPool) Get(file FileID, page PageID, m *cost.Meter) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	key := pageKey{file, page}
+	if f, ok := bp.frames[key]; ok {
+		bp.hits++
+		bp.lru.MoveToFront(f.elem)
+		bp.lastRead[file] = page
+		return f.data, nil
+	}
+	bp.misses++
+	data, err := bp.disk.readPage(file, page)
+	if err != nil {
+		return nil, err
+	}
+	if m != nil {
+		if last, ok := bp.lastRead[file]; ok && page == last+1 {
+			m.Charge(cost.SeqRead, 1)
+		} else {
+			m.Charge(cost.RandRead, 1)
+		}
+	}
+	bp.lastRead[file] = page
+	bp.insertLocked(key, data, m)
+	return data, nil
+}
+
+// insertLocked adds a frame, evicting the LRU victim if at capacity.
+func (bp *BufferPool) insertLocked(key pageKey, data []byte, m *cost.Meter) {
+	for bp.lru.Len() >= bp.capacity {
+		victim := bp.lru.Back()
+		vf := victim.Value.(*frame)
+		if vf.dirty && m != nil {
+			m.Charge(cost.PageWrite, 1)
+		}
+		bp.lru.Remove(victim)
+		delete(bp.frames, vf.key)
+	}
+	f := &frame{key: key, data: data}
+	f.elem = bp.lru.PushFront(f)
+	bp.frames[key] = f
+}
+
+// MarkDirty records that the page was modified; the write-back is charged
+// on eviction or Flush.
+func (bp *BufferPool) MarkDirty(file FileID, page PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[pageKey{file, page}]; ok {
+		f.dirty = true
+	}
+}
+
+// FlushFile charges write-back for every dirty cached page of the file and
+// marks them clean. Used at commit points.
+func (bp *BufferPool) FlushFile(file FileID, m *cost.Meter) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.key.file == file && f.dirty {
+			if m != nil {
+				m.Charge(cost.PageWrite, 1)
+			}
+			f.dirty = false
+		}
+	}
+}
+
+// FlushAll charges write-back for every dirty cached page.
+func (bp *BufferPool) FlushAll(m *cost.Meter) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.dirty {
+			if m != nil {
+				m.Charge(cost.PageWrite, 1)
+			}
+			f.dirty = false
+		}
+	}
+}
+
+// DropFile evicts all cached pages of the file without write-back.
+func (bp *BufferPool) DropFile(file FileID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for key, f := range bp.frames {
+		if key.file == file {
+			bp.lru.Remove(f.elem)
+			delete(bp.frames, key)
+		}
+	}
+	delete(bp.lastRead, file)
+}
+
+// ResetStats zeroes hit/miss counters.
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.hits, bp.misses = 0, 0
+}

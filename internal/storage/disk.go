@@ -1,0 +1,94 @@
+// Package storage implements the engine's physical layer: a simulated disk
+// of 8 KB pages, an LRU buffer pool that charges sequential/random page
+// I/O to a cost meter, and heap files of fixed-width rows addressed by
+// record IDs.
+//
+// The disk is simulated (pages live in memory) because the experiments
+// measure *which* I/O happens, not how fast 2026 SSDs are; the buffer pool
+// charges every miss against the virtual clock in internal/cost, with the
+// sequential-vs-random distinction that drives the paper's Table 6.
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size of one disk page in bytes.
+const PageSize = 8192
+
+// FileID identifies one file on the simulated disk.
+type FileID uint32
+
+// PageID identifies one page within a file.
+type PageID uint32
+
+// RID is a record identifier: a page and a slot within it.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// String renders the RID for diagnostics.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// Disk is the simulated disk: a set of files, each an extensible array of
+// pages. All I/O goes through a BufferPool, never directly to the Disk.
+type Disk struct {
+	mu    sync.Mutex
+	files map[FileID][][]byte
+	next  FileID
+}
+
+// NewDisk returns an empty simulated disk.
+func NewDisk() *Disk {
+	return &Disk{files: make(map[FileID][][]byte)}
+}
+
+// CreateFile allocates a new empty file.
+func (d *Disk) CreateFile() FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.next
+	d.next++
+	d.files[id] = nil
+	return id
+}
+
+// DropFile releases a file and its pages.
+func (d *Disk) DropFile(id FileID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, id)
+}
+
+// NumPages returns the number of pages allocated to the file.
+func (d *Disk) NumPages(id FileID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.files[id])
+}
+
+// AllocPage extends the file by one zeroed page and returns its ID.
+func (d *Disk) AllocPage(id FileID) PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages := d.files[id]
+	d.files[id] = append(pages, make([]byte, PageSize))
+	return PageID(len(pages))
+}
+
+// readPage returns the raw page storage. Internal: callers go through the
+// buffer pool.
+func (d *Disk) readPage(id FileID, p PageID) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages, ok := d.files[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: read of dropped file %d", id)
+	}
+	if int(p) >= len(pages) {
+		return nil, fmt.Errorf("storage: page %d past end of file %d (%d pages)", p, id, len(pages))
+	}
+	return pages[p], nil
+}

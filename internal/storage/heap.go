@@ -1,0 +1,226 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/val"
+)
+
+// HeapFile stores fixed-width rows of one table in slotted pages.
+//
+// Page layout:
+//
+//	[0:2]                    uint16 slot count used so far
+//	[2:2+bmBytes]            tombstone bitmap (1 = deleted)
+//	[2+bmBytes:]             rows, rowBytes each
+//
+// Inserts append to the last page; deletes tombstone in place. Space from
+// deleted rows is reclaimed only by Compact, mirroring a simple RDBMS heap.
+type HeapFile struct {
+	mu      sync.Mutex
+	disk    *Disk
+	pool    *BufferPool
+	file    FileID
+	codec   *val.RowCodec
+	perPage int
+	bmBytes int
+	rows    int64
+}
+
+// NewHeapFile creates an empty heap file for rows of the given codec.
+func NewHeapFile(disk *Disk, pool *BufferPool, codec *val.RowCodec) *HeapFile {
+	h := &HeapFile{disk: disk, pool: pool, file: disk.CreateFile(), codec: codec}
+	// Solve for the per-page row capacity given the header and bitmap.
+	rb := codec.RowBytes()
+	c := (PageSize - 2) / rb
+	for c > 0 && 2+(c+7)/8+c*rb > PageSize {
+		c--
+	}
+	if c < 1 {
+		panic(fmt.Sprintf("storage: row of %d bytes does not fit a page", rb))
+	}
+	h.perPage = c
+	h.bmBytes = (c + 7) / 8
+	return h
+}
+
+// Codec returns the file's row codec.
+func (h *HeapFile) Codec() *val.RowCodec { return h.codec }
+
+// Rows returns the number of live rows.
+func (h *HeapFile) Rows() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rows
+}
+
+// Pages returns the number of allocated pages.
+func (h *HeapFile) Pages() int { return h.disk.NumPages(h.file) }
+
+// DataBytes returns the allocated size in bytes.
+func (h *HeapFile) DataBytes() int64 { return int64(h.Pages()) * PageSize }
+
+// RowsPerPage returns the page capacity in rows.
+func (h *HeapFile) RowsPerPage() int { return h.perPage }
+
+// Drop releases the file's pages.
+func (h *HeapFile) Drop() {
+	h.pool.DropFile(h.file)
+	h.disk.DropFile(h.file)
+}
+
+func pageUsed(p []byte) int       { return int(binary.BigEndian.Uint16(p[0:2])) }
+func setPageUsed(p []byte, n int) { binary.BigEndian.PutUint16(p[0:2], uint16(n)) }
+
+func (h *HeapFile) slotOffset(slot int) int { return 2 + h.bmBytes + slot*h.codec.RowBytes() }
+
+func deleted(p []byte, slot int) bool { return p[2+slot/8]&(1<<(slot%8)) != 0 }
+func setDeleted(p []byte, slot int)   { p[2+slot/8] |= 1 << (slot % 8) }
+
+// Insert appends a row and returns its RID, charging m for the page access
+// and per-tuple CPU.
+func (h *HeapFile) Insert(row []val.Value, m *cost.Meter) (RID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.disk.NumPages(h.file)
+	var pid PageID
+	if n == 0 {
+		pid = h.disk.AllocPage(h.file)
+	} else {
+		pid = PageID(n - 1)
+	}
+	page, err := h.pool.Get(h.file, pid, m)
+	if err != nil {
+		return RID{}, err
+	}
+	used := pageUsed(page)
+	if used >= h.perPage {
+		pid = h.disk.AllocPage(h.file)
+		if page, err = h.pool.Get(h.file, pid, m); err != nil {
+			return RID{}, err
+		}
+		used = 0
+	}
+	off := h.slotOffset(used)
+	enc, err := h.codec.Encode(page[off:off], row)
+	if err != nil {
+		return RID{}, err
+	}
+	if len(enc) != h.codec.RowBytes() {
+		return RID{}, fmt.Errorf("storage: encoded row is %d bytes, want %d", len(enc), h.codec.RowBytes())
+	}
+	setPageUsed(page, used+1)
+	h.pool.MarkDirty(h.file, pid)
+	h.rows++
+	if m != nil {
+		m.Charge(cost.TupleCPU, 1)
+	}
+	return RID{Page: pid, Slot: uint16(used)}, nil
+}
+
+// Fetch decodes the row at rid (random page access) into out.
+func (h *HeapFile) Fetch(rid RID, m *cost.Meter, out []val.Value) ([]val.Value, error) {
+	page, err := h.pool.Get(h.file, rid.Page, m)
+	if err != nil {
+		return out, err
+	}
+	if int(rid.Slot) >= pageUsed(page) || deleted(page, int(rid.Slot)) {
+		return out, fmt.Errorf("storage: fetch of dead rid %v", rid)
+	}
+	off := h.slotOffset(int(rid.Slot))
+	if m != nil {
+		m.Charge(cost.TupleCPU, 1)
+	}
+	return h.codec.Decode(page[off:off+h.codec.RowBytes()], out)
+}
+
+// Delete tombstones the row at rid.
+func (h *HeapFile) Delete(rid RID, m *cost.Meter) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	page, err := h.pool.Get(h.file, rid.Page, m)
+	if err != nil {
+		return err
+	}
+	if int(rid.Slot) >= pageUsed(page) || deleted(page, int(rid.Slot)) {
+		return fmt.Errorf("storage: delete of dead rid %v", rid)
+	}
+	setDeleted(page, int(rid.Slot))
+	h.pool.MarkDirty(h.file, rid.Page)
+	h.rows--
+	if m != nil {
+		m.Charge(cost.TupleCPU, 1)
+	}
+	return nil
+}
+
+// Update overwrites the row at rid in place (fixed-width rows always fit).
+func (h *HeapFile) Update(rid RID, row []val.Value, m *cost.Meter) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	page, err := h.pool.Get(h.file, rid.Page, m)
+	if err != nil {
+		return err
+	}
+	if int(rid.Slot) >= pageUsed(page) || deleted(page, int(rid.Slot)) {
+		return fmt.Errorf("storage: update of dead rid %v", rid)
+	}
+	off := h.slotOffset(int(rid.Slot))
+	enc, err := h.codec.Encode(make([]byte, 0, h.codec.RowBytes()), row)
+	if err != nil {
+		return err
+	}
+	copy(page[off:off+h.codec.RowBytes()], enc)
+	h.pool.MarkDirty(h.file, rid.Page)
+	if m != nil {
+		m.Charge(cost.TupleCPU, 1)
+	}
+	return nil
+}
+
+// Scan calls fn for every live row in file order. The row slice is reused
+// between calls; fn must copy values it retains. Returning a non-nil error
+// from fn stops the scan; the sentinel ErrStopScan stops it silently.
+func (h *HeapFile) Scan(m *cost.Meter, fn func(rid RID, row []val.Value) error) error {
+	n := h.disk.NumPages(h.file)
+	buf := make([]val.Value, 0, h.codec.NumCols())
+	for p := 0; p < n; p++ {
+		page, err := h.pool.Get(h.file, PageID(p), m)
+		if err != nil {
+			return err
+		}
+		used := pageUsed(page)
+		for s := 0; s < used; s++ {
+			if deleted(page, s) {
+				continue
+			}
+			off := h.slotOffset(s)
+			buf = buf[:0]
+			buf, err = h.codec.Decode(page[off:off+h.codec.RowBytes()], buf)
+			if err != nil {
+				return err
+			}
+			if m != nil {
+				m.Charge(cost.TupleCPU, 1)
+			}
+			if err := fn(RID{Page: PageID(p), Slot: uint16(s)}, buf); err != nil {
+				if err == ErrStopScan {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush charges write-back for the file's dirty pages (a commit point).
+func (h *HeapFile) Flush(m *cost.Meter) {
+	h.pool.FlushFile(h.file, m)
+}
+
+// ErrStopScan stops a Scan early without reporting an error.
+var ErrStopScan = fmt.Errorf("storage: stop scan")

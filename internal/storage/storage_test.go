@@ -1,0 +1,312 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/val"
+)
+
+func newTestHeap(t *testing.T, bufBytes int) (*HeapFile, *BufferPool, *cost.Meter) {
+	t.Helper()
+	disk := NewDisk()
+	pool := NewBufferPool(disk, bufBytes)
+	codec := val.NewRowCodec([]val.ColType{val.Int4, val.Char(16), val.Dec8})
+	return NewHeapFile(disk, pool, codec), pool, cost.NewMeter(cost.Default1996())
+}
+
+func row(i int) []val.Value {
+	return []val.Value{val.Int(int64(i)), val.Str(fmt.Sprintf("key%013d", i)), val.Float(float64(i) / 2)}
+}
+
+func TestHeapInsertFetch(t *testing.T) {
+	h, _, m := newTestHeap(t, 1<<20)
+	rids := make([]RID, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		rid, err := h.Insert(row(i), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if h.Rows() != 1000 {
+		t.Fatalf("Rows = %d", h.Rows())
+	}
+	for i, rid := range rids {
+		got, err := h.Fetch(rid, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0].AsInt() != int64(i) {
+			t.Fatalf("row %d: got %v", i, got)
+		}
+	}
+}
+
+func TestHeapScanOrderAndReuse(t *testing.T) {
+	h, _, m := newTestHeap(t, 1<<20)
+	for i := 0; i < 500; i++ {
+		if _, err := h.Insert(row(i), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := 0
+	err := h.Scan(m, func(rid RID, r []val.Value) error {
+		if r[0].AsInt() != int64(next) {
+			return fmt.Errorf("scan out of order at %d: %v", next, r)
+		}
+		next++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 500 {
+		t.Fatalf("scanned %d rows", next)
+	}
+}
+
+func TestHeapDelete(t *testing.T) {
+	h, _, m := newTestHeap(t, 1<<20)
+	var rids []RID
+	for i := 0; i < 100; i++ {
+		rid, _ := h.Insert(row(i), m)
+		rids = append(rids, rid)
+	}
+	for i := 0; i < 100; i += 2 {
+		if err := h.Delete(rids[i], m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Rows() != 50 {
+		t.Fatalf("Rows after delete = %d", h.Rows())
+	}
+	count := 0
+	h.Scan(m, func(rid RID, r []val.Value) error {
+		if r[0].AsInt()%2 == 0 {
+			t.Fatalf("deleted row %v visible", r)
+		}
+		count++
+		return nil
+	})
+	if count != 50 {
+		t.Fatalf("scan saw %d rows", count)
+	}
+	if err := h.Delete(rids[0], m); err == nil {
+		t.Error("double delete must error")
+	}
+	if _, err := h.Fetch(rids[0], m, nil); err == nil {
+		t.Error("fetch of deleted rid must error")
+	}
+}
+
+func TestHeapUpdate(t *testing.T) {
+	h, _, m := newTestHeap(t, 1<<20)
+	rid, _ := h.Insert(row(1), m)
+	if err := h.Update(rid, row(42), m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Fetch(rid, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].AsInt() != 42 {
+		t.Fatalf("update not visible: %v", got)
+	}
+}
+
+func TestHeapStopScan(t *testing.T) {
+	h, _, m := newTestHeap(t, 1<<20)
+	for i := 0; i < 100; i++ {
+		h.Insert(row(i), m)
+	}
+	seen := 0
+	err := h.Scan(m, func(rid RID, r []val.Value) error {
+		seen++
+		if seen == 10 {
+			return ErrStopScan
+		}
+		return nil
+	})
+	if err != nil || seen != 10 {
+		t.Fatalf("early stop: err=%v seen=%d", err, seen)
+	}
+}
+
+func TestBufferPoolChargesSeqVsRand(t *testing.T) {
+	disk := NewDisk()
+	pool := NewBufferPool(disk, 4*PageSize) // tiny: 4 pages
+	f := disk.CreateFile()
+	for i := 0; i < 16; i++ {
+		disk.AllocPage(f)
+	}
+	m := cost.NewMeter(cost.Default1996())
+	// Sequential sweep: first page random, rest sequential.
+	for i := 0; i < 16; i++ {
+		if _, err := pool.Get(f, PageID(i), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Count(cost.RandRead) != 1 || m.Count(cost.SeqRead) != 15 {
+		t.Fatalf("sweep charged rand=%d seq=%d", m.Count(cost.RandRead), m.Count(cost.SeqRead))
+	}
+	m.Reset()
+	// Random hops across a pool too small to hold them: all random.
+	for _, p := range []PageID{9, 3, 12, 0, 7} {
+		pool.Get(f, p, m)
+	}
+	if m.Count(cost.RandRead) != 5 {
+		t.Fatalf("hops charged rand=%d", m.Count(cost.RandRead))
+	}
+}
+
+func TestBufferPoolHitsAreFree(t *testing.T) {
+	disk := NewDisk()
+	pool := NewBufferPool(disk, 64*PageSize)
+	f := disk.CreateFile()
+	disk.AllocPage(f)
+	m := cost.NewMeter(cost.Default1996())
+	pool.Get(f, 0, m)
+	before := m.Elapsed()
+	for i := 0; i < 100; i++ {
+		pool.Get(f, 0, m)
+	}
+	if m.Elapsed() != before {
+		t.Error("pool hits must not charge I/O")
+	}
+	if pool.HitRatio() < 0.99 {
+		t.Errorf("hit ratio = %f", pool.HitRatio())
+	}
+}
+
+func TestBufferPoolEvictionWritesDirty(t *testing.T) {
+	disk := NewDisk()
+	pool := NewBufferPool(disk, 2*PageSize)
+	f := disk.CreateFile()
+	for i := 0; i < 4; i++ {
+		disk.AllocPage(f)
+	}
+	m := cost.NewMeter(cost.Default1996())
+	pool.Get(f, 0, m)
+	pool.MarkDirty(f, 0)
+	pool.Get(f, 1, m)
+	pool.Get(f, 2, m) // evicts page 0 (dirty): must charge a write
+	if m.Count(cost.PageWrite) != 1 {
+		t.Fatalf("PageWrite charges = %d, want 1", m.Count(cost.PageWrite))
+	}
+}
+
+func TestFlushFile(t *testing.T) {
+	disk := NewDisk()
+	pool := NewBufferPool(disk, 16*PageSize)
+	f := disk.CreateFile()
+	disk.AllocPage(f)
+	disk.AllocPage(f)
+	m := cost.NewMeter(cost.Default1996())
+	pool.Get(f, 0, m)
+	pool.Get(f, 1, m)
+	pool.MarkDirty(f, 0)
+	pool.MarkDirty(f, 1)
+	m.Reset()
+	pool.FlushFile(f, m)
+	if m.Count(cost.PageWrite) != 2 {
+		t.Fatalf("flush charged %d writes", m.Count(cost.PageWrite))
+	}
+	m.Reset()
+	pool.FlushFile(f, m) // now clean
+	if m.Count(cost.PageWrite) != 0 {
+		t.Error("second flush must be free")
+	}
+}
+
+func TestHeapSurvivesEvictionUnderTinyPool(t *testing.T) {
+	// With a pool far smaller than the table, scans must still see every
+	// row (pages round trip through the simulated disk correctly).
+	disk := NewDisk()
+	pool := NewBufferPool(disk, 2*PageSize)
+	codec := val.NewRowCodec([]val.ColType{val.Int8})
+	h := NewHeapFile(disk, pool, codec)
+	m := cost.NewMeter(cost.Default1996())
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert([]val.Value{val.Int(int64(i))}, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sum, want int64
+	for i := 0; i < n; i++ {
+		want += int64(i)
+	}
+	h.Scan(m, func(rid RID, r []val.Value) error {
+		sum += r[0].AsInt()
+		return nil
+	})
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestRandomizedHeapAgainstModel(t *testing.T) {
+	// Property test: the heap behaves like a map[RID]row under random
+	// insert/delete/update/fetch.
+	disk := NewDisk()
+	pool := NewBufferPool(disk, 8*PageSize)
+	codec := val.NewRowCodec([]val.ColType{val.Int8, val.Char(8)})
+	h := NewHeapFile(disk, pool, codec)
+	m := cost.NewMeter(cost.Default1996())
+	model := map[RID]int64{}
+	var live []RID
+	r := rand.New(rand.NewSource(3))
+	for step := 0; step < 5000; step++ {
+		switch op := r.Intn(10); {
+		case op < 5 || len(live) == 0: // insert
+			v := r.Int63n(1e9)
+			rid, err := h.Insert([]val.Value{val.Int(v), val.Str("x")}, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model[rid] = v
+			live = append(live, rid)
+		case op < 7: // delete
+			i := r.Intn(len(live))
+			rid := live[i]
+			if err := h.Delete(rid, m); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, rid)
+			live = append(live[:i], live[i+1:]...)
+		case op < 9: // fetch
+			rid := live[r.Intn(len(live))]
+			got, err := h.Fetch(rid, m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0].AsInt() != model[rid] {
+				t.Fatalf("fetch %v: got %d want %d", rid, got[0].AsInt(), model[rid])
+			}
+		default: // update
+			rid := live[r.Intn(len(live))]
+			v := r.Int63n(1e9)
+			if err := h.Update(rid, []val.Value{val.Int(v), val.Str("y")}, m); err != nil {
+				t.Fatal(err)
+			}
+			model[rid] = v
+		}
+	}
+	if int(h.Rows()) != len(model) {
+		t.Fatalf("Rows = %d, model has %d", h.Rows(), len(model))
+	}
+	seen := 0
+	h.Scan(m, func(rid RID, row []val.Value) error {
+		if row[0].AsInt() != model[rid] {
+			t.Fatalf("scan %v: got %d want %d", rid, row[0].AsInt(), model[rid])
+		}
+		seen++
+		return nil
+	})
+	if seen != len(model) {
+		t.Fatalf("scan saw %d, want %d", seen, len(model))
+	}
+}

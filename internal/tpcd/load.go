@@ -1,0 +1,138 @@
+package tpcd
+
+import (
+	"r3bench/internal/cost"
+	"r3bench/internal/dbgen"
+	"r3bench/internal/engine"
+	"r3bench/internal/val"
+)
+
+// loadBatch is the bulk-load flush granularity.
+const loadBatch = 4096
+
+// Load bulk-loads the generated population into the original TPC-D schema
+// through the RDBMS's bulk-loading interface — the path the paper notes
+// SAP R/3's batch input does not use — and gathers statistics.
+func Load(db *engine.DB, g *dbgen.Generator, m *cost.Meter) error {
+	if err := CreateSchema(db, m); err != nil {
+		return err
+	}
+	var batch [][]val.Value
+	flush := func(table string) error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := db.BulkLoad(table, batch, m)
+		batch = batch[:0]
+		return err
+	}
+	add := func(table string, row []val.Value) error {
+		batch = append(batch, row)
+		if len(batch) >= loadBatch {
+			return flush(table)
+		}
+		return nil
+	}
+
+	for _, r := range g.Regions() {
+		if err := add("REGION", []val.Value{val.Int(r.Key), val.Str(r.Name), val.Str(r.Comment)}); err != nil {
+			return err
+		}
+	}
+	if err := flush("REGION"); err != nil {
+		return err
+	}
+	for _, n := range g.NationRows() {
+		if err := add("NATION", []val.Value{val.Int(n.Key), val.Str(n.Name), val.Int(n.RegionKey), val.Str(n.Comment)}); err != nil {
+			return err
+		}
+	}
+	if err := flush("NATION"); err != nil {
+		return err
+	}
+	if err := g.Suppliers(func(s dbgen.Supplier) error {
+		return add("SUPPLIER", supplierRow(s))
+	}); err != nil {
+		return err
+	}
+	if err := flush("SUPPLIER"); err != nil {
+		return err
+	}
+	if err := g.Parts(func(p dbgen.Part) error {
+		return add("PART", []val.Value{val.Int(p.Key), val.Str(p.Name), val.Str(p.Mfgr),
+			val.Str(p.Brand), val.Str(p.Type), val.Int(p.Size), val.Str(p.Container),
+			val.Float(p.RetailPrice), val.Str(p.Comment)})
+	}); err != nil {
+		return err
+	}
+	if err := flush("PART"); err != nil {
+		return err
+	}
+	if err := g.PartSupps(func(ps dbgen.PartSupp) error {
+		return add("PARTSUPP", []val.Value{val.Int(ps.PartKey), val.Int(ps.SuppKey),
+			val.Int(ps.AvailQty), val.Float(ps.SupplyCost), val.Str(ps.Comment)})
+	}); err != nil {
+		return err
+	}
+	if err := flush("PARTSUPP"); err != nil {
+		return err
+	}
+	if err := g.Customers(func(c dbgen.Customer) error {
+		return add("CUSTOMER", []val.Value{val.Int(c.Key), val.Str(c.Name), val.Str(c.Address),
+			val.Int(c.NationKey), val.Str(c.Phone), val.Float(c.AcctBal),
+			val.Str(c.MktSegment), val.Str(c.Comment)})
+	}); err != nil {
+		return err
+	}
+	if err := flush("CUSTOMER"); err != nil {
+		return err
+	}
+	var liBatch [][]val.Value
+	if err := g.Orders(func(o *dbgen.Order) error {
+		if err := add("ORDERS", OrderRow(o)); err != nil {
+			return err
+		}
+		for _, li := range o.Lines {
+			liBatch = append(liBatch, LineitemRow(li))
+			if len(liBatch) >= loadBatch {
+				if err := db.BulkLoad("LINEITEM", liBatch, m); err != nil {
+					return err
+				}
+				liBatch = liBatch[:0]
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := flush("ORDERS"); err != nil {
+		return err
+	}
+	if len(liBatch) > 0 {
+		if err := db.BulkLoad("LINEITEM", liBatch, m); err != nil {
+			return err
+		}
+	}
+	return db.AnalyzeAll()
+}
+
+func supplierRow(s dbgen.Supplier) []val.Value {
+	return []val.Value{val.Int(s.Key), val.Str(s.Name), val.Str(s.Address),
+		val.Int(s.NationKey), val.Str(s.Phone), val.Float(s.AcctBal), val.Str(s.Comment)}
+}
+
+// OrderRow converts a generated order to the ORDERS layout.
+func OrderRow(o *dbgen.Order) []val.Value {
+	return []val.Value{val.Int(o.Key), val.Int(o.CustKey), val.Str(o.Status),
+		val.Float(o.TotalPrice), o.Date, val.Str(o.Priority), val.Str(o.Clerk),
+		val.Int(o.ShipPriority), val.Str(o.Comment)}
+}
+
+// LineitemRow converts a generated lineitem to the LINEITEM layout.
+func LineitemRow(li dbgen.Lineitem) []val.Value {
+	return []val.Value{val.Int(li.OrderKey), val.Int(li.PartKey), val.Int(li.SuppKey),
+		val.Int(li.LineNumber), val.Float(float64(li.Quantity)), val.Float(li.ExtendedPrice),
+		val.Float(li.Discount), val.Float(li.Tax), val.Str(li.ReturnFlag), val.Str(li.LineStatus),
+		li.ShipDate, li.CommitDate, li.ReceiptDate, val.Str(li.ShipInstruct),
+		val.Str(li.ShipMode), val.Str(li.Comment)}
+}

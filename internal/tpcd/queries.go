@@ -1,0 +1,226 @@
+package tpcd
+
+import "fmt"
+
+// Query is one TPC-D query: a short description and the statement
+// sequence that evaluates it (Q15 needs three statements for its view).
+type Query struct {
+	Num  int
+	Name string
+	SQL  []string
+}
+
+// Queries returns the 17-query suite with the specification's validation
+// substitution parameters baked in. sf parameterizes Q11's fraction
+// (0.0001/SF per the spec).
+//
+// Dialect adaptations from the 1995 text, all answer-preserving:
+//   - interval arithmetic is pre-computed into date literals (Q1 uses
+//     1998-12-01 − 90 days = 1998-09-02);
+//   - Q7/Q8/Q9's derived-table formulations are flattened using YEAR();
+//   - Q13's original text is not preserved in the 1.0 specification copy
+//     available to us; it is adapted as a small single-pass ORDERS report
+//     matching the paper's observed magnitude (seconds, not minutes).
+func Queries(sf float64) []Query {
+	q11frac := 0.0001 / sf
+	return []Query{
+		{1, "Pricing Summary Report", []string{`
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`}},
+
+		{2, "Minimum Cost Supplier", []string{`
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+FROM part, supplier, partsupp, nation, region
+WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+  AND p_size = 15 AND p_type LIKE '%BRASS'
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND r_name = 'EUROPE'
+  AND ps_supplycost = (
+    SELECT MIN(ps2.ps_supplycost)
+    FROM partsupp ps2, supplier s2, nation n2, region r2
+    WHERE p_partkey = ps2.ps_partkey AND s2.s_suppkey = ps2.ps_suppkey
+      AND s2.s_nationkey = n2.n_nationkey AND n2.n_regionkey = r2.r_regionkey
+      AND r2.r_name = 'EUROPE')
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100`}},
+
+		{3, "Shipping Priority", []string{`
+SELECT l_orderkey,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10`}},
+
+		{4, "Order Priority Checking", []string{`
+SELECT o_orderpriority, COUNT(*) AS order_count
+FROM orders
+WHERE o_orderdate >= DATE '1993-07-01' AND o_orderdate < DATE '1993-10-01'
+  AND EXISTS (
+    SELECT 1 FROM lineitem
+    WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate)
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority`}},
+
+		{5, "Local Supplier Volume", []string{`
+SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC`}},
+
+		{6, "Forecasting Revenue Change", []string{`
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24`}},
+
+		{7, "Volume Shipping", []string{`
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+       YEAR(l_shipdate) AS l_year,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM supplier, lineitem, orders, customer, nation n1, nation n2
+WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND c_custkey = o_custkey
+  AND s_nationkey = n1.n_nationkey AND c_nationkey = n2.n_nationkey
+  AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+    OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+  AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+GROUP BY n1.n_name, n2.n_name, YEAR(l_shipdate)
+ORDER BY supp_nation, cust_nation, l_year`}},
+
+		{8, "National Market Share", []string{`
+SELECT YEAR(o_orderdate) AS o_year,
+       SUM(CASE WHEN n2.n_name = 'BRAZIL'
+                THEN l_extendedprice * (1 - l_discount) ELSE 0 END)
+         / SUM(l_extendedprice * (1 - l_discount)) AS mkt_share
+FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey AND l_orderkey = o_orderkey
+  AND o_custkey = c_custkey AND c_nationkey = n1.n_nationkey
+  AND n1.n_regionkey = r_regionkey AND r_name = 'AMERICA'
+  AND s_nationkey = n2.n_nationkey
+  AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+  AND p_type = 'ECONOMY ANODIZED STEEL'
+GROUP BY YEAR(o_orderdate)
+ORDER BY o_year`}},
+
+		{9, "Product Type Profit Measure", []string{`
+SELECT n_name AS nation, YEAR(o_orderdate) AS o_year,
+       SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS sum_profit
+FROM part, supplier, lineitem, partsupp, orders, nation
+WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey
+  AND p_partkey = l_partkey AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+  AND p_name LIKE '%green%'
+GROUP BY n_name, YEAR(o_orderdate)
+ORDER BY nation, o_year DESC`}},
+
+		{10, "Returned Item Reporting", []string{`
+SELECT c_custkey, c_name,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND o_orderdate >= DATE '1993-10-01' AND o_orderdate < DATE '1994-01-01'
+  AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20`}},
+
+		{11, "Important Stock Identification", []string{fmt.Sprintf(`
+SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value
+FROM partsupp, supplier, nation
+WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = 'GERMANY'
+GROUP BY ps_partkey
+HAVING SUM(ps_supplycost * ps_availqty) > (
+  SELECT SUM(ps2.ps_supplycost * ps2.ps_availqty) * %.8f
+  FROM partsupp ps2, supplier s2, nation n2
+  WHERE ps2.ps_suppkey = s2.s_suppkey AND s2.s_nationkey = n2.n_nationkey
+    AND n2.n_name = 'GERMANY')
+ORDER BY value DESC`, q11frac)}},
+
+		{12, "Shipping Modes and Order Priority", []string{`
+SELECT l_shipmode,
+       SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       SUM(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+  AND l_receiptdate >= DATE '1994-01-01' AND l_receiptdate < DATE '1995-01-01'
+GROUP BY l_shipmode
+ORDER BY l_shipmode`}},
+
+		{13, "Recent Order Priorities (adapted)", []string{`
+SELECT o_orderpriority, COUNT(*) AS order_count
+FROM orders
+WHERE o_orderdate >= DATE '1998-06-01'
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority`}},
+
+		{14, "Promotion Effect", []string{`
+SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+                         THEN l_extendedprice * (1 - l_discount) ELSE 0 END)
+       / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= DATE '1995-09-01' AND l_shipdate < DATE '1995-10-01'`}},
+
+		{15, "Top Supplier", []string{
+			`CREATE VIEW revenue0 AS
+SELECT l_suppkey AS supplier_no,
+       SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE '1996-04-01'
+GROUP BY l_suppkey`,
+			`SELECT s_suppkey, s_name, s_address, s_phone, total_revenue
+FROM supplier, revenue0
+WHERE s_suppkey = supplier_no
+  AND total_revenue = (SELECT MAX(total_revenue) FROM revenue0)
+ORDER BY s_suppkey`,
+			`DROP VIEW revenue0`,
+		}},
+
+		{16, "Parts/Supplier Relationship", []string{`
+SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) AS supplier_cnt
+FROM partsupp, part
+WHERE p_partkey = ps_partkey
+  AND p_brand <> 'Brand#45'
+  AND p_type NOT LIKE 'MEDIUM POLISHED%'
+  AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+  AND ps_suppkey NOT IN (
+    SELECT s_suppkey FROM supplier
+    WHERE s_comment LIKE '%Customer%Complaints%')
+GROUP BY p_brand, p_type, p_size
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size`}},
+
+		{17, "Small-Quantity-Order Revenue", []string{`
+SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly
+FROM lineitem, part
+WHERE p_partkey = l_partkey
+  AND p_brand = 'Brand#23' AND p_container = 'MED BOX'
+  AND l_quantity < (
+    SELECT 0.2 * AVG(l2.l_quantity) FROM lineitem l2
+    WHERE l2.l_partkey = p_partkey)`}},
+	}
+}

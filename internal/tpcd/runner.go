@@ -1,0 +1,156 @@
+package tpcd
+
+import (
+	"fmt"
+	"time"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/dbgen"
+	"r3bench/internal/engine"
+	"r3bench/internal/val"
+)
+
+// Implementation is one strategy for evaluating the TPC-D workload: the
+// isolated RDBMS, or SAP R/3 Native SQL / Open SQL reports. The power
+// test drives it query by query against the shared virtual clock.
+type Implementation interface {
+	// Name labels the strategy ("RDBMS", "Native SQL 3.0", ...).
+	Name() string
+	// RunQuery evaluates query q (1–17), returning its result rows for
+	// validation.
+	RunQuery(q int) ([][]val.Value, error)
+	// RunUF1 inserts the new-order set; RunUF2 deletes the delete set.
+	RunUF1() error
+	RunUF2() error
+	// Meter is the strategy's virtual clock.
+	Meter() *cost.Meter
+}
+
+// StepResult is the measured outcome of one power-test step.
+type StepResult struct {
+	Label   string
+	Elapsed time.Duration
+	Rows    int
+	Err     error
+}
+
+// PowerResult is a full power test.
+type PowerResult struct {
+	Impl     string
+	Steps    []StepResult
+	TotalQ   time.Duration // Q1–Q17 only ("Total (quer.)" in the paper)
+	TotalAll time.Duration
+}
+
+// RunPowerTest executes Q1–Q17 followed by UF1 and UF2, timing each step
+// on the implementation's virtual clock — the paper's Tables 4 and 5.
+func RunPowerTest(impl Implementation) *PowerResult {
+	pr := &PowerResult{Impl: impl.Name()}
+	m := impl.Meter()
+	for q := 1; q <= 17; q++ {
+		start := m.Elapsed()
+		rows, err := impl.RunQuery(q)
+		step := StepResult{Label: fmt.Sprintf("Q%d", q), Elapsed: m.Lap(start), Rows: len(rows), Err: err}
+		pr.Steps = append(pr.Steps, step)
+		pr.TotalQ += step.Elapsed
+	}
+	start := m.Elapsed()
+	err := impl.RunUF1()
+	pr.Steps = append(pr.Steps, StepResult{Label: "UF1", Elapsed: m.Lap(start), Err: err})
+	start = m.Elapsed()
+	err = impl.RunUF2()
+	pr.Steps = append(pr.Steps, StepResult{Label: "UF2", Elapsed: m.Lap(start), Err: err})
+	for _, s := range pr.Steps {
+		pr.TotalAll += s.Elapsed
+	}
+	return pr
+}
+
+// RDBMS is the isolated-database implementation: standard SQL straight
+// against the engine, the baseline column of Tables 4 and 5.
+type RDBMS struct {
+	db   *engine.DB
+	gen  *dbgen.Generator
+	sess *engine.Session
+	qs   []Query
+}
+
+// NewRDBMS wraps a loaded original-schema database.
+func NewRDBMS(db *engine.DB, g *dbgen.Generator) *RDBMS {
+	return &RDBMS{db: db, gen: g, sess: db.NewSession(), qs: Queries(g.SF)}
+}
+
+// Name implements Implementation.
+func (r *RDBMS) Name() string { return "RDBMS (TPCD-DB)" }
+
+// Meter implements Implementation.
+func (r *RDBMS) Meter() *cost.Meter { return r.sess.Meter }
+
+// Session exposes the underlying session (for EXPLAIN in experiments).
+func (r *RDBMS) Session() *engine.Session { return r.sess }
+
+// RunQuery implements Implementation.
+func (r *RDBMS) RunQuery(q int) ([][]val.Value, error) {
+	if q < 1 || q > 17 {
+		return nil, fmt.Errorf("tpcd: no query Q%d", q)
+	}
+	var last *engine.Result
+	for _, sql := range r.qs[q-1].SQL {
+		res, err := r.sess.Exec(sql)
+		if err != nil {
+			return nil, fmt.Errorf("tpcd: Q%d: %w", q, err)
+		}
+		if res.Cols != nil {
+			last = res
+		}
+	}
+	if last == nil {
+		return nil, nil
+	}
+	return last.Rows, nil
+}
+
+// RunUF1 inserts the SF×1500 new orders and their lineitems row by row
+// through SQL (the RDBMS-side update function).
+func (r *RDBMS) RunUF1() error {
+	insOrder, err := r.sess.Prepare(`INSERT INTO orders VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`)
+	if err != nil {
+		return err
+	}
+	insLine, err := r.sess.Prepare(`INSERT INTO lineitem VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`)
+	if err != nil {
+		return err
+	}
+	return r.gen.UF1Orders(func(o *dbgen.Order) error {
+		if _, err := insOrder.Query(OrderRow(o)...); err != nil {
+			return err
+		}
+		for _, li := range o.Lines {
+			if _, err := insLine.Query(LineitemRow(li)...); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// RunUF2 deletes the SF×1500 delete-set orders and their lineitems.
+func (r *RDBMS) RunUF2() error {
+	delLine, err := r.sess.Prepare(`DELETE FROM lineitem WHERE l_orderkey = ?`)
+	if err != nil {
+		return err
+	}
+	delOrder, err := r.sess.Prepare(`DELETE FROM orders WHERE o_orderkey = ?`)
+	if err != nil {
+		return err
+	}
+	for _, k := range r.gen.UF2OrderKeys() {
+		if _, err := delLine.Query(val.Int(k)); err != nil {
+			return err
+		}
+		if _, err := delOrder.Query(val.Int(k)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

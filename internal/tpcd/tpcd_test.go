@@ -1,0 +1,210 @@
+package tpcd
+
+import (
+	"testing"
+
+	"r3bench/internal/dbgen"
+	"r3bench/internal/engine"
+	"r3bench/internal/val"
+)
+
+const testSF = 0.002 // 3000 orders, ~12000 lineitems: fast but non-trivial
+
+func loadedDB(t *testing.T) (*engine.DB, *dbgen.Generator) {
+	t.Helper()
+	db := engine.Open(engine.Config{})
+	g := dbgen.New(testSF)
+	if err := Load(db, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	return db, g
+}
+
+func TestLoadCardinalities(t *testing.T) {
+	db, g := loadedDB(t)
+	want := map[string]int64{
+		"REGION":   5,
+		"NATION":   25,
+		"SUPPLIER": int64(g.NumSuppliers()),
+		"PART":     int64(g.NumParts()),
+		"PARTSUPP": int64(g.NumParts()) * 4,
+		"CUSTOMER": int64(g.NumCustomers()),
+		"ORDERS":   int64(g.NumOrders()),
+	}
+	for name, n := range want {
+		if got := db.Table(name).Rows(); got != n {
+			t.Errorf("%s rows = %d, want %d", name, got, n)
+		}
+	}
+	li := db.Table("LINEITEM").Rows()
+	if li < 3*want["ORDERS"] || li > 5*want["ORDERS"] {
+		t.Errorf("LINEITEM rows = %d (orders %d)", li, want["ORDERS"])
+	}
+}
+
+func TestAllQueriesRun(t *testing.T) {
+	db, g := loadedDB(t)
+	impl := NewRDBMS(db, g)
+	for q := 1; q <= 17; q++ {
+		rows, err := impl.RunQuery(q)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q, err)
+		}
+		// Queries with guaranteed non-empty results at any SF.
+		switch q {
+		case 1, 4, 6, 12, 13:
+			if len(rows) == 0 {
+				t.Errorf("Q%d returned no rows", q)
+			}
+		}
+	}
+}
+
+func TestQ1AgainstGenerator(t *testing.T) {
+	db, g := loadedDB(t)
+	impl := NewRDBMS(db, g)
+	rows, err := impl.RunQuery(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute Q1 straight from the generator.
+	cutoff, _ := val.ParseDate("1998-09-02")
+	type acc struct {
+		qty, base float64
+		n         int64
+	}
+	want := map[string]*acc{}
+	g.Orders(func(o *dbgen.Order) error {
+		for _, li := range o.Lines {
+			if li.ShipDate.I > cutoff.I {
+				continue
+			}
+			k := li.ReturnFlag + li.LineStatus
+			a := want[k]
+			if a == nil {
+				a = &acc{}
+				want[k] = a
+			}
+			a.qty += float64(li.Quantity)
+			a.base += li.ExtendedPrice
+			a.n++
+		}
+		return nil
+	})
+	if len(rows) != len(want) {
+		t.Fatalf("Q1 groups = %d, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		k := r[0].AsStr() + r[1].AsStr()
+		a := want[k]
+		if a == nil {
+			t.Fatalf("unexpected group %q", k)
+		}
+		if r[2].AsFloat() != a.qty {
+			t.Errorf("group %s sum_qty = %v, want %v", k, r[2], a.qty)
+		}
+		if diff := r[3].AsFloat() - a.base; diff > 0.01 || diff < -0.01 {
+			t.Errorf("group %s sum_base = %v, want %v", k, r[3], a.base)
+		}
+		if r[9].AsInt() != a.n {
+			t.Errorf("group %s count = %v, want %v", k, r[9], a.n)
+		}
+	}
+}
+
+func TestQ6AgainstGenerator(t *testing.T) {
+	db, g := loadedDB(t)
+	impl := NewRDBMS(db, g)
+	rows, err := impl.RunQuery(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := val.ParseDate("1994-01-01")
+	hi, _ := val.ParseDate("1995-01-01")
+	var want float64
+	g.Orders(func(o *dbgen.Order) error {
+		for _, li := range o.Lines {
+			if li.ShipDate.I >= lo.I && li.ShipDate.I < hi.I &&
+				li.Discount >= 0.05 && li.Discount <= 0.07 && li.Quantity < 24 {
+				want += li.ExtendedPrice * li.Discount
+			}
+		}
+		return nil
+	})
+	got := rows[0][0].AsFloat()
+	if diff := got - want; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("Q6 = %v, want %v", got, want)
+	}
+}
+
+func TestQ15ViewLifecycle(t *testing.T) {
+	db, g := loadedDB(t)
+	impl := NewRDBMS(db, g)
+	// Q15 must be re-runnable (its view is created and dropped each time).
+	if _, err := impl.RunQuery(15); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := impl.RunQuery(15); err != nil {
+		t.Fatalf("Q15 second run: %v", err)
+	}
+}
+
+func TestUpdateFunctions(t *testing.T) {
+	db, g := loadedDB(t)
+	impl := NewRDBMS(db, g)
+	before := db.Table("ORDERS").Rows()
+	liBefore := db.Table("LINEITEM").Rows()
+	if err := impl.RunUF1(); err != nil {
+		t.Fatal(err)
+	}
+	inserted := db.Table("ORDERS").Rows() - before
+	if inserted != int64(float64(1500)*testSF) {
+		t.Fatalf("UF1 inserted %d orders", inserted)
+	}
+	if db.Table("LINEITEM").Rows() <= liBefore {
+		t.Fatal("UF1 inserted no lineitems")
+	}
+	if err := impl.RunUF2(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("ORDERS").Rows(); got != before {
+		t.Fatalf("UF1+UF2 must restore the order count: %d vs %d", got, before)
+	}
+	if got := db.Table("LINEITEM").Rows(); got != liBefore {
+		t.Fatalf("UF1+UF2 must restore the lineitem count: %d vs %d", got, liBefore)
+	}
+	// Deleted orders must have no surviving lineitems.
+	s := db.NewSession()
+	for _, k := range g.UF2OrderKeys()[:3] {
+		res, err := s.Exec(`SELECT COUNT(*) FROM lineitem WHERE l_orderkey = ?`, val.Int(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].AsInt() != 0 {
+			t.Fatalf("order %d still has lineitems", k)
+		}
+	}
+}
+
+func TestPowerTestRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("power test is slow")
+	}
+	db, g := loadedDB(t)
+	impl := NewRDBMS(db, g)
+	pr := RunPowerTest(impl)
+	if len(pr.Steps) != 19 {
+		t.Fatalf("steps = %d", len(pr.Steps))
+	}
+	for _, s := range pr.Steps {
+		if s.Err != nil {
+			t.Errorf("%s: %v", s.Label, s.Err)
+		}
+		if s.Elapsed <= 0 {
+			t.Errorf("%s: no simulated time charged", s.Label)
+		}
+	}
+	if pr.TotalQ <= 0 || pr.TotalAll < pr.TotalQ {
+		t.Fatalf("totals: %v %v", pr.TotalQ, pr.TotalAll)
+	}
+}

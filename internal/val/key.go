@@ -1,0 +1,67 @@
+package val
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Key encoding: order-preserving byte encodings so that bytes.Compare on
+// encoded composite keys agrees with column-wise Compare. Each value is
+// prefixed with a kind tag chosen so NULL < numbers < strings, matching the
+// engine's sort order for the homogeneous columns indexes are built on.
+
+const (
+	tagNull byte = 0x01
+	tagNum  byte = 0x02 // ints, floats and dates share a numeric ordering
+	tagStr  byte = 0x03
+)
+
+// AppendKey appends the order-preserving encoding of v to dst.
+func AppendKey(dst []byte, v Value) []byte {
+	switch v.K {
+	case KNull:
+		return append(dst, tagNull)
+	case KInt, KDate:
+		dst = append(dst, tagNum)
+		return appendOrderedFloat(dst, float64(v.I))
+	case KFloat:
+		dst = append(dst, tagNum)
+		return appendOrderedFloat(dst, v.F)
+	default: // KStr
+		dst = append(dst, tagStr)
+		// Escape 0x00 as 0x00 0xFF and terminate with 0x00 0x01 so that a
+		// shorter string sorts before any extension of it.
+		for i := 0; i < len(v.S); i++ {
+			c := v.S[i]
+			if c == 0x00 {
+				dst = append(dst, 0x00, 0xFF)
+			} else {
+				dst = append(dst, c)
+			}
+		}
+		return append(dst, 0x00, 0x01)
+	}
+}
+
+// appendOrderedFloat appends 8 bytes whose lexicographic order matches the
+// numeric order of f (standard sign-flip trick).
+func appendOrderedFloat(dst []byte, f float64) []byte {
+	bits := math.Float64bits(f)
+	if bits>>63 == 1 {
+		bits = ^bits // negative: flip all
+	} else {
+		bits |= 1 << 63 // positive: flip sign bit
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], bits)
+	return append(dst, buf[:]...)
+}
+
+// EncodeKey encodes a composite key from vals.
+func EncodeKey(vals ...Value) []byte {
+	dst := make([]byte, 0, 16*len(vals))
+	for _, v := range vals {
+		dst = AppendKey(dst, v)
+	}
+	return dst
+}

@@ -1,0 +1,144 @@
+package val
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ColType describes the physical type of one column: its kind and its
+// declared byte width. Rows are stored fixed-width so that on-page sizes
+// reflect schema design — the paper's Table 2 hinges on 16-byte string keys
+// versus 4-byte integers and on wide generic business tables.
+type ColType struct {
+	Kind  Kind
+	Width int // KStr: declared CHAR width; KInt: 4 or 8; KDate: 4; KFloat: 8
+}
+
+// Char returns a fixed-width CHAR(n) column type.
+func Char(n int) ColType { return ColType{Kind: KStr, Width: n} }
+
+// Int4 is a 4-byte integer column (original TPC-D key style).
+var Int4 = ColType{Kind: KInt, Width: 4}
+
+// Int8 is an 8-byte integer column.
+var Int8 = ColType{Kind: KInt, Width: 8}
+
+// Dec8 is an 8-byte decimal column.
+var Dec8 = ColType{Kind: KFloat, Width: 8}
+
+// Date4 is a 4-byte date column.
+var Date4 = ColType{Kind: KDate, Width: 4}
+
+// RowCodec encodes rows of a fixed column layout. One codec is built per
+// table and shared by all readers.
+type RowCodec struct {
+	cols     []ColType
+	rowBytes int
+}
+
+// NewRowCodec builds a codec for the given column layout.
+func NewRowCodec(cols []ColType) *RowCodec {
+	c := &RowCodec{cols: cols}
+	c.rowBytes = (len(cols) + 7) / 8 // null bitmap
+	for _, ct := range cols {
+		c.rowBytes += ct.Width
+	}
+	return c
+}
+
+// RowBytes returns the fixed encoded size of one row.
+func (c *RowCodec) RowBytes() int { return c.rowBytes }
+
+// NumCols returns the number of columns the codec encodes.
+func (c *RowCodec) NumCols() int { return len(c.cols) }
+
+// Encode appends the fixed-width encoding of row to dst. Values are
+// coerced to their column's kind; strings are right-padded with spaces and
+// truncated at the declared width.
+func (c *RowCodec) Encode(dst []byte, row []Value) ([]byte, error) {
+	if len(row) != len(c.cols) {
+		return dst, fmt.Errorf("val: encode: %d values for %d columns", len(row), len(c.cols))
+	}
+	bmOff := len(dst)
+	for i := 0; i < (len(c.cols)+7)/8; i++ {
+		dst = append(dst, 0)
+	}
+	var buf [8]byte
+	for i, ct := range c.cols {
+		v := row[i]
+		if v.IsNull() {
+			dst[bmOff+i/8] |= 1 << (i % 8)
+			for j := 0; j < ct.Width; j++ {
+				dst = append(dst, 0)
+			}
+			continue
+		}
+		switch ct.Kind {
+		case KInt:
+			if ct.Width == 4 {
+				binary.BigEndian.PutUint32(buf[:4], uint32(v.AsInt()))
+				dst = append(dst, buf[:4]...)
+			} else {
+				binary.BigEndian.PutUint64(buf[:8], uint64(v.AsInt()))
+				dst = append(dst, buf[:8]...)
+			}
+		case KDate:
+			binary.BigEndian.PutUint32(buf[:4], uint32(v.AsInt()))
+			dst = append(dst, buf[:4]...)
+		case KFloat:
+			binary.BigEndian.PutUint64(buf[:8], math.Float64bits(v.AsFloat()))
+			dst = append(dst, buf[:8]...)
+		case KStr:
+			s := v.AsStr()
+			if len(s) > ct.Width {
+				s = s[:ct.Width]
+			}
+			dst = append(dst, s...)
+			for j := len(s); j < ct.Width; j++ {
+				dst = append(dst, ' ')
+			}
+		default:
+			return dst, fmt.Errorf("val: encode: column %d has unsupported kind %v", i, ct.Kind)
+		}
+	}
+	return dst, nil
+}
+
+// Decode decodes one row from src (which must be exactly RowBytes long) and
+// appends the values to out, returning the extended slice. String values
+// are right-trimmed.
+func (c *RowCodec) Decode(src []byte, out []Value) ([]Value, error) {
+	if len(src) != c.rowBytes {
+		return out, fmt.Errorf("val: decode: row is %d bytes, want %d", len(src), c.rowBytes)
+	}
+	bm := src[:(len(c.cols)+7)/8]
+	off := len(bm)
+	for i, ct := range c.cols {
+		field := src[off : off+ct.Width]
+		off += ct.Width
+		if bm[i/8]&(1<<(i%8)) != 0 {
+			out = append(out, Null)
+			continue
+		}
+		switch ct.Kind {
+		case KInt:
+			if ct.Width == 4 {
+				out = append(out, Int(int64(int32(binary.BigEndian.Uint32(field)))))
+			} else {
+				out = append(out, Int(int64(binary.BigEndian.Uint64(field))))
+			}
+		case KDate:
+			out = append(out, Date(int64(int32(binary.BigEndian.Uint32(field)))))
+		case KFloat:
+			out = append(out, Float(math.Float64frombits(binary.BigEndian.Uint64(field))))
+		case KStr:
+			end := len(field)
+			for end > 0 && field[end-1] == ' ' {
+				end--
+			}
+			out = append(out, Str(string(field[:end])))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package val
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func tpcdLineitemLayout() []ColType {
+	return []ColType{Int4, Int4, Int4, Int4, Dec8, Dec8, Dec8, Dec8,
+		Char(1), Char(1), Date4, Date4, Date4, Char(25), Char(10), Char(44)}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	c := NewRowCodec([]ColType{Int4, Char(16), Dec8, Date4, Int8})
+	row := []Value{Int(7), Str("ORDER0000000042"), Float(1234.56), DateFromYMD(1995, 6, 1), Int(1 << 40)}
+	enc, err := c.Encode(nil, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != c.RowBytes() {
+		t.Fatalf("encoded %d bytes, RowBytes says %d", len(enc), c.RowBytes())
+	}
+	dec, err := c.Decode(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(row, dec) {
+		t.Fatalf("round trip: got %v want %v", dec, row)
+	}
+}
+
+func TestRowCodecNulls(t *testing.T) {
+	c := NewRowCodec([]ColType{Int4, Char(8), Dec8})
+	row := []Value{Null, Null, Null}
+	enc, err := c.Encode(nil, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec {
+		if !v.IsNull() {
+			t.Errorf("column %d: got %v, want NULL", i, v)
+		}
+	}
+}
+
+func TestRowCodecTruncationAndPadding(t *testing.T) {
+	c := NewRowCodec([]ColType{Char(4)})
+	enc, err := c.Encode(nil, []Value{Str("abcdefgh")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := c.Decode(enc, nil)
+	if dec[0].AsStr() != "abcd" {
+		t.Errorf("truncation: got %q", dec[0].AsStr())
+	}
+	enc, _ = c.Encode(nil, []Value{Str("x")})
+	dec, _ = c.Decode(enc, nil)
+	if dec[0].AsStr() != "x" {
+		t.Errorf("padding must be trimmed on decode: got %q", dec[0].AsStr())
+	}
+}
+
+func TestRowCodecErrors(t *testing.T) {
+	c := NewRowCodec([]ColType{Int4, Int4})
+	if _, err := c.Encode(nil, []Value{Int(1)}); err == nil {
+		t.Error("arity mismatch must error")
+	}
+	if _, err := c.Decode(make([]byte, 3), nil); err == nil {
+		t.Error("short buffer must error")
+	}
+}
+
+func TestRowCodecWidthAccounting(t *testing.T) {
+	// The TPC-D lineitem row: 1 null byte * 2 + 4*4 + 4*8 + 2 + 3*4 + 79.
+	c := NewRowCodec(tpcdLineitemLayout())
+	want := 2 + 16 + 32 + 2 + 12 + 25 + 10 + 44
+	if c.RowBytes() != want {
+		t.Errorf("lineitem RowBytes = %d, want %d", c.RowBytes(), want)
+	}
+}
+
+func TestRowCodecRandomRoundTrips(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	layout := []ColType{Int4, Int8, Dec8, Date4, Char(10), Char(30)}
+	c := NewRowCodec(layout)
+	for trial := 0; trial < 2000; trial++ {
+		row := make([]Value, len(layout))
+		for i, ct := range layout {
+			if r.Intn(8) == 0 {
+				row[i] = Null
+				continue
+			}
+			switch ct.Kind {
+			case KInt:
+				if ct.Width == 4 {
+					row[i] = Int(int64(int32(r.Uint32())))
+				} else {
+					row[i] = Int(int64(r.Uint64()))
+				}
+			case KFloat:
+				row[i] = Float(float64(r.Intn(1e6)) / 100)
+			case KDate:
+				row[i] = Date(int64(r.Intn(30000)))
+			case KStr:
+				n := r.Intn(ct.Width + 1)
+				b := make([]byte, n)
+				for j := range b {
+					b[j] = byte('A' + r.Intn(26))
+				}
+				row[i] = Str(string(b))
+			}
+		}
+		enc, err := c.Encode(nil, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decode(enc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(row, dec) {
+			t.Fatalf("trial %d: got %v want %v", trial, dec, row)
+		}
+	}
+}

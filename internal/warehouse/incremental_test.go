@@ -1,0 +1,68 @@
+package warehouse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"r3bench/internal/dbgen"
+	"r3bench/internal/r3"
+)
+
+func TestExtractDelta(t *testing.T) {
+	g := dbgen.New(0.002)
+	sys, err := r3.Install(r3.Config{Release: r3.Release30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadDirect(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ConvertToTransparent("KONV", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Apply UF1 through batch input so there is a delta to propagate.
+	bi := sys.NewBatchInput(1)
+	var inserted []int64
+	if err := g.UF1Orders(func(o *dbgen.Order) error {
+		inserted = append(inserted, o.Key)
+		return bi.EnterOrder(o)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ex := New(sys)
+	var buf bytes.Buffer
+	delta, err := ex.ExtractDelta(inserted, []int64{1, 2}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.InsertedOrders != int64(len(inserted)) {
+		t.Fatalf("delta orders = %d, want %d", delta.InsertedOrders, len(inserted))
+	}
+	if delta.InsertedLines == 0 {
+		t.Fatal("delta carried no lineitems")
+	}
+	if delta.Elapsed <= 0 {
+		t.Fatal("delta charged no simulated time")
+	}
+	out := buf.String()
+	if strings.Count(out, "\nD|") != 1 && !strings.HasPrefix(out, "D|") &&
+		strings.Count(out, "D|") != 2 {
+		t.Fatalf("tombstones missing:\n%s", out)
+	}
+	// The per-order incremental price must be in the same ballpark as the
+	// full extraction's per-order price (the paper's point: incremental
+	// maintenance still pays the Open SQL re-join per row).
+	full := New(sys)
+	var sink bytes.Buffer
+	if _, err := full.Extract("LINEITEM", &sink); err != nil {
+		t.Fatal(err)
+	}
+	perLineFull := float64(full.Meter().Elapsed()) / float64(sys.RowCount("VBAP"))
+	perLineDelta := float64(delta.Elapsed) / float64(delta.InsertedLines)
+	if perLineDelta < perLineFull/4 {
+		t.Errorf("incremental per-line cost %.0f suspiciously below full extraction %.0f",
+			perLineDelta, perLineFull)
+	}
+}

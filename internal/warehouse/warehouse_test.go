@@ -1,0 +1,82 @@
+package warehouse
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"r3bench/internal/dbgen"
+	"r3bench/internal/r3"
+)
+
+func TestExtractAllRoundTrips(t *testing.T) {
+	g := dbgen.New(0.002)
+	sys, err := r3.Install(r3.Config{Release: r3.Release30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadDirect(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ConvertToTransparent("KONV", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Reference ASCII files straight from the generator.
+	refDir := t.TempDir()
+	if _, err := g.WriteTbl(refDir); err != nil {
+		t.Fatal(err)
+	}
+	outDir := t.TempDir()
+	ex := New(sys)
+	results, err := ex.ExtractAll(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("extracted %d tables", len(results))
+	}
+	for _, res := range results {
+		if res.Rows == 0 {
+			t.Errorf("%s extracted no rows", res.Table)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%s charged no simulated time", res.Table)
+		}
+	}
+	// Row counts must match the reference exactly; LINEITEM must be the
+	// dominant cost, as in the paper's Table 9.
+	counts := func(dir, file string) int {
+		f, err := os.Open(filepath.Join(dir, file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		n := 0
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			n++
+		}
+		return n
+	}
+	refNames := map[string]string{"ORDER": "orders.tbl"}
+	var liTime, total int64
+	for _, res := range results {
+		ref := refNames[res.Table]
+		if ref == "" {
+			ref = strings.ToLower(res.Table) + ".tbl"
+		}
+		if got, want := counts(outDir, ref), counts(refDir, ref); got != want {
+			t.Errorf("%s: extracted %d rows, reference has %d", res.Table, got, want)
+		}
+		total += int64(res.Elapsed)
+		if res.Table == "LINEITEM" {
+			liTime = int64(res.Elapsed)
+		}
+	}
+	if liTime*2 < total {
+		t.Errorf("LINEITEM should dominate extraction cost: %d of %d", liTime, total)
+	}
+}
