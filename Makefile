@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all vet build test race bench-smoke bench-snapshot check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over the headline benchmark to catch bench-path regressions fast.
+bench-smoke:
+	$(GO) test -run xxx -bench=BenchmarkPower22_RDBMS -benchtime=1x .
+
+# Full snapshot of the simulated-clock numbers into a committed BENCH_<date>.json.
+bench-snapshot:
+	./scripts/bench_snapshot.sh
+
+check: vet build race bench-smoke

@@ -213,6 +213,45 @@ func BenchmarkPower30_OpenSQL(b *testing.B) {
 	benchPower(b, reports.New(sys3, g, reports.Open30))
 }
 
+// --- Parallel query execution (DESIGN.md §5): power test by degree ---
+
+func benchPowerParallel(b *testing.B, degree int) {
+	g, rdb, _, _ := benchEnv(b)
+	rdb.SetParallel(degree)
+	defer rdb.SetParallel(0)
+	benchPower(b, tpcd.NewRDBMS(rdb, g))
+}
+
+func BenchmarkPowerParallel1_RDBMS(b *testing.B) { benchPowerParallel(b, 1) }
+func BenchmarkPowerParallel2_RDBMS(b *testing.B) { benchPowerParallel(b, 2) }
+func BenchmarkPowerParallel4_RDBMS(b *testing.B) { benchPowerParallel(b, 4) }
+func BenchmarkPowerParallel8_RDBMS(b *testing.B) { benchPowerParallel(b, 8) }
+
+// benchQueryParallel times one query at a given degree (the scan-bound
+// queries are where partitioned execution pays off most).
+func benchQueryParallel(b *testing.B, q, degree int) {
+	g, rdb, _, _ := benchEnv(b)
+	rdb.SetParallel(degree)
+	defer rdb.SetParallel(0)
+	impl := tpcd.NewRDBMS(rdb, g)
+	start := int64(impl.Meter().Elapsed())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := impl.RunQuery(q); err != nil {
+			b.Fatalf("Q%d: %v", q, err)
+		}
+	}
+	b.StopTimer()
+	simPerOp(b, impl.Meter(), start)
+}
+
+func BenchmarkParallelQ1_Serial(b *testing.B)  { benchQueryParallel(b, 1, 1) }
+func BenchmarkParallelQ1_Deg4(b *testing.B)    { benchQueryParallel(b, 1, 4) }
+func BenchmarkParallelQ6_Serial(b *testing.B)  { benchQueryParallel(b, 6, 1) }
+func BenchmarkParallelQ6_Deg4(b *testing.B)    { benchQueryParallel(b, 6, 4) }
+func BenchmarkParallelQ12_Serial(b *testing.B) { benchQueryParallel(b, 12, 1) }
+func BenchmarkParallelQ12_Deg4(b *testing.B)   { benchQueryParallel(b, 12, 4) }
+
 // --- Table 6: parameterized access-path choice (Figure 3) ---
 
 func table6Setup(b *testing.B) *r3.System {

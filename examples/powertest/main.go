@@ -20,23 +20,24 @@ import (
 
 func main() {
 	sf := flag.Float64("sf", 0.005, "scale factor")
+	parallel := flag.Int("parallel", 1, "intra-query parallel degree (1 = serial)")
 	flag.Parse()
 
 	g := dbgen.New(*sf)
 	fmt.Printf("loading TPC-D at SF=%g into four configurations...\n", *sf)
 
-	rdb := engine.Open(engine.Config{})
+	rdb := engine.Open(engine.Config{Parallel: *parallel})
 	if err := tpcd.Load(rdb, g, nil); err != nil {
 		log.Fatal(err)
 	}
-	sys2, err := r3.Install(r3.Config{Release: r3.Release22})
+	sys2, err := r3.Install(r3.Config{Release: r3.Release22, Parallel: *parallel})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := sys2.LoadDirect(g); err != nil {
 		log.Fatal(err)
 	}
-	sys3, err := r3.Install(r3.Config{Release: r3.Release30})
+	sys3, err := r3.Install(r3.Config{Release: r3.Release30, Parallel: *parallel})
 	if err != nil {
 		log.Fatal(err)
 	}

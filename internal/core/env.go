@@ -23,6 +23,9 @@ type Config struct {
 	// times scale close to linearly.
 	SF  float64
 	Out io.Writer
+	// Parallel is the engines' intra-query parallel degree (0 or 1 =
+	// serial). It applies to the original-schema DB and both R/3 systems.
+	Parallel int
 
 	env *Env
 }
@@ -35,17 +38,18 @@ const DefaultSF = 0.02
 // 3.0E system (KONV converted, ship-date index dropped — the paper's 3.0
 // tuning).
 type Env struct {
-	SF   float64
-	Gen  *dbgen.Generator
-	rdb  *engine.DB
-	sys2 *r3.System
-	sys3 *r3.System
+	SF       float64
+	Parallel int
+	Gen      *dbgen.Generator
+	rdb      *engine.DB
+	sys2     *r3.System
+	sys3     *r3.System
 }
 
 // envOf returns the config's lazily created environment.
 func (cfg *Config) envOf() *Env {
 	if cfg.env == nil {
-		cfg.env = &Env{SF: cfg.SF, Gen: dbgen.New(cfg.SF)}
+		cfg.env = &Env{SF: cfg.SF, Parallel: cfg.Parallel, Gen: dbgen.New(cfg.SF)}
 	}
 	return cfg.env
 }
@@ -53,7 +57,7 @@ func (cfg *Config) envOf() *Env {
 // RDB returns the loaded original-schema database.
 func (e *Env) RDB() (*engine.DB, error) {
 	if e.rdb == nil {
-		db := engine.Open(engine.Config{})
+		db := engine.Open(engine.Config{Parallel: e.Parallel})
 		if err := tpcd.Load(db, e.Gen, nil); err != nil {
 			return nil, fmt.Errorf("core: loading original DB: %w", err)
 		}
@@ -65,7 +69,7 @@ func (e *Env) RDB() (*engine.DB, error) {
 // Sys22 returns the loaded Release 2.2G system.
 func (e *Env) Sys22() (*r3.System, error) {
 	if e.sys2 == nil {
-		sys, err := r3.Install(r3.Config{Release: r3.Release22})
+		sys, err := r3.Install(r3.Config{Release: r3.Release22, Parallel: e.Parallel})
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +86,7 @@ func (e *Env) Sys22() (*r3.System, error) {
 // configuration of the paper's Table 5 run.
 func (e *Env) Sys30() (*r3.System, error) {
 	if e.sys3 == nil {
-		sys, err := r3.Install(r3.Config{Release: r3.Release30})
+		sys, err := r3.Install(r3.Config{Release: r3.Release30, Parallel: e.Parallel})
 		if err != nil {
 			return nil, err
 		}

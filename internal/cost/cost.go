@@ -183,6 +183,92 @@ func (m *Meter) Lap(since time.Duration) time.Duration {
 	return m.Elapsed() - since
 }
 
+// snapshot copies a meter's counters under its lock.
+func (m *Meter) snapshot() (time.Duration, [numKinds]time.Duration, [numKinds]int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total, m.byKind, m.nEvents
+}
+
+// AddParallel folds the meters of concurrently executing workers into m
+// using the parallel combining rule: elapsed virtual time advances by the
+// *maximum* worker elapsed (the lanes overlap on the wall clock), while
+// per-kind resource totals and event counts accumulate as *sums* (every
+// page was still read, every tuple still touched). This is the one shared
+// code path for combining parallel lanes — the engine's intra-query
+// workers and SAP R/3's batch-input processes both go through it.
+//
+// After a merge m's grand total is deliberately smaller than the sum of
+// its per-kind buckets: the difference is exactly the time hidden by
+// overlapping the workers.
+func (m *Meter) AddParallel(workers ...*Meter) {
+	var maxTotal time.Duration
+	var kinds [numKinds]time.Duration
+	var events [numKinds]int64
+	for _, w := range workers {
+		if w == nil {
+			continue
+		}
+		total, byKind, nEvents := w.snapshot()
+		if total > maxTotal {
+			maxTotal = total
+		}
+		for k := 0; k < int(numKinds); k++ {
+			kinds[k] += byKind[k]
+			events[k] += nEvents[k]
+		}
+	}
+	m.mu.Lock()
+	m.total += maxTotal
+	for k := 0; k < int(numKinds); k++ {
+		m.byKind[k] += kinds[k]
+		m.nEvents[k] += events[k]
+	}
+	m.mu.Unlock()
+}
+
+// AddSum folds src meters into m by plain summation of totals, per-kind
+// durations and event counts — the serial combining rule, used to report
+// aggregate resource consumption across lanes.
+func (m *Meter) AddSum(srcs ...*Meter) {
+	var sumTotal time.Duration
+	var kinds [numKinds]time.Duration
+	var events [numKinds]int64
+	for _, w := range srcs {
+		if w == nil {
+			continue
+		}
+		total, byKind, nEvents := w.snapshot()
+		sumTotal += total
+		for k := 0; k < int(numKinds); k++ {
+			kinds[k] += byKind[k]
+			events[k] += nEvents[k]
+		}
+	}
+	m.mu.Lock()
+	m.total += sumTotal
+	for k := 0; k < int(numKinds); k++ {
+		m.byKind[k] += kinds[k]
+		m.nEvents[k] += events[k]
+	}
+	m.mu.Unlock()
+}
+
+// MaxElapsed returns the largest elapsed time among the meters: the
+// simulated wall clock of lanes that ran in parallel.
+func MaxElapsed(ms ...*Meter) time.Duration {
+	var max time.Duration
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		if e := m.Elapsed(); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
 // Breakdown renders a per-kind cost report, largest contributor first,
 // omitting zero rows.
 func (m *Meter) Breakdown() string {

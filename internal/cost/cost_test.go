@@ -127,3 +127,63 @@ func TestKindString(t *testing.T) {
 		t.Errorf("out of range kind = %q", got)
 	}
 }
+
+func TestAddParallel(t *testing.T) {
+	model := Default1996()
+	w1 := NewMeter(model)
+	w1.Charge(SeqRead, 100) // 100 ms
+	w1.Charge(TupleCPU, 10)
+	w2 := NewMeter(model)
+	w2.Charge(SeqRead, 40) // 40 ms: the faster worker
+	w2.Charge(RandRead, 2) // +16 ms
+
+	m := NewMeter(model)
+	m.Charge(Commit, 1) // pre-existing 15 ms on the session clock
+	before := m.Elapsed()
+	m.AddParallel(w1, w2)
+
+	// Elapsed advances by the slowest worker only.
+	if got, want := m.Elapsed()-before, w1.Elapsed(); got != want {
+		t.Errorf("elapsed advanced %v, want slowest worker %v", got, want)
+	}
+	// Resources and event counts sum across workers.
+	if m.Count(SeqRead) != 140 || m.Count(RandRead) != 2 || m.Count(TupleCPU) != 10 {
+		t.Errorf("event counts not summed: SeqRead=%d RandRead=%d TupleCPU=%d",
+			m.Count(SeqRead), m.Count(RandRead), m.Count(TupleCPU))
+	}
+	if got, want := m.ByKind(SeqRead), 140*time.Millisecond; got != want {
+		t.Errorf("ByKind(SeqRead) = %v, want %v", got, want)
+	}
+}
+
+func TestAddSum(t *testing.T) {
+	model := Default1996()
+	a := NewMeter(model)
+	a.Charge(SeqRead, 3)
+	b := NewMeter(model)
+	b.Charge(SeqRead, 4)
+	b.Charge(Commit, 1)
+
+	m := NewMeter(model)
+	m.AddSum(a, b)
+	if got, want := m.Elapsed(), a.Elapsed()+b.Elapsed(); got != want {
+		t.Errorf("Elapsed = %v, want serial sum %v", got, want)
+	}
+	if m.Count(SeqRead) != 7 || m.Count(Commit) != 1 {
+		t.Errorf("counts not summed: SeqRead=%d Commit=%d", m.Count(SeqRead), m.Count(Commit))
+	}
+}
+
+func TestMaxElapsed(t *testing.T) {
+	model := Default1996()
+	a := NewMeter(model)
+	a.Charge(SeqRead, 5)
+	b := NewMeter(model)
+	b.Charge(SeqRead, 9)
+	if got := MaxElapsed(a, b); got != b.Elapsed() {
+		t.Errorf("MaxElapsed = %v, want %v", got, b.Elapsed())
+	}
+	if got := MaxElapsed(); got != 0 {
+		t.Errorf("MaxElapsed() = %v, want 0", got)
+	}
+}

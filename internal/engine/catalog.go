@@ -85,12 +85,13 @@ func (ix *Index) keyFor(row []val.Value) []byte {
 
 // DB is an embedded relational database instance.
 type DB struct {
-	mu     sync.RWMutex
-	disk   *storage.Disk
-	pool   *storage.BufferPool
-	model  cost.Model
-	tables map[string]*Table
-	views  map[string]*sqlparse.SelectStmt
+	mu       sync.RWMutex
+	disk     *storage.Disk
+	pool     *storage.BufferPool
+	model    cost.Model
+	tables   map[string]*Table
+	views    map[string]*sqlparse.SelectStmt
+	parallel int // requested intra-query parallel degree (<=1 = serial)
 }
 
 // Config controls an engine instance.
@@ -101,6 +102,10 @@ type Config struct {
 	// CostModel is the virtual-clock model; zero value means
 	// cost.Default1996.
 	CostModel cost.Model
+	// Parallel is the intra-query parallel degree: sequential scans of
+	// large tables split across up to this many workers. 0 or 1 disables
+	// parallel execution.
+	Parallel int
 }
 
 // DefaultBufferBytes mirrors the paper's default RDBMS buffer (10 MB).
@@ -117,12 +122,29 @@ func Open(cfg Config) *DB {
 	}
 	disk := storage.NewDisk()
 	return &DB{
-		disk:   disk,
-		pool:   storage.NewBufferPool(disk, cfg.BufferBytes),
-		model:  cfg.CostModel,
-		tables: make(map[string]*Table),
-		views:  make(map[string]*sqlparse.SelectStmt),
+		disk:     disk,
+		pool:     storage.NewBufferPool(disk, cfg.BufferBytes),
+		model:    cfg.CostModel,
+		tables:   make(map[string]*Table),
+		views:    make(map[string]*sqlparse.SelectStmt),
+		parallel: cfg.Parallel,
 	}
+}
+
+// SetParallel changes the requested intra-query parallel degree. Plans
+// compiled after the call pick up the new degree; prepared statements keep
+// the degree they were planned with.
+func (db *DB) SetParallel(n int) {
+	db.mu.Lock()
+	db.parallel = n
+	db.mu.Unlock()
+}
+
+// parallelDegree returns the requested intra-query parallel degree.
+func (db *DB) parallelDegree() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.parallel
 }
 
 // Pool exposes the buffer pool (for harness hit-ratio reporting).

@@ -177,6 +177,9 @@ func (s *Session) Explain(sql string, params ...val.Value) (string, error) {
 		return "", err
 	}
 	var b strings.Builder
+	if plan.parallel >= 2 {
+		fmt.Fprintf(&b, "0: parallel degree %d (leading scan partitioned)\n", plan.parallel)
+	}
 	for i, step := range plan.steps {
 		fmt.Fprintf(&b, "%d: %s\n", i+1, describeStep(step))
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math"
+	"math/big"
 	"sort"
 	"strings"
 	"time"
@@ -232,10 +233,20 @@ func outerOf(be *blockExec) rowStack {
 }
 
 // materializeSub runs a subplan to completion, caching uncorrelated
-// results for the statement.
+// results for the statement. When parallel workers share the statement's
+// cache, rt.subMu guards it; materialization itself runs outside the lock
+// (subplans can nest), so two workers may race to fill the same entry —
+// both produce identical rows, and the second store is a no-op overwrite.
 func materializeSub(rt *runtime, sub *selectPlan, outer rowStack) ([][]val.Value, error) {
 	if !sub.correlated {
-		if rows, ok := rt.subCache[sub]; ok {
+		if rt.subMu != nil {
+			rt.subMu.Lock()
+		}
+		rows, ok := rt.subCache[sub]
+		if rt.subMu != nil {
+			rt.subMu.Unlock()
+		}
+		if ok {
 			return rows, nil
 		}
 	}
@@ -248,7 +259,13 @@ func materializeSub(rt *runtime, sub *selectPlan, outer rowStack) ([][]val.Value
 		return nil, err
 	}
 	if !sub.correlated {
+		if rt.subMu != nil {
+			rt.subMu.Lock()
+		}
 		rt.subCache[sub] = rows
+		if rt.subMu != nil {
+			rt.subMu.Unlock()
+		}
 	}
 	return rows, nil
 }
@@ -378,22 +395,60 @@ type groupAcc struct {
 	accs []aggState
 }
 
+// exactSumPrec is the mantissa precision of an exactSum accumulator: wide
+// enough (53-bit mantissa + full double exponent span + summand count
+// headroom) that adding float64 values never rounds, so the final Float64
+// conversion is the correctly-rounded sum regardless of addition order.
+const exactSumPrec = 2200
+
+// exactSum accumulates float64 values exactly. Order-independence is what
+// makes parallel partial aggregates byte-identical to the serial result:
+// serial and merged-per-partition summation round to the same float64.
+type exactSum struct {
+	acc *big.Float
+}
+
+func (s *exactSum) add(x float64) {
+	if s.acc == nil {
+		s.acc = new(big.Float).SetPrec(exactSumPrec)
+	}
+	s.acc.Add(s.acc, new(big.Float).SetPrec(53).SetFloat64(x))
+}
+
+func (s *exactSum) merge(o *exactSum) {
+	if o.acc == nil {
+		return
+	}
+	if s.acc == nil {
+		s.acc = new(big.Float).SetPrec(exactSumPrec)
+	}
+	s.acc.Add(s.acc, o.acc)
+}
+
+func (s *exactSum) value() float64 {
+	if s.acc == nil {
+		return 0
+	}
+	f, _ := s.acc.Float64()
+	return f
+}
+
 // aggState accumulates one aggregate.
 type aggState struct {
 	count   int64
-	sum     float64
+	sum     exactSum
 	sumInt  int64
 	allInt  bool
 	min     val.Value
 	max     val.Value
-	seen    map[string]struct{} // DISTINCT
+	seen    map[string]val.Value // DISTINCT: encoded key → value
 	nonNull bool
 }
 
 func newAggState(spec aggSpec) aggState {
 	st := aggState{allInt: true}
 	if spec.distinct {
-		st.seen = make(map[string]struct{})
+		st.seen = make(map[string]val.Value)
 	}
 	return st
 }
@@ -407,7 +462,7 @@ func (st *aggState) add(spec aggSpec, v val.Value) {
 		if _, dup := st.seen[k]; dup {
 			return
 		}
-		st.seen[k] = struct{}{}
+		st.seen[k] = v
 	}
 	st.count++
 	st.nonNull = true
@@ -418,7 +473,7 @@ func (st *aggState) add(spec aggSpec, v val.Value) {
 		} else {
 			st.allInt = false
 		}
-		st.sum += v.AsFloat()
+		st.sum.add(v.AsFloat())
 	case "MIN":
 		if st.min.IsNull() || val.Compare(v, st.min) < 0 {
 			st.min = v
@@ -427,6 +482,31 @@ func (st *aggState) add(spec aggSpec, v val.Value) {
 		if st.max.IsNull() || val.Compare(v, st.max) > 0 {
 			st.max = v
 		}
+	}
+}
+
+// merge folds another lane's accumulator for the same group into st. Every
+// combining operation here is order-independent (exact sums, min/max,
+// counts), so merging partitions in any order matches serial accumulation.
+func (st *aggState) merge(spec aggSpec, o *aggState) {
+	if st.seen != nil {
+		// DISTINCT: re-add the other lane's values so cross-lane
+		// duplicates are dropped exactly once.
+		for _, v := range o.seen {
+			st.add(spec, v)
+		}
+		return
+	}
+	st.count += o.count
+	st.nonNull = st.nonNull || o.nonNull
+	st.sumInt += o.sumInt
+	st.allInt = st.allInt && o.allInt
+	st.sum.merge(&o.sum)
+	if !o.min.IsNull() && (st.min.IsNull() || val.Compare(o.min, st.min) < 0) {
+		st.min = o.min
+	}
+	if !o.max.IsNull() && (st.max.IsNull() || val.Compare(o.max, st.max) > 0) {
+		st.max = o.max
 	}
 }
 
@@ -441,12 +521,12 @@ func (st *aggState) result(spec aggSpec) val.Value {
 		if st.allInt {
 			return val.Int(st.sumInt)
 		}
-		return val.Float(st.sum)
+		return val.Float(st.sum.value())
 	case "AVG":
 		if st.count == 0 {
 			return val.Null
 		}
-		return val.Float(st.sum / float64(st.count))
+		return val.Float(st.sum.value() / float64(st.count))
 	case "MIN":
 		return st.min
 	case "MAX":
@@ -455,72 +535,161 @@ func (st *aggState) result(spec aggSpec) val.Value {
 	return val.Null
 }
 
+// outRow is one projected output row plus its ORDER BY keys.
+type outRow struct {
+	proj []val.Value
+	keys []val.Value
+}
+
+// projectRow evaluates the plan's projections (and ORDER BY keys, when the
+// plan sorts) over one output frame. Parallel workers call this with their
+// own runtime so projection CPU lands on their lane's meter.
+func (p *selectPlan) projectRow(rt *runtime, frame rowStack) (outRow, error) {
+	r := outRow{proj: make([]val.Value, len(p.projections))}
+	for i, f := range p.projections {
+		v, err := f(rt, frame)
+		if err != nil {
+			return outRow{}, err
+		}
+		r.proj[i] = v
+	}
+	for _, kf := range p.orderKeys {
+		v, err := kf(rt, frame)
+		if err != nil {
+			return outRow{}, err
+		}
+		r.keys = append(r.keys, v)
+	}
+	return r, nil
+}
+
+// outputSink is the output phase of a block — DISTINCT dedup, ORDER BY
+// collection, LIMIT, emission — shared by serial execution and the
+// parallel coordinator. In parallel plans the workers project rows and the
+// coordinator feeds them through add in partition order, so the emitted
+// sequence is identical to a serial scan of the concatenated partitions.
+type outputSink struct {
+	p       *selectPlan
+	m       *cost.Meter
+	emit    func([]val.Value) error
+	rows    []outRow // ORDER BY buffer
+	dedup   map[string]struct{}
+	emitted int
+	// runs > 1 marks the rows as that many pre-sorted partition runs
+	// (each worker charged its partial sort): finish charges a k-way
+	// merge instead of a full sort.
+	runs int
+}
+
+func newOutputSink(p *selectPlan, m *cost.Meter, emit func([]val.Value) error) *outputSink {
+	o := &outputSink{p: p, m: m, emit: emit}
+	if p.distinct {
+		o.dedup = make(map[string]struct{})
+	}
+	return o
+}
+
+// add routes one projected row through distinct / sort / limit. It returns
+// errStopIteration once LIMIT is satisfied on an unsorted plan.
+func (o *outputSink) add(r outRow) error {
+	p := o.p
+	if o.dedup != nil {
+		k := string(val.EncodeKey(r.proj...))
+		if _, dup := o.dedup[k]; dup {
+			return nil
+		}
+		o.dedup[k] = struct{}{}
+		o.m.Charge(cost.TupleCPU, 1)
+	}
+	if len(p.orderKeys) > 0 {
+		o.rows = append(o.rows, r)
+		return nil
+	}
+	if p.limit >= 0 && o.emitted >= p.limit {
+		return errStopIteration
+	}
+	o.emitted++
+	if err := o.emit(r.proj); err != nil {
+		return err
+	}
+	if p.limit >= 0 && o.emitted >= p.limit {
+		return errStopIteration
+	}
+	return nil
+}
+
+// finish sorts, limits and emits the collected rows of a sorting plan.
+func (o *outputSink) finish() error {
+	p := o.p
+	if len(p.orderKeys) == 0 {
+		return nil
+	}
+	if o.runs > 1 {
+		chargeMergeRuns(o.m, int64(len(o.rows)), int64(o.runs))
+	} else {
+		chargeSort(o.m, int64(len(o.rows)), int64(len(p.projections)+len(p.orderKeys))*24)
+	}
+	sort.SliceStable(o.rows, func(i, j int) bool {
+		for k := range p.orderKeys {
+			c := val.Compare(o.rows[i].keys[k], o.rows[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if p.orderDesc[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	n := len(o.rows)
+	if p.limit >= 0 && p.limit < n {
+		n = p.limit
+	}
+	for i := 0; i < n; i++ {
+		if err := o.emit(o.rows[i].proj); err != nil {
+			if err == errStopIteration {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
 // run executes the block, calling emit for every output row (a reused
 // buffer is not used: emitted rows are safe to retain only if copied; the
 // engine's own callers copy).
 func (p *selectPlan) run(rt *runtime, outer rowStack, emit func([]val.Value) error) error {
+	if p.parallel >= 2 && rt.m == nil {
+		handled, err := p.runParallel(rt, outer, emit)
+		if handled {
+			return err
+		}
+	}
+	return p.runSerial(rt, outer, emit, nil)
+}
+
+// runSerial is the single-goroutine pipeline. state, when non-nil, seeds
+// per-step scratch state (pre-built hash tables from a parallel build).
+func (p *selectPlan) runSerial(rt *runtime, outer rowStack, emit func([]val.Value) error, state map[stepper]any) error {
+	if state == nil {
+		state = make(map[stepper]any)
+	}
 	be := &blockExec{
 		rt:    rt,
 		row:   make([]val.Value, p.nSlots),
-		state: make(map[stepper]any),
+		state: state,
 	}
 	be.stack = append(append(rowStack{}, outer...), be.row)
-	m := rt.meter()
 
-	type outRow struct {
-		proj []val.Value
-		keys []val.Value
-	}
-	var collected []outRow
-	needSort := len(p.orderKeys) > 0
-	var dedup map[string]struct{}
-	if p.distinct {
-		dedup = make(map[string]struct{})
-	}
-	emitted := 0
-
-	// produce projects the current frame (join row or aggregate row) and
-	// routes it through distinct / sort / limit.
+	sink := newOutputSink(p, rt.meter(), emit)
 	produce := func(frame rowStack) error {
-		proj := make([]val.Value, len(p.projections))
-		for i, f := range p.projections {
-			v, err := f(rt, frame)
-			if err != nil {
-				return err
-			}
-			proj[i] = v
-		}
-		if dedup != nil {
-			k := string(val.EncodeKey(proj...))
-			if _, dup := dedup[k]; dup {
-				return nil
-			}
-			dedup[k] = struct{}{}
-			m.Charge(cost.TupleCPU, 1)
-		}
-		if needSort {
-			var keys []val.Value
-			for _, kf := range p.orderKeys {
-				v, err := kf(rt, frame)
-				if err != nil {
-					return err
-				}
-				keys = append(keys, v)
-			}
-			collected = append(collected, outRow{proj: proj, keys: keys})
-			return nil
-		}
-		if p.limit >= 0 && emitted >= p.limit {
-			return errStopIteration
-		}
-		emitted++
-		if err := emit(proj); err != nil {
+		r, err := p.projectRow(rt, frame)
+		if err != nil {
 			return err
 		}
-		if p.limit >= 0 && emitted >= p.limit {
-			return errStopIteration
-		}
-		return nil
+		return sink.add(r)
 	}
 
 	var err error
@@ -534,107 +703,99 @@ func (p *selectPlan) run(rt *runtime, outer rowStack, emit func([]val.Value) err
 	if err != nil && err != errStopIteration {
 		return err
 	}
+	return sink.finish()
+}
 
-	if needSort {
-		chargeSort(m, int64(len(collected)), int64(len(p.projections)+len(p.orderKeys))*24)
-		sort.SliceStable(collected, func(i, j int) bool {
-			for k := range p.orderKeys {
-				c := val.Compare(collected[i].keys[k], collected[j].keys[k])
-				if c == 0 {
-					continue
-				}
-				if p.orderDesc[k] {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-		n := len(collected)
-		if p.limit >= 0 && p.limit < n {
-			n = p.limit
+// aggAccum accumulates grouped aggregate state for one lane of execution.
+// Serial runs use a single accumulator; parallel workers each fill their
+// own, and the coordinator merges them in partition order so first-seen
+// group order matches a serial scan of the concatenated partitions.
+type aggAccum struct {
+	p      *selectPlan
+	groups map[string]*groupAcc
+	order  []string // group keys in first-seen order
+	nInput int64
+}
+
+func newAggAccum(p *selectPlan) *aggAccum {
+	return &aggAccum{p: p, groups: make(map[string]*groupAcc)}
+}
+
+// addRow folds one join-pipeline output row into the accumulator.
+func (a *aggAccum) addRow(rt *runtime, stack rowStack) error {
+	p := a.p
+	a.nInput++
+	key := make([]byte, 0, 32)
+	keys := make([]val.Value, len(p.agg.groupFns))
+	for i, gf := range p.agg.groupFns {
+		v, err := gf(rt, stack)
+		if err != nil {
+			return err
 		}
-		for i := 0; i < n; i++ {
-			if err := emit(collected[i].proj); err != nil {
-				if err == errStopIteration {
-					return nil
-				}
-				return err
-			}
+		keys[i] = v
+		key = val.AppendKey(key, v)
+	}
+	g, ok := a.groups[string(key)]
+	if !ok {
+		g = &groupAcc{keys: keys, accs: make([]aggState, len(p.agg.specs))}
+		for i, spec := range p.agg.specs {
+			g.accs[i] = newAggState(spec)
 		}
+		a.groups[string(key)] = g
+		a.order = append(a.order, string(key))
+	}
+	for i, spec := range p.agg.specs {
+		if spec.arg == nil { // COUNT(*)
+			g.accs[i].count++
+			g.accs[i].nonNull = true
+			continue
+		}
+		v, err := spec.arg(rt, stack)
+		if err != nil {
+			return err
+		}
+		g.accs[i].add(spec, v)
 	}
 	return nil
 }
 
-// runAggregated drains the join pipeline into group accumulators, then
-// finalizes groups through HAVING and projection.
-//
-// The engine's grouping is pipelined sort-group (sort, then aggregate
-// while streaming) — the cost charged follows that model, which is the
-// paper's point of contrast with SAP R/3's two-phase materialized
-// grouping (Section 4.2).
-func (p *selectPlan) runAggregated(be *blockExec, produce func(rowStack) error, outer rowStack) error {
-	rt := be.rt
-	m := rt.meter()
-	groups := make(map[string]*groupAcc)
-	var order []string
-	var nInput int64
-
-	err := runSteps(p.steps, 0, be, func() error {
-		nInput++
-		key := make([]byte, 0, 32)
-		keys := make([]val.Value, len(p.agg.groupFns))
-		for i, gf := range p.agg.groupFns {
-			v, err := gf(rt, be.stack)
-			if err != nil {
-				return err
-			}
-			keys[i] = v
-			key = val.AppendKey(key, v)
-		}
-		g, ok := groups[string(key)]
+// merge folds a later partition's groups into a, keeping a's first-seen
+// order and appending groups new to a in o's first-seen order.
+func (a *aggAccum) merge(o *aggAccum) {
+	a.nInput += o.nInput
+	for _, k := range o.order {
+		og := o.groups[k]
+		g, ok := a.groups[k]
 		if !ok {
-			g = &groupAcc{keys: keys, accs: make([]aggState, len(p.agg.specs))}
-			for i, spec := range p.agg.specs {
-				g.accs[i] = newAggState(spec)
-			}
-			groups[string(key)] = g
-			order = append(order, string(key))
+			a.groups[k] = og
+			a.order = append(a.order, k)
+			continue
 		}
-		for i, spec := range p.agg.specs {
-			if spec.arg == nil { // COUNT(*)
-				g.accs[i].count++
-				g.accs[i].nonNull = true
-				continue
-			}
-			v, err := spec.arg(rt, be.stack)
-			if err != nil {
-				return err
-			}
-			g.accs[i].add(spec, v)
+		for i, spec := range a.p.agg.specs {
+			g.accs[i].merge(spec, &og.accs[i])
 		}
-		return nil
-	})
-	if err != nil && err != errStopIteration {
-		return err
 	}
-	// Pipelined sort-group cost: sort the input once; no intermediate
-	// materialization.
-	chargeSort(m, nInput, 48)
+}
+
+// finalizeGroups runs the accumulated groups through HAVING and produce.
+// The caller charges the grouping sort (full sort when serial, partial
+// sorts + merge when parallel).
+func (p *selectPlan) finalizeGroups(rt *runtime, a *aggAccum, outer rowStack, produce func(rowStack) error) error {
+	m := rt.meter()
 
 	// A query with aggregates but no GROUP BY yields exactly one row,
 	// even over empty input.
-	if len(p.agg.groupFns) == 0 && len(order) == 0 {
+	if len(p.agg.groupFns) == 0 && len(a.order) == 0 {
 		g := &groupAcc{accs: make([]aggState, len(p.agg.specs))}
 		for i, spec := range p.agg.specs {
 			g.accs[i] = newAggState(spec)
 		}
-		groups[""] = g
-		order = append(order, "")
+		a.groups[""] = g
+		a.order = append(a.order, "")
 	}
 
-	for _, k := range order {
-		g := groups[k]
+	for _, k := range a.order {
+		g := a.groups[k]
 		aggRow := make([]val.Value, len(g.keys)+len(p.agg.specs))
 		copy(aggRow, g.keys)
 		for i, spec := range p.agg.specs {
@@ -656,6 +817,37 @@ func (p *selectPlan) runAggregated(be *blockExec, produce func(rowStack) error, 
 		}
 	}
 	return nil
+}
+
+// runAggregated drains the join pipeline into group accumulators, then
+// finalizes groups through HAVING and projection.
+//
+// The engine's grouping is pipelined sort-group (sort, then aggregate
+// while streaming) — the cost charged follows that model, which is the
+// paper's point of contrast with SAP R/3's two-phase materialized
+// grouping (Section 4.2).
+func (p *selectPlan) runAggregated(be *blockExec, produce func(rowStack) error, outer rowStack) error {
+	acc := newAggAccum(p)
+	err := runSteps(p.steps, 0, be, func() error {
+		return acc.addRow(be.rt, be.stack)
+	})
+	if err != nil && err != errStopIteration {
+		return err
+	}
+	// Pipelined sort-group cost: sort the input once; no intermediate
+	// materialization.
+	chargeSort(be.rt.meter(), acc.nInput, 48)
+	return p.finalizeGroups(be.rt, acc, outer, produce)
+}
+
+// chargeMergeRuns charges a k-way streaming merge of n pre-sorted runs:
+// n·log2(k) comparisons, no extra I/O (the runs stream through).
+func chargeMergeRuns(m *cost.Meter, n, k int64) {
+	if n <= 1 || k <= 1 {
+		return
+	}
+	per := m.Model().PerEvent[cost.SortCPU]
+	m.ChargeDuration(cost.SortCPU, time.Duration(float64(n)*math.Log2(float64(k)))*per)
 }
 
 // chargeSort charges an n·log n comparison sort plus external-merge I/O

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"r3bench/internal/cost"
 	"r3bench/internal/sqlparse"
@@ -17,9 +18,20 @@ type runtime struct {
 	// subCache memoises materialized results of uncorrelated subqueries
 	// within one statement execution.
 	subCache map[*selectPlan][][]val.Value
+	// subMu guards subCache when parallel workers share one statement
+	// execution; nil in serial execution.
+	subMu *sync.Mutex
+	// m overrides the session meter for one parallel worker lane; nil
+	// means charge the session meter directly.
+	m *cost.Meter
 }
 
-func (rt *runtime) meter() *cost.Meter { return rt.sess.Meter }
+func (rt *runtime) meter() *cost.Meter {
+	if rt.m != nil {
+		return rt.m
+	}
+	return rt.sess.Meter
+}
 
 // rowStack is the stack of in-flight rows: index 0 is the outermost
 // query's current row, the last element is the current query's row.

@@ -1,0 +1,305 @@
+package engine
+
+import (
+	stdruntime "runtime"
+	"sync"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/storage"
+	"r3bench/internal/val"
+)
+
+// Parallel query execution splits the leading sequential scan of a block
+// into contiguous page partitions, runs the full join/aggregation pipeline
+// over each partition in a worker goroutine, and recombines partial
+// results on the coordinator in partition order. Because partitions are
+// contiguous and recombined in order, and because every combining
+// operation downstream (exact sums, min/max, first-seen group order) is
+// order-compatible with concatenation, a parallel run produces output
+// byte-identical to the serial run.
+//
+// Virtual-clock accounting follows the parallel combining rule
+// (cost.Meter.AddParallel): each worker charges a private meter; elapsed
+// session time advances by the slowest worker while resource totals sum.
+
+// parallelSlots bounds worker goroutines across all concurrently running
+// parallel operations in the process. The coordinator always runs
+// partition 0 on its own goroutine, so progress never depends on slot
+// availability, and workers never spawn nested parallel work (their
+// runtime carries a lane meter, which disables parallel dispatch).
+var parallelSlots = make(chan struct{}, func() int {
+	n := 2 * stdruntime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	return n
+}())
+
+// runPartitions executes fn(i) for every partition: 1..n-1 on pooled
+// goroutines, 0 inline on the caller.
+func runPartitions(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parallelSlots <- struct{}{}
+			defer func() { <-parallelSlots }()
+			fn(i)
+		}(i)
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// partitionPages splits [0, pages) into at most k contiguous non-empty
+// ranges, earlier ranges one page larger when the split is uneven.
+func partitionPages(pages, k int) [][2]int {
+	if k > pages {
+		k = pages
+	}
+	if k < 1 {
+		return nil
+	}
+	parts := make([][2]int, 0, k)
+	per, extra := pages/k, pages%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + per
+		if i < extra {
+			hi++
+		}
+		parts = append(parts, [2]int{lo, hi})
+		lo = hi
+	}
+	return parts
+}
+
+// partResult is one worker's partition output.
+type partResult struct {
+	rows []outRow  // projected rows, scan order (non-aggregated plans)
+	acc  *aggAccum // partial group state (aggregated plans)
+	m    *cost.Meter
+	err  error
+}
+
+// runParallel executes the block with p.parallel partition workers.
+// handled=false means the plan cannot be split at run time (e.g. the table
+// shrank below the gate) and the caller should fall back to serial
+// execution.
+func (p *selectPlan) runParallel(rt *runtime, outer rowStack, emit func([]val.Value) error) (handled bool, err error) {
+	var parts [][2]int
+	lead, leadOK := p.steps[0].(*scanStep)
+	if leadOK && lead.rel.table != nil && lead.access.index == nil {
+		parts = partitionPages(lead.rel.table.Heap.Pages(), p.parallel)
+	}
+	partitionedLead := len(parts) >= 2
+
+	// Workers share the statement's subquery cache under one lock; their
+	// runtimes carry private lane meters.
+	subMu := &sync.Mutex{}
+	model := rt.sess.Meter.Model()
+
+	// Pre-build every hash-join table once on the coordinator so workers
+	// share a read-only build side instead of each building their own —
+	// partitioned parallel build when the build side is a wide-enough
+	// base-table scan, serial coordinator build otherwise.
+	builtParallel := false
+	shared := make(map[stepper]any)
+	for _, st := range p.steps[1:] {
+		hs, ok := st.(*hashStep)
+		if !ok {
+			continue
+		}
+		var ht hashTable
+		if hs.rel.table != nil && hs.access.index == nil {
+			if ht, err = p.parallelBuild(rt, outer, hs, subMu, model); err != nil {
+				return true, err
+			}
+			builtParallel = builtParallel || ht != nil
+		}
+		if ht == nil { // build side not partitionable: build serially
+			be0 := &blockExec{rt: rt, row: make([]val.Value, p.nSlots), state: shared}
+			be0.stack = append(append(rowStack{}, outer...), be0.row)
+			if ht, err = hs.build(be0); err != nil {
+				return true, err
+			}
+		}
+		shared[hs] = ht
+	}
+
+	if !partitionedLead {
+		if !builtParallel && len(shared) == 0 {
+			return false, nil
+		}
+		// Build-only parallelism: probe pipeline runs serially over the
+		// pre-built (shared) hash tables.
+		return true, p.runSerial(rt, outer, emit, shared)
+	}
+	heap := lead.rel.table.Heap
+
+	results := make([]partResult, len(parts))
+	runPartitions(len(parts), func(i int) {
+		m := cost.NewMeter(model)
+		rtW := &runtime{sess: rt.sess, params: rt.params, subCache: rt.subCache, subMu: subMu, m: m}
+		beW := &blockExec{rt: rtW, row: make([]val.Value, p.nSlots), state: make(map[stepper]any, len(shared))}
+		for k, v := range shared {
+			beW.state[k] = v
+		}
+		beW.stack = append(append(rowStack{}, outer...), beW.row)
+
+		res := &results[i]
+		res.m = m
+		var sink func() error
+		if p.agg != nil {
+			res.acc = newAggAccum(p)
+			sink = func() error { return res.acc.addRow(rtW, beW.stack) }
+		} else {
+			sink = func() error {
+				r, err := p.projectRow(rtW, beW.stack)
+				if err != nil {
+					return err
+				}
+				res.rows = append(res.rows, r)
+				return nil
+			}
+		}
+		off := lead.rel.offset
+		res.err = heap.ScanRange(parts[i][0], parts[i][1], m, func(rid storage.RID, row []val.Value) error {
+			copy(beW.row[off:off+lead.rel.nCols], row)
+			ok, err := evalFilters(beW, lead.access.filters)
+			if err != nil || !ok {
+				return err
+			}
+			ok, err = evalFilters(beW, lead.extraFilters)
+			if err != nil || !ok {
+				return err
+			}
+			beW.curRID = rid
+			return runSteps(p.steps, 1, beW, sink)
+		})
+		if res.err != nil {
+			return
+		}
+		// Each worker sorts its partition's output; the coordinator only
+		// merges the pre-sorted runs.
+		if p.agg != nil {
+			chargeSort(m, res.acc.nInput, 48)
+		} else if len(p.orderKeys) > 0 {
+			chargeSort(m, int64(len(res.rows)), int64(len(p.projections)+len(p.orderKeys))*24)
+		}
+	})
+
+	meters := make([]*cost.Meter, len(results))
+	for i := range results {
+		meters[i] = results[i].m
+	}
+	rt.sess.Meter.AddParallel(meters...)
+	for i := range results {
+		if results[i].err != nil {
+			return true, results[i].err
+		}
+	}
+
+	sink := newOutputSink(p, rt.meter(), emit)
+	sink.runs = len(results)
+	if p.agg != nil {
+		acc := results[0].acc
+		for i := 1; i < len(results); i++ {
+			acc.merge(results[i].acc)
+		}
+		chargeMergeRuns(rt.meter(), acc.nInput, int64(len(results)))
+		produce := func(frame rowStack) error {
+			r, err := p.projectRow(rt, frame)
+			if err != nil {
+				return err
+			}
+			return sink.add(r)
+		}
+		if err := p.finalizeGroups(rt, acc, outer, produce); err != nil && err != errStopIteration {
+			return true, err
+		}
+		return true, sink.finish()
+	}
+	for i := range results {
+		for _, r := range results[i].rows {
+			if err := sink.add(r); err != nil {
+				if err == errStopIteration {
+					return true, nil
+				}
+				return true, err
+			}
+		}
+	}
+	return true, sink.finish()
+}
+
+// parallelBuild builds a hash-join table by partitioned parallel scan of
+// the build relation. Per-partition tables merge in partition order, so
+// each key's match list is in heap-scan order exactly as a serial build
+// would produce. Returns nil (no error) when the relation is too small to
+// split, in which case the caller builds serially.
+func (p *selectPlan) parallelBuild(rt *runtime, outer rowStack, s *hashStep, subMu *sync.Mutex, model cost.Model) (hashTable, error) {
+	heap := s.rel.table.Heap
+	parts := partitionPages(heap.Pages(), p.parallel)
+	if len(parts) < 2 {
+		return nil, nil
+	}
+	tables := make([]hashTable, len(parts))
+	counts := make([]int64, len(parts))
+	meters := make([]*cost.Meter, len(parts))
+	errs := make([]error, len(parts))
+	off := s.rel.offset
+	runPartitions(len(parts), func(i int) {
+		m := cost.NewMeter(model)
+		meters[i] = m
+		rtW := &runtime{sess: rt.sess, params: rt.params, subCache: rt.subCache, subMu: subMu, m: m}
+		scratch := make([]val.Value, p.nSlots)
+		stack := append(append(rowStack{}, outer...), scratch)
+		beW := &blockExec{rt: rtW, stack: stack, row: scratch, state: make(map[stepper]any)}
+		ht := make(hashTable)
+		errs[i] = heap.ScanRange(parts[i][0], parts[i][1], m, func(rid storage.RID, row []val.Value) error {
+			copy(scratch[off:off+s.rel.nCols], row)
+			ok, err := evalFilters(beW, s.access.filters)
+			if err != nil || !ok {
+				return err
+			}
+			key := make([]byte, 0, 32)
+			for _, f := range s.buildKeyFns {
+				v, err := f(rtW, stack)
+				if err != nil {
+					return err
+				}
+				key = val.AppendKey(key, v)
+			}
+			ht[string(key)] = append(ht[string(key)], append([]val.Value(nil), scratch[off:off+s.rel.nCols]...))
+			counts[i]++
+			return nil
+		})
+		tables[i] = ht
+	})
+	rt.sess.Meter.AddParallel(meters...)
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	merged := make(hashTable)
+	var nRows int64
+	for i := range tables {
+		for k, rows := range tables[i] {
+			merged[k] = append(merged[k], rows...)
+		}
+		nRows += counts[i]
+	}
+	m := rt.meter()
+	m.Charge(cost.TupleCPU, nRows)
+	buildBytes := float64(nRows) * s.rel.rowBytes
+	if buildBytes > workMemBytes {
+		// Grace-style partitioning: write and re-read the overflow.
+		pages := int64((buildBytes - workMemBytes) / storage.PageSize)
+		m.Charge(cost.PageWrite, pages)
+		m.Charge(cost.SeqRead, pages)
+	}
+	return merged, nil
+}

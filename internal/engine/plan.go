@@ -38,6 +38,11 @@ type selectPlan struct {
 	// self-contained, 1 = parent, ...).
 	outerDepth int
 	nParams    int
+
+	// parallel is the degree of intra-query parallelism chosen at plan
+	// time (0 or 1 = serial): the leading sequential scan's page range is
+	// split across this many workers.
+	parallel int
 }
 
 // aggPlan describes grouping and aggregation for one block.
@@ -257,7 +262,51 @@ func (db *DB) planSelect(s *sqlparse.SelectStmt, outerScope *scope) (*selectPlan
 	if cc.maxParam > p.nParams {
 		p.nParams = cc.maxParam
 	}
+	p.planParallel()
 	return p, nil
+}
+
+// minPagesPerWorker gates parallelism: a partition below this many pages
+// pays more in random-read partition starts than it saves by overlapping.
+const minPagesPerWorker = 8
+
+// planParallel decides the block's degree of parallelism. A block
+// qualifies when its leading step is a bare sequential scan of a base
+// table wide enough to split (the page range partitions across workers and
+// every later pipeline step runs unchanged inside each worker), or when a
+// hash join builds from such a scan (the build partitions across workers
+// while the probe pipeline stays serial). Correlated blocks (re-run per
+// outer row) and LIMIT-without-ORDER-BY blocks (early exit beats overlap)
+// stay serial.
+func (p *selectPlan) planParallel() {
+	n := p.db.parallelDegree()
+	if n < 2 || p.outerDepth != 0 {
+		return
+	}
+	if p.limit >= 0 && len(p.orderKeys) == 0 {
+		return
+	}
+	if len(p.steps) == 0 {
+		return
+	}
+	maxPages := 0
+	if lead, ok := p.steps[0].(*scanStep); ok && lead.rel.table != nil && lead.access.index == nil {
+		maxPages = lead.rel.table.Heap.Pages()
+	}
+	for _, st := range p.steps[1:] {
+		if hs, ok := st.(*hashStep); ok && hs.rel.table != nil && hs.access.index == nil {
+			if pg := hs.rel.table.Heap.Pages(); pg > maxPages {
+				maxPages = pg
+			}
+		}
+	}
+	if k := maxPages / minPagesPerWorker; k < n {
+		n = k
+	}
+	if n < 2 {
+		return
+	}
+	p.parallel = n
 }
 
 // buildRelInfo resolves one FROM table: base table, view (merged or

@@ -15,13 +15,24 @@ import (
 // pipeline (validations, existence checks, number-range access) and is
 // inserted tuple-at-a-time with a commit per transaction — the bulk
 // loading interface of the RDBMS is never used.
+//
+// Parallel batch-input processes (the paper tunes loading to two) are
+// modelled as lanes: whole records round-robin onto lanes, each lane
+// charging its own meter, and elapsed time is the slowest lane — the same
+// combining rule (elapsed = max, resources = sum) the engine's parallel
+// executor uses, via the shared cost.Meter primitives.
 type BatchInput struct {
-	sys *System
-	o   *OpenSQL
-	// Workers is the number of parallel batch-input processes (the paper
-	// tunes loading to two); virtual time divides by it.
-	Workers int
+	sys     *System
+	lanes   []biLane
+	next    int
 	records int64
+}
+
+// biLane is one simulated batch-input process: its own Open SQL session
+// charging its own virtual clock.
+type biLane struct {
+	o *OpenSQL
+	m *cost.Meter
 }
 
 // dialogScale calibrates the per-record dialog cost by record type,
@@ -39,120 +50,160 @@ func (sys *System) NewBatchInput(workers int) *BatchInput {
 	return sys.NewBatchInputWithMeter(workers, cost.NewMeter(sys.DB.Model()))
 }
 
-// NewBatchInputWithMeter opens a batch-input session charging an existing
-// meter (the power test's update functions share the report's clock).
+// NewBatchInputWithMeter opens a batch-input session whose first lane
+// charges an existing meter (the power test's update functions share the
+// report's clock); additional lanes get fresh meters.
 func (sys *System) NewBatchInputWithMeter(workers int, m *cost.Meter) *BatchInput {
 	if workers < 1 {
 		workers = 1
 	}
-	return &BatchInput{sys: sys, o: sys.OpenSQL(m), Workers: workers}
+	b := &BatchInput{sys: sys, lanes: make([]biLane, workers)}
+	for i := range b.lanes {
+		lm := m
+		if i > 0 {
+			lm = cost.NewMeter(sys.DB.Model())
+		}
+		b.lanes[i] = biLane{o: sys.OpenSQL(lm), m: lm}
+	}
+	return b
 }
 
-// Meter exposes the raw (single-lane) virtual clock.
-func (b *BatchInput) Meter() *cost.Meter { return b.o.Meter() }
+// Workers returns the number of parallel batch-input processes.
+func (b *BatchInput) Workers() int { return len(b.lanes) }
 
-// Elapsed returns the simulated wall time: total work divided across the
-// parallel batch-input processes.
+// meters collects the per-lane clocks.
+func (b *BatchInput) meters() []*cost.Meter {
+	ms := make([]*cost.Meter, len(b.lanes))
+	for i := range b.lanes {
+		ms[i] = b.lanes[i].m
+	}
+	return ms
+}
+
+// Meter returns a snapshot of total resource consumption across all
+// lanes (serial combining rule: everything sums).
+func (b *BatchInput) Meter() *cost.Meter {
+	m := cost.NewMeter(b.sys.DB.Model())
+	m.AddSum(b.meters()...)
+	return m
+}
+
+// Elapsed returns the simulated wall time: the slowest lane, since the
+// parallel batch-input processes overlap.
 func (b *BatchInput) Elapsed() time.Duration {
-	return b.Meter().Elapsed() / time.Duration(b.Workers)
+	return cost.MaxElapsed(b.meters()...)
 }
 
 // Records returns how many records were entered.
 func (b *BatchInput) Records() int64 { return b.records }
 
-// dialog charges one record's consistency-check pipeline.
-func (b *BatchInput) dialog(recordType string) {
+// lane picks the next lane, round-robin over whole records (a document
+// and all its items enter through one process).
+func (b *BatchInput) lane() *biLane {
+	l := &b.lanes[b.next%len(b.lanes)]
+	b.next++
+	return l
+}
+
+// dialog charges one record's consistency-check pipeline to the lane.
+func (b *BatchInput) dialog(l *biLane, recordType string) {
 	scale := dialogScale[recordType]
 	if scale == 0 {
 		scale = 1
 	}
-	base := b.Meter().Model().PerEvent[cost.Check]
-	b.Meter().ChargeDuration(cost.Check, time.Duration(scale*float64(base)))
+	base := l.m.Model().PerEvent[cost.Check]
+	l.m.ChargeDuration(cost.Check, time.Duration(scale*float64(base)))
 	b.records++
 }
 
 // exists runs one existence check (a SELECT SINGLE another application
 // program would issue during the dialog).
-func (b *BatchInput) exists(table string, conds ...Cond) bool {
-	_, ok, err := b.o.SelectSingle(table, conds)
+func (b *BatchInput) exists(l *biLane, table string, conds ...Cond) bool {
+	_, ok, err := l.o.SelectSingle(table, conds)
 	return err == nil && ok
 }
 
 // EnterNation enters one country.
 func (b *BatchInput) EnterNation(n dbgen.Nation) error {
-	b.dialog("NATION")
+	l := b.lane()
+	b.dialog(l, "NATION")
 	for _, r := range NationRows(n) {
-		if err := b.o.Insert(r.Table, r.Fields); err != nil {
+		if err := l.o.Insert(r.Table, r.Fields); err != nil {
 			return err
 		}
 	}
-	b.o.Commit()
+	l.o.Commit()
 	return nil
 }
 
 // EnterRegion enters one region.
 func (b *BatchInput) EnterRegion(r dbgen.Region) error {
-	b.dialog("REGION")
+	l := b.lane()
+	b.dialog(l, "REGION")
 	for _, row := range RegionRows(r) {
-		if err := b.o.Insert(row.Table, row.Fields); err != nil {
+		if err := l.o.Insert(row.Table, row.Fields); err != nil {
 			return err
 		}
 	}
-	b.o.Commit()
+	l.o.Commit()
 	return nil
 }
 
 // EnterSupplier enters one supplier: country existence check, master
 // record, commit.
 func (b *BatchInput) EnterSupplier(s dbgen.Supplier) error {
-	b.dialog("SUPPLIER")
-	b.exists("T005", Eq("LAND1", val.Str(Key16(s.NationKey))))
+	l := b.lane()
+	b.dialog(l, "SUPPLIER")
+	b.exists(l, "T005", Eq("LAND1", val.Str(Key16(s.NationKey))))
 	for _, r := range SupplierRows(s) {
-		if err := b.o.Insert(r.Table, r.Fields); err != nil {
+		if err := l.o.Insert(r.Table, r.Fields); err != nil {
 			return err
 		}
 	}
-	b.o.Commit()
+	l.o.Commit()
 	return nil
 }
 
 // EnterPart enters one material master across all its SAP tables.
 func (b *BatchInput) EnterPart(p dbgen.Part) error {
-	b.dialog("PART")
+	l := b.lane()
+	b.dialog(l, "PART")
 	for _, r := range PartRows(p) {
-		if err := b.o.Insert(r.Table, r.Fields); err != nil {
+		if err := l.o.Insert(r.Table, r.Fields); err != nil {
 			return err
 		}
 	}
-	b.o.Commit()
+	l.o.Commit()
 	return nil
 }
 
 // EnterPartSupp enters one purchasing info record after checking that
 // material and vendor exist.
 func (b *BatchInput) EnterPartSupp(ps dbgen.PartSupp, j int) error {
-	b.dialog("PARTSUPP")
-	b.exists("MARA", Eq("MATNR", val.Str(Key16(ps.PartKey))))
-	b.exists("LFA1", Eq("LIFNR", val.Str(Key16(ps.SuppKey))))
+	l := b.lane()
+	b.dialog(l, "PARTSUPP")
+	b.exists(l, "MARA", Eq("MATNR", val.Str(Key16(ps.PartKey))))
+	b.exists(l, "LFA1", Eq("LIFNR", val.Str(Key16(ps.SuppKey))))
 	for _, r := range PartSuppRows(ps, j) {
-		if err := b.o.Insert(r.Table, r.Fields); err != nil {
+		if err := l.o.Insert(r.Table, r.Fields); err != nil {
 			return err
 		}
 	}
-	b.o.Commit()
+	l.o.Commit()
 	return nil
 }
 
 // EnterCustomer enters one customer master.
 func (b *BatchInput) EnterCustomer(c dbgen.Customer) error {
-	b.dialog("CUSTOMER")
-	b.exists("T005", Eq("LAND1", val.Str(Key16(c.NationKey))))
+	l := b.lane()
+	b.dialog(l, "CUSTOMER")
+	b.exists(l, "T005", Eq("LAND1", val.Str(Key16(c.NationKey))))
 	for _, r := range CustomerRows(c) {
-		if err := b.o.Insert(r.Table, r.Fields); err != nil {
+		if err := l.o.Insert(r.Table, r.Fields); err != nil {
 			return err
 		}
 	}
-	b.o.Commit()
+	l.o.Commit()
 	return nil
 }
 
@@ -161,34 +212,35 @@ func (b *BatchInput) EnterCustomer(c dbgen.Customer) error {
 // 25 days 19 hours 55 minutes. Every item re-validates customer,
 // material, vendor and pricing before the document commits as one unit.
 func (b *BatchInput) EnterOrder(o *dbgen.Order) error {
-	b.dialog("ORDER")
-	b.exists("KNA1", Eq("KUNNR", val.Str(Key16(o.CustKey))))
+	l := b.lane()
+	b.dialog(l, "ORDER")
+	b.exists(l, "KNA1", Eq("KUNNR", val.Str(Key16(o.CustKey))))
 	for _, r := range OrderHeaderRows(o) {
-		if err := b.o.Insert(r.Table, r.Fields); err != nil {
+		if err := l.o.Insert(r.Table, r.Fields); err != nil {
 			return err
 		}
 	}
 	for _, li := range o.Lines {
-		b.dialog("LINEITEM")
+		b.dialog(l, "LINEITEM")
 		matnr := Key16(li.PartKey)
-		b.exists("MARA", Eq("MATNR", val.Str(matnr)))
-		b.exists("LFA1", Eq("LIFNR", val.Str(Key16(li.SuppKey))))
+		b.exists(l, "MARA", Eq("MATNR", val.Str(matnr)))
+		b.exists(l, "LFA1", Eq("LIFNR", val.Str(Key16(li.SuppKey))))
 		// Pricing: find the condition record through A004 (a pool-table
 		// read) and its KONP position.
-		if row, ok, _ := b.o.SelectSingle("A004", []Cond{
+		if row, ok, _ := l.o.SelectSingle("A004", []Cond{
 			Eq("KAPPL", val.Str("V")), Eq("KSCHL", val.Str("PR00")), Eq("MATNR", val.Str(matnr))}); ok {
-			b.exists("KONP", Eq("KNUMH", row.Get("KNUMH")), Eq("KOPOS", val.Str("01")))
+			b.exists(l, "KONP", Eq("KNUMH", row.Get("KNUMH")), Eq("KOPOS", val.Str("01")))
 		}
 		for _, r := range LineItemRows(li) {
-			if err := b.o.Insert(r.Table, r.Fields); err != nil {
+			if err := l.o.Insert(r.Table, r.Fields); err != nil {
 				return err
 			}
 		}
 	}
-	if err := b.o.InsertGroup("KONV", KonvRows(o)); err != nil {
+	if err := l.o.InsertGroup("KONV", KonvRows(o)); err != nil {
 		return err
 	}
-	b.o.Commit()
+	l.o.Commit()
 	return nil
 }
 
@@ -197,10 +249,11 @@ func (b *BatchInput) EnterOrder(o *dbgen.Order) error {
 // checking discipline.
 func (b *BatchInput) DeleteOrder(orderKey int64) error {
 	vbeln := Key16(orderKey)
-	b.dialog("ORDER")
+	l := b.lane()
+	b.dialog(l, "ORDER")
 	// Collect the items first (the dialog reads the document).
 	var posnrs []string
-	err := b.o.Select("VBAP", []Cond{Eq("VBELN", val.Str(vbeln))}, func(r Row) error {
+	err := l.o.Select("VBAP", []Cond{Eq("VBELN", val.Str(vbeln))}, func(r Row) error {
 		posnrs = append(posnrs, r.Get("POSNR").AsStr())
 		return nil
 	})
@@ -208,26 +261,26 @@ func (b *BatchInput) DeleteOrder(orderKey int64) error {
 		return err
 	}
 	for _, p := range posnrs {
-		b.dialog("LINEITEM")
-		if err := b.o.Delete("VBAP", val.Str(vbeln), val.Str(p)); err != nil {
+		b.dialog(l, "LINEITEM")
+		if err := l.o.Delete("VBAP", val.Str(vbeln), val.Str(p)); err != nil {
 			return err
 		}
-		if err := b.o.Delete("VBEP", val.Str(vbeln), val.Str(p)); err != nil {
+		if err := l.o.Delete("VBEP", val.Str(vbeln), val.Str(p)); err != nil {
 			return err
 		}
-		if err := b.o.Delete("STXL", val.Str("VBAP"), val.Str(vbeln+p)); err != nil {
+		if err := l.o.Delete("STXL", val.Str("VBAP"), val.Str(vbeln+p)); err != nil {
 			return err
 		}
 	}
-	if err := b.o.Delete("KONV", val.Str(vbeln)); err != nil {
+	if err := l.o.Delete("KONV", val.Str(vbeln)); err != nil {
 		return err
 	}
-	if err := b.o.Delete("VBAK", val.Str(vbeln)); err != nil {
+	if err := l.o.Delete("VBAK", val.Str(vbeln)); err != nil {
 		return err
 	}
-	if err := b.o.Delete("STXL", val.Str("VBAK"), val.Str(vbeln)); err != nil {
+	if err := l.o.Delete("STXL", val.Str("VBAK"), val.Str(vbeln)); err != nil {
 		return err
 	}
-	b.o.Commit()
+	l.o.Commit()
 	return nil
 }

@@ -48,6 +48,9 @@ type Config struct {
 	// the machine's memory belongs to the application server).
 	BufferBytes int
 	CostModel   cost.Model
+	// Parallel is the back-end RDBMS's intra-query parallel degree
+	// (0 or 1 = serial).
+	Parallel int
 }
 
 // System is one installed SAP R/3 instance plus its back-end RDBMS.
@@ -67,7 +70,7 @@ func Install(cfg Config) (*System, error) {
 		cfg.Client = DefaultClient
 	}
 	sys := &System{
-		DB:      engine.Open(engine.Config{BufferBytes: cfg.BufferBytes, CostModel: cfg.CostModel}),
+		DB:      engine.Open(engine.Config{BufferBytes: cfg.BufferBytes, CostModel: cfg.CostModel, Parallel: cfg.Parallel}),
 		Client:  cfg.Client,
 		version: cfg.Release,
 		ddic:    make(map[string]*LogicalTable),

@@ -20,6 +20,26 @@ type frame struct {
 	elem  *list.Element
 }
 
+// maxPoolShards bounds the number of lock shards; tiny pools collapse to
+// one shard so eviction behaves exactly like a single global LRU.
+const maxPoolShards = 8
+
+// minPagesPerShard is the smallest shard worth splitting off: below it,
+// per-shard capacities round down to nothing useful and LRU accuracy
+// suffers more than contention costs.
+const minPagesPerShard = 64
+
+// poolShard is one independently locked slice of the buffer pool: its own
+// frame map, its own LRU list, its own share of the capacity.
+type poolShard struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[pageKey]*frame
+	lru      *list.List // front = most recently used
+
+	hits, misses int64
+}
+
 // BufferPool caches disk pages with LRU replacement and charges page I/O to
 // the accessing session's cost meter. Its capacity models the paper's
 // database buffer (10 MB by default in the SAP R/3 installation).
@@ -28,15 +48,19 @@ type frame struct {
 // page immediately follows the previous page read from the same file
 // (prefetchable sequential access) and cost.RandRead otherwise. Writing
 // back a dirty page charges cost.PageWrite.
+//
+// The pool is sharded: frames are spread over up to maxPoolShards
+// independently locked LRU segments so concurrent scan workers do not
+// serialize on one mutex. The sequential-read detector stays global (it
+// models the disk's single head position per file) under its own small
+// lock; partitioned scans that track their own run of consecutive pages
+// should use GetScan, which bypasses the global detector entirely.
 type BufferPool struct {
-	mu       sync.Mutex
-	disk     *Disk
-	capacity int // in pages
-	frames   map[pageKey]*frame
-	lru      *list.List // front = most recently used
-	lastRead map[FileID]PageID
+	disk   *Disk
+	shards []*poolShard
 
-	hits, misses int64
+	seqMu    sync.Mutex
+	lastRead map[FileID]PageID
 }
 
 // NewBufferPool returns a pool over disk holding at most capacityBytes of
@@ -46,81 +70,173 @@ func NewBufferPool(disk *Disk, capacityBytes int) *BufferPool {
 	if capPages < 1 {
 		capPages = 1
 	}
-	return &BufferPool{
+	nShards := capPages / minPagesPerShard
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > maxPoolShards {
+		nShards = maxPoolShards
+	}
+	bp := &BufferPool{
 		disk:     disk,
-		capacity: capPages,
-		frames:   make(map[pageKey]*frame),
-		lru:      list.New(),
+		shards:   make([]*poolShard, nShards),
 		lastRead: make(map[FileID]PageID),
 	}
+	per := capPages / nShards
+	extra := capPages % nShards
+	for i := range bp.shards {
+		c := per
+		if i < extra {
+			c++
+		}
+		bp.shards[i] = &poolShard{
+			capacity: c,
+			frames:   make(map[pageKey]*frame),
+			lru:      list.New(),
+		}
+	}
+	return bp
+}
+
+// shard maps a page to its lock shard.
+func (bp *BufferPool) shard(key pageKey) *poolShard {
+	if len(bp.shards) == 1 {
+		return bp.shards[0]
+	}
+	h := (uint64(key.file)<<32 | uint64(key.page)) * 0x9E3779B97F4A7C15
+	return bp.shards[h>>32%uint64(len(bp.shards))]
 }
 
 // CapacityPages returns the pool capacity in pages.
-func (bp *BufferPool) CapacityPages() int { return bp.capacity }
+func (bp *BufferPool) CapacityPages() int {
+	total := 0
+	for _, sh := range bp.shards {
+		total += sh.capacity
+	}
+	return total
+}
 
 // HitRatio returns the fraction of page requests served from the pool.
 func (bp *BufferPool) HitRatio() float64 {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	total := bp.hits + bp.misses
+	var hits, misses int64
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		sh.mu.Unlock()
+	}
+	total := hits + misses
 	if total == 0 {
 		return 0
 	}
-	return float64(bp.hits) / float64(total)
+	return float64(hits) / float64(total)
 }
 
 // Get returns the page's data, faulting it in if needed and charging m.
 // The returned slice aliases the cached page; callers may mutate it only
-// via MarkDirty.
+// via MarkDirty. Sequential-vs-random charging follows the global per-file
+// last-read cursor.
 func (bp *BufferPool) Get(file FileID, page PageID, m *cost.Meter) ([]byte, error) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	key := pageKey{file, page}
-	if f, ok := bp.frames[key]; ok {
-		bp.hits++
-		bp.lru.MoveToFront(f.elem)
-		bp.lastRead[file] = page
-		return f.data, nil
-	}
-	bp.misses++
-	data, err := bp.disk.readPage(file, page)
+	data, hit, err := bp.lookup(pageKey{file, page})
 	if err != nil {
 		return nil, err
 	}
+	if hit {
+		bp.seqMu.Lock()
+		bp.lastRead[file] = page
+		bp.seqMu.Unlock()
+		return data, nil
+	}
+	// Miss: classify against the global cursor, then admit the frame.
+	bp.seqMu.Lock()
+	last, ok := bp.lastRead[file]
+	bp.lastRead[file] = page
+	bp.seqMu.Unlock()
 	if m != nil {
-		if last, ok := bp.lastRead[file]; ok && page == last+1 {
+		if ok && page == last+1 {
 			m.Charge(cost.SeqRead, 1)
 		} else {
 			m.Charge(cost.RandRead, 1)
 		}
 	}
-	bp.lastRead[file] = page
-	bp.insertLocked(key, data, m)
-	return data, nil
+	return bp.admit(pageKey{file, page}, data, m), nil
 }
 
-// insertLocked adds a frame, evicting the LRU victim if at capacity.
-func (bp *BufferPool) insertLocked(key pageKey, data []byte, m *cost.Meter) {
-	for bp.lru.Len() >= bp.capacity {
-		victim := bp.lru.Back()
+// GetScan is Get for a caller that tracks its own run of consecutive
+// pages (a partitioned scan worker): seq says whether this page continues
+// the caller's run. The global per-file cursor is neither consulted nor
+// updated, so concurrent partition scans charge deterministically and do
+// not perturb each other's sequential-read detection.
+func (bp *BufferPool) GetScan(file FileID, page PageID, seq bool, m *cost.Meter) ([]byte, error) {
+	data, hit, err := bp.lookup(pageKey{file, page})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		return data, nil
+	}
+	if m != nil {
+		if seq {
+			m.Charge(cost.SeqRead, 1)
+		} else {
+			m.Charge(cost.RandRead, 1)
+		}
+	}
+	return bp.admit(pageKey{file, page}, data, m), nil
+}
+
+// lookup returns the cached page (hit=true) or reads it from disk
+// (hit=false; the caller must admit it).
+func (bp *BufferPool) lookup(key pageKey) ([]byte, bool, error) {
+	sh := bp.shard(key)
+	sh.mu.Lock()
+	if f, ok := sh.frames[key]; ok {
+		sh.hits++
+		sh.lru.MoveToFront(f.elem)
+		sh.mu.Unlock()
+		return f.data, true, nil
+	}
+	sh.misses++
+	sh.mu.Unlock()
+	data, err := bp.disk.readPage(key.file, key.page)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+// admit inserts a freshly read page, unless a concurrent reader admitted
+// it first (then the cached copy wins).
+func (bp *BufferPool) admit(key pageKey, data []byte, m *cost.Meter) []byte {
+	sh := bp.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[key]; ok {
+		sh.lru.MoveToFront(f.elem)
+		return f.data
+	}
+	for sh.lru.Len() >= sh.capacity {
+		victim := sh.lru.Back()
 		vf := victim.Value.(*frame)
 		if vf.dirty && m != nil {
 			m.Charge(cost.PageWrite, 1)
 		}
-		bp.lru.Remove(victim)
-		delete(bp.frames, vf.key)
+		sh.lru.Remove(victim)
+		delete(sh.frames, vf.key)
 	}
 	f := &frame{key: key, data: data}
-	f.elem = bp.lru.PushFront(f)
-	bp.frames[key] = f
+	f.elem = sh.lru.PushFront(f)
+	sh.frames[key] = f
+	return data
 }
 
 // MarkDirty records that the page was modified; the write-back is charged
 // on eviction or Flush.
 func (bp *BufferPool) MarkDirty(file FileID, page PageID) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if f, ok := bp.frames[pageKey{file, page}]; ok {
+	sh := bp.shard(pageKey{file, page})
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[pageKey{file, page}]; ok {
 		f.dirty = true
 	}
 }
@@ -128,48 +244,58 @@ func (bp *BufferPool) MarkDirty(file FileID, page PageID) {
 // FlushFile charges write-back for every dirty cached page of the file and
 // marks them clean. Used at commit points.
 func (bp *BufferPool) FlushFile(file FileID, m *cost.Meter) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for _, f := range bp.frames {
-		if f.key.file == file && f.dirty {
-			if m != nil {
-				m.Charge(cost.PageWrite, 1)
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.key.file == file && f.dirty {
+				if m != nil {
+					m.Charge(cost.PageWrite, 1)
+				}
+				f.dirty = false
 			}
-			f.dirty = false
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // FlushAll charges write-back for every dirty cached page.
 func (bp *BufferPool) FlushAll(m *cost.Meter) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for _, f := range bp.frames {
-		if f.dirty {
-			if m != nil {
-				m.Charge(cost.PageWrite, 1)
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.dirty {
+				if m != nil {
+					m.Charge(cost.PageWrite, 1)
+				}
+				f.dirty = false
 			}
-			f.dirty = false
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // DropFile evicts all cached pages of the file without write-back.
 func (bp *BufferPool) DropFile(file FileID) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for key, f := range bp.frames {
-		if key.file == file {
-			bp.lru.Remove(f.elem)
-			delete(bp.frames, key)
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		for key, f := range sh.frames {
+			if key.file == file {
+				sh.lru.Remove(f.elem)
+				delete(sh.frames, key)
+			}
 		}
+		sh.mu.Unlock()
 	}
+	bp.seqMu.Lock()
 	delete(bp.lastRead, file)
+	bp.seqMu.Unlock()
 }
 
 // ResetStats zeroes hit/miss counters.
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.hits, bp.misses = 0, 0
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		sh.hits, sh.misses = 0, 0
+		sh.mu.Unlock()
+	}
 }

@@ -20,7 +20,7 @@ import (
 // Inserts append to the last page; deletes tombstone in place. Space from
 // deleted rows is reclaimed only by Compact, mirroring a simple RDBMS heap.
 type HeapFile struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	disk    *Disk
 	pool    *BufferPool
 	file    FileID
@@ -52,8 +52,8 @@ func (h *HeapFile) Codec() *val.RowCodec { return h.codec }
 
 // Rows returns the number of live rows.
 func (h *HeapFile) Rows() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	return h.rows
 }
 
@@ -189,6 +189,47 @@ func (h *HeapFile) Scan(m *cost.Meter, fn func(rid RID, row []val.Value) error) 
 	buf := make([]val.Value, 0, h.codec.NumCols())
 	for p := 0; p < n; p++ {
 		page, err := h.pool.Get(h.file, PageID(p), m)
+		if err != nil {
+			return err
+		}
+		used := pageUsed(page)
+		for s := 0; s < used; s++ {
+			if deleted(page, s) {
+				continue
+			}
+			off := h.slotOffset(s)
+			buf = buf[:0]
+			buf, err = h.codec.Decode(page[off:off+h.codec.RowBytes()], buf)
+			if err != nil {
+				return err
+			}
+			if m != nil {
+				m.Charge(cost.TupleCPU, 1)
+			}
+			if err := fn(RID{Page: PageID(p), Slot: uint16(s)}, buf); err != nil {
+				if err == ErrStopScan {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ScanRange calls fn for every live row in pages [loPage, hiPage), in
+// file order — one partition of a parallel scan. Page charging is
+// partition-local: the first page of the range costs a random read (the
+// worker's arm seeks there), subsequent pages are sequential. The global
+// per-file sequential detector is untouched, so concurrent partitions
+// charge deterministically.
+func (h *HeapFile) ScanRange(loPage, hiPage int, m *cost.Meter, fn func(rid RID, row []val.Value) error) error {
+	if n := h.disk.NumPages(h.file); hiPage > n {
+		hiPage = n
+	}
+	buf := make([]val.Value, 0, h.codec.NumCols())
+	for p := loPage; p < hiPage; p++ {
+		page, err := h.pool.GetScan(h.file, PageID(p), p > loPage, m)
 		if err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"r3bench/internal/cost"
@@ -308,5 +309,76 @@ func TestRandomizedHeapAgainstModel(t *testing.T) {
 	})
 	if seen != len(model) {
 		t.Fatalf("scan saw %d, want %d", seen, len(model))
+	}
+}
+
+// TestConcurrentScansSharedPool drives partitioned ScanRange workers and
+// whole-file Scans through one undersized buffer pool at once (run under
+// -race). Each goroutine charges its own meter; partitions must cover
+// every row exactly once and full scans must see a consistent file.
+func TestConcurrentScansSharedPool(t *testing.T) {
+	h, _, m := newTestHeap(t, 8*PageSize) // far smaller than the file: constant eviction
+	const nRows = 5000
+	var want int64
+	for i := 0; i < nRows; i++ {
+		if _, err := h.Insert(row(i), m); err != nil {
+			t.Fatal(err)
+		}
+		want += int64(i)
+	}
+	pages := h.Pages()
+	const workers = 8
+	per := (pages + workers - 1) / workers
+
+	var wg sync.WaitGroup
+	partSums := make([]int64, workers)
+	partCounts := make([]int64, workers)
+	errs := make([]error, workers+2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * per
+			hi := lo + per
+			wm := cost.NewMeter(cost.Default1996())
+			errs[w] = h.ScanRange(lo, hi, wm, func(rid RID, r []val.Value) error {
+				partSums[w] += r[0].AsInt()
+				partCounts[w]++
+				return nil
+			})
+		}(w)
+	}
+	// Two full scans race against the partition workers on the same pool.
+	fullSums := make([]int64, 2)
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sm := cost.NewMeter(cost.Default1996())
+			errs[workers+s] = h.Scan(sm, func(rid RID, r []val.Value) error {
+				fullSums[s] += r[0].AsInt()
+				return nil
+			})
+		}(s)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("scanner %d: %v", i, err)
+		}
+	}
+	var gotSum, gotCount int64
+	for w := 0; w < workers; w++ {
+		gotSum += partSums[w]
+		gotCount += partCounts[w]
+	}
+	if gotCount != nRows || gotSum != want {
+		t.Fatalf("partitions saw %d rows (sum %d), want %d (sum %d)", gotCount, gotSum, nRows, want)
+	}
+	for s, sum := range fullSums {
+		if sum != want {
+			t.Fatalf("full scan %d: sum %d, want %d", s, sum, want)
+		}
 	}
 }

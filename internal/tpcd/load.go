@@ -1,6 +1,8 @@
 package tpcd
 
 import (
+	"sync"
+
 	"r3bench/internal/cost"
 	"r3bench/internal/dbgen"
 	"r3bench/internal/engine"
@@ -10,106 +12,146 @@ import (
 // loadBatch is the bulk-load flush granularity.
 const loadBatch = 4096
 
+// tableLoader batches rows of one table for bulk loading. Each parallel
+// loader goroutine owns its own tableLoader(s), so batches never mix.
+type tableLoader struct {
+	db    *engine.DB
+	m     *cost.Meter
+	table string
+	batch [][]val.Value
+}
+
+func (l *tableLoader) add(row []val.Value) error {
+	l.batch = append(l.batch, row)
+	if len(l.batch) >= loadBatch {
+		return l.flush()
+	}
+	return nil
+}
+
+func (l *tableLoader) flush() error {
+	if len(l.batch) == 0 {
+		return nil
+	}
+	err := l.db.BulkLoad(l.table, l.batch, l.m)
+	l.batch = l.batch[:0]
+	return err
+}
+
 // Load bulk-loads the generated population into the original TPC-D schema
 // through the RDBMS's bulk-loading interface — the path the paper notes
 // SAP R/3's batch input does not use — and gathers statistics.
+//
+// Tables load in parallel, one goroutine per table (ORDERS and LINEITEM
+// share one, since the generator emits them interleaved). Every dbgen
+// entity stream draws from its own fixed-seed RNG and every goroutine
+// fills only its own heap file(s), so the loaded database is byte-
+// identical to a serial load regardless of scheduling. The shared meter,
+// if any, is charged concurrently (it is thread-safe); all current
+// harness callers pass nil and time loads on the wall clock instead.
 func Load(db *engine.DB, g *dbgen.Generator, m *cost.Meter) error {
 	if err := CreateSchema(db, m); err != nil {
 		return err
 	}
-	var batch [][]val.Value
-	flush := func(table string) error {
-		if len(batch) == 0 {
-			return nil
-		}
-		err := db.BulkLoad(table, batch, m)
-		batch = batch[:0]
-		return err
-	}
-	add := func(table string, row []val.Value) error {
-		batch = append(batch, row)
-		if len(batch) >= loadBatch {
-			return flush(table)
-		}
-		return nil
+	newLoader := func(table string) *tableLoader {
+		return &tableLoader{db: db, m: m, table: table}
 	}
 
-	for _, r := range g.Regions() {
-		if err := add("REGION", []val.Value{val.Int(r.Key), val.Str(r.Name), val.Str(r.Comment)}); err != nil {
-			return err
-		}
-	}
-	if err := flush("REGION"); err != nil {
-		return err
-	}
-	for _, n := range g.NationRows() {
-		if err := add("NATION", []val.Value{val.Int(n.Key), val.Str(n.Name), val.Int(n.RegionKey), val.Str(n.Comment)}); err != nil {
-			return err
-		}
-	}
-	if err := flush("NATION"); err != nil {
-		return err
-	}
-	if err := g.Suppliers(func(s dbgen.Supplier) error {
-		return add("SUPPLIER", supplierRow(s))
-	}); err != nil {
-		return err
-	}
-	if err := flush("SUPPLIER"); err != nil {
-		return err
-	}
-	if err := g.Parts(func(p dbgen.Part) error {
-		return add("PART", []val.Value{val.Int(p.Key), val.Str(p.Name), val.Str(p.Mfgr),
-			val.Str(p.Brand), val.Str(p.Type), val.Int(p.Size), val.Str(p.Container),
-			val.Float(p.RetailPrice), val.Str(p.Comment)})
-	}); err != nil {
-		return err
-	}
-	if err := flush("PART"); err != nil {
-		return err
-	}
-	if err := g.PartSupps(func(ps dbgen.PartSupp) error {
-		return add("PARTSUPP", []val.Value{val.Int(ps.PartKey), val.Int(ps.SuppKey),
-			val.Int(ps.AvailQty), val.Float(ps.SupplyCost), val.Str(ps.Comment)})
-	}); err != nil {
-		return err
-	}
-	if err := flush("PARTSUPP"); err != nil {
-		return err
-	}
-	if err := g.Customers(func(c dbgen.Customer) error {
-		return add("CUSTOMER", []val.Value{val.Int(c.Key), val.Str(c.Name), val.Str(c.Address),
-			val.Int(c.NationKey), val.Str(c.Phone), val.Float(c.AcctBal),
-			val.Str(c.MktSegment), val.Str(c.Comment)})
-	}); err != nil {
-		return err
-	}
-	if err := flush("CUSTOMER"); err != nil {
-		return err
-	}
-	var liBatch [][]val.Value
-	if err := g.Orders(func(o *dbgen.Order) error {
-		if err := add("ORDERS", OrderRow(o)); err != nil {
-			return err
-		}
-		for _, li := range o.Lines {
-			liBatch = append(liBatch, LineitemRow(li))
-			if len(liBatch) >= loadBatch {
-				if err := db.BulkLoad("LINEITEM", liBatch, m); err != nil {
+	loaders := []func() error{
+		func() error { // REGION + NATION: tiny, share a goroutine
+			l := newLoader("REGION")
+			for _, r := range g.Regions() {
+				if err := l.add([]val.Value{val.Int(r.Key), val.Str(r.Name), val.Str(r.Comment)}); err != nil {
 					return err
 				}
-				liBatch = liBatch[:0]
 			}
-		}
-		return nil
-	}); err != nil {
-		return err
+			if err := l.flush(); err != nil {
+				return err
+			}
+			l = newLoader("NATION")
+			for _, n := range g.NationRows() {
+				if err := l.add([]val.Value{val.Int(n.Key), val.Str(n.Name), val.Int(n.RegionKey), val.Str(n.Comment)}); err != nil {
+					return err
+				}
+			}
+			return l.flush()
+		},
+		func() error {
+			l := newLoader("SUPPLIER")
+			if err := g.Suppliers(func(s dbgen.Supplier) error {
+				return l.add(supplierRow(s))
+			}); err != nil {
+				return err
+			}
+			return l.flush()
+		},
+		func() error {
+			l := newLoader("PART")
+			if err := g.Parts(func(p dbgen.Part) error {
+				return l.add([]val.Value{val.Int(p.Key), val.Str(p.Name), val.Str(p.Mfgr),
+					val.Str(p.Brand), val.Str(p.Type), val.Int(p.Size), val.Str(p.Container),
+					val.Float(p.RetailPrice), val.Str(p.Comment)})
+			}); err != nil {
+				return err
+			}
+			return l.flush()
+		},
+		func() error {
+			l := newLoader("PARTSUPP")
+			if err := g.PartSupps(func(ps dbgen.PartSupp) error {
+				return l.add([]val.Value{val.Int(ps.PartKey), val.Int(ps.SuppKey),
+					val.Int(ps.AvailQty), val.Float(ps.SupplyCost), val.Str(ps.Comment)})
+			}); err != nil {
+				return err
+			}
+			return l.flush()
+		},
+		func() error {
+			l := newLoader("CUSTOMER")
+			if err := g.Customers(func(c dbgen.Customer) error {
+				return l.add([]val.Value{val.Int(c.Key), val.Str(c.Name), val.Str(c.Address),
+					val.Int(c.NationKey), val.Str(c.Phone), val.Float(c.AcctBal),
+					val.Str(c.MktSegment), val.Str(c.Comment)})
+			}); err != nil {
+				return err
+			}
+			return l.flush()
+		},
+		func() error { // ORDERS + LINEITEM arrive interleaved from one stream
+			lo := newLoader("ORDERS")
+			ll := newLoader("LINEITEM")
+			if err := g.Orders(func(o *dbgen.Order) error {
+				if err := lo.add(OrderRow(o)); err != nil {
+					return err
+				}
+				for _, li := range o.Lines {
+					if err := ll.add(LineitemRow(li)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if err := lo.flush(); err != nil {
+				return err
+			}
+			return ll.flush()
+		},
 	}
-	if err := flush("ORDERS"); err != nil {
-		return err
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(loaders))
+	for i, fn := range loaders {
+		wg.Add(1)
+		go func(i int, fn func() error) {
+			defer wg.Done()
+			errs[i] = fn()
+		}(i, fn)
 	}
-	if len(liBatch) > 0 {
-		if err := db.BulkLoad("LINEITEM", liBatch, m); err != nil {
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Snapshot the simulated-1996-clock benchmark numbers into BENCH_<date>.json
+# at the repo root, so perf changes are reviewable in diffs. Usage:
+#
+#   ./scripts/bench_snapshot.sh [bench-regex]
+#
+# The default regex covers the power test per strategy plus the parallel
+# degrees and per-query parallel pairs (DESIGN.md §5).
+set -eu
+
+cd "$(dirname "$0")/.."
+regex="${1:-BenchmarkPower22_RDBMS$|BenchmarkPowerParallel|BenchmarkParallelQ}"
+out="BENCH_$(date +%F).json"
+
+raw=$(go test -run xxx -bench "$regex" -benchtime 1x . 2>&1) || {
+	printf '%s\n' "$raw" >&2
+	exit 1
+}
+
+printf '%s\n' "$raw" | awk -v date="$(date +%F)" '
+/^Benchmark/ {
+	name = $1
+	sim = ""
+	for (i = 2; i <= NF; i++) if ($(i+1) == "sim-ms/op") sim = $i
+	if (sim == "") next
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"sim_ms\": %s}", name, sim
+	if (name ~ /Parallel1_RDBMS/) serial = sim
+	if (name ~ /Parallel4_RDBMS/) deg4 = sim
+}
+BEGIN {
+	printf "{\n  \"date\": \"%s\",\n", date
+	printf "  \"clock\": \"simulated 1996 hardware (internal/cost)\",\n"
+	printf "  \"benchmarks\": [\n"
+}
+END {
+	printf "\n  ]"
+	if (serial != "" && deg4 != "")
+		printf ",\n  \"power_speedup_deg4\": %.2f", serial / deg4
+	printf "\n}\n"
+}' > "$out"
+
+echo "wrote $out"
+cat "$out"
