@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench-snapshot check
+# Newest committed snapshot is the regression baseline for bench-diff.
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+
+.PHONY: all vet build test race bench-smoke bench-snapshot bench-diff ci check
 
 all: check
 
@@ -23,5 +26,12 @@ bench-smoke:
 # Full snapshot of the simulated-clock numbers into a committed BENCH_<date>.json.
 bench-snapshot:
 	./scripts/bench_snapshot.sh
+
+# Gate: fresh snapshot vs the committed baseline; fails on a >10%
+# simulated-time regression in any benchmark.
+bench-diff:
+	./scripts/bench_diff.sh $(BENCH_BASELINE)
+
+ci: vet race bench-diff
 
 check: vet build race bench-smoke

@@ -1,0 +1,95 @@
+// Command benchdiff compares two benchmark snapshots produced by
+// scripts/bench_snapshot.sh and fails when the simulated clock
+// regressed. It is the CI gate against accidental cost regressions:
+//
+//	benchdiff [-threshold 10] OLD.json NEW.json
+//
+// Exit status 1 means at least one benchmark's sim_ms grew by more than
+// the threshold percentage; benchmarks present in only one file are
+// reported but do not fail the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type snapshot struct {
+	Date       string      `json:"date"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name  string  `json:"name"`
+	SimMS float64 `json:"sim_ms"`
+}
+
+func load(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "fail when sim_ms grows by more than this percentage")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldS, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newS, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	oldBy := make(map[string]float64, len(oldS.Benchmarks))
+	for _, b := range oldS.Benchmarks {
+		oldBy[b.Name] = b.SimMS
+	}
+
+	fmt.Printf("%-36s %12s %12s %9s\n", "benchmark", "old sim_ms", "new sim_ms", "delta")
+	failed := false
+	seen := make(map[string]bool, len(newS.Benchmarks))
+	for _, b := range newS.Benchmarks {
+		seen[b.Name] = true
+		old, ok := oldBy[b.Name]
+		if !ok {
+			fmt.Printf("%-36s %12s %12.4g %9s\n", b.Name, "-", b.SimMS, "new")
+			continue
+		}
+		delta := 0.0
+		if old != 0 {
+			delta = (b.SimMS - old) / old * 100
+		}
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-36s %12.4g %12.4g %+8.1f%%%s\n", b.Name, old, b.SimMS, delta, mark)
+	}
+	for _, b := range oldS.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Printf("%-36s %12.4g %12s %9s\n", b.Name, b.SimMS, "-", "gone")
+		}
+	}
+	if failed {
+		fmt.Printf("\nFAIL: at least one benchmark regressed by more than %.4g%% simulated time\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("\nOK: no benchmark regressed by more than %.4g%% simulated time\n", *threshold)
+}

@@ -25,6 +25,8 @@ func main() {
 	sf := flag.Float64("sf", core.DefaultSF, "TPC-D scale factor (paper: 0.2)")
 	parallel := flag.Int("parallel", 1, "intra-query parallel degree (1 = serial, as in the paper)")
 	exp := flag.String("exp", "all", "experiments to run: all, or comma-separated table1..table9")
+	showMetrics := flag.Bool("metrics", false, "print the cumulative metrics registry after the run")
+	metricsJSON := flag.String("metrics-json", "", "write the metrics registry as JSON to this file")
 	flag.Parse()
 
 	cfg := &core.Config{SF: *sf, Parallel: *parallel, Out: os.Stdout}
@@ -42,6 +44,29 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "r3bench:", err)
 		os.Exit(1)
+	}
+	if *showMetrics || *metricsJSON != "" {
+		reg := core.CollectMetrics(cfg)
+		if *showMetrics {
+			fmt.Println("\n== metrics ==")
+			if err := reg.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "r3bench: writing metrics:", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsJSON != "" {
+			f, err := os.Create(*metricsJSON)
+			if err == nil {
+				err = reg.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "r3bench: writing metrics JSON:", err)
+				os.Exit(1)
+			}
+		}
 	}
 	fmt.Printf("\n(wall time: %s)\n", time.Since(start).Round(time.Millisecond))
 }

@@ -7,6 +7,7 @@
 //	sqlshell [-load 0.01]
 //	> SELECT COUNT(*) FROM lineitem;
 //	> EXPLAIN SELECT * FROM orders WHERE o_orderkey = 42;
+//	> EXPLAIN ANALYZE SELECT COUNT(*) FROM lineitem WHERE l_quantity < 10;
 package main
 
 import (
@@ -44,6 +45,15 @@ func main() {
 		case line == "" || strings.HasPrefix(line, "--"):
 		case line == "quit" || line == "exit" || line == `\q`:
 			return
+		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN ANALYZE "):
+			sql := strings.TrimSuffix(line[len("EXPLAIN ANALYZE "):], ";")
+			ap, err := sess.ExplainAnalyze(sql)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(ap)
+				fmt.Printf("%d row(s)\n", len(ap.Result.Rows))
+			}
 		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN "):
 			plan, err := sess.Explain(line[len("EXPLAIN "):])
 			if err != nil {

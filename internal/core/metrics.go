@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"r3bench/internal/engine"
+	"r3bench/internal/metrics"
+	"r3bench/internal/r3"
+)
+
+// CollectMetrics gathers cumulative counters from every environment
+// component the run actually built (lazily created databases that were
+// never touched do not appear): engine execution counts, per-shard
+// buffer-pool statistics, R/3 table-buffer statistics and system-wide
+// cursor-cache reuse.
+func CollectMetrics(cfg *Config) *metrics.Registry {
+	reg := metrics.New()
+	e := cfg.envOf()
+	if e.rdb != nil {
+		addEngineMetrics(reg, "rdb", e.rdb)
+	}
+	if e.sys2 != nil {
+		addSystemMetrics(reg, "sap22", e.sys2)
+	}
+	if e.sys3 != nil {
+		addSystemMetrics(reg, "sap30", e.sys3)
+	}
+	return reg
+}
+
+// addEngineMetrics publishes one engine's execution counters and its
+// buffer pool's overall and per-shard cache statistics.
+func addEngineMetrics(reg *metrics.Registry, prefix string, db *engine.DB) {
+	st := db.Stats()
+	reg.SetInt(prefix+".engine.selects", st.Selects)
+	reg.SetInt(prefix+".engine.parallel_selects", st.ParallelSelects)
+	reg.SetInt(prefix+".engine.parallel_runs", st.ParallelRuns)
+	pool := db.Pool()
+	reg.Set(prefix+".pool.hit_ratio", pool.HitRatio())
+	for i, sh := range pool.Stats() {
+		base := fmt.Sprintf("%s.pool.shard%d.", prefix, i)
+		reg.SetInt(base+"hits", sh.Hits)
+		reg.SetInt(base+"misses", sh.Misses)
+		reg.SetInt(base+"capacity_pages", int64(sh.Capacity))
+	}
+}
+
+// addSystemMetrics publishes an R/3 system's engine metrics plus its
+// application-server table-buffer and cursor-cache counters.
+func addSystemMetrics(reg *metrics.Registry, prefix string, sys *r3.System) {
+	addEngineMetrics(reg, prefix, sys.DB)
+	hits, misses := sys.CursorStats()
+	reg.SetInt(prefix+".cursor_cache.hits", hits)
+	reg.SetInt(prefix+".cursor_cache.misses", misses)
+	for _, bs := range sys.BufferStatsAll() {
+		base := prefix + ".table_buffer." + bs.Table + "."
+		reg.SetInt(base+"hits", bs.Hits)
+		reg.SetInt(base+"misses", bs.Misses)
+		reg.SetInt(base+"evictions", bs.Evictions)
+		reg.SetInt(base+"invalidations", bs.Invalidations)
+		reg.SetInt(base+"resident", bs.Resident)
+	}
+}

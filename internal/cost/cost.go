@@ -107,6 +107,7 @@ type Meter struct {
 	total   time.Duration
 	byKind  [numKinds]time.Duration
 	nEvents [numKinds]int64
+	cur     *Span // attribution target for subsequent charges, may be nil
 }
 
 // NewMeter returns a Meter charging against the given model.
@@ -124,7 +125,11 @@ func (m *Meter) Charge(k Kind, n int64) {
 	m.total += d
 	m.byKind[k] += d
 	m.nEvents[k] += n
+	cur := m.cur
 	m.mu.Unlock()
+	if cur != nil {
+		cur.add(k, d, n)
+	}
 }
 
 // ChargeDuration adds an explicit simulated duration under class k,
@@ -138,7 +143,35 @@ func (m *Meter) ChargeDuration(k Kind, d time.Duration) {
 	m.total += d
 	m.byKind[k] += d
 	m.nEvents[k]++
+	cur := m.cur
 	m.mu.Unlock()
+	if cur != nil {
+		cur.add(k, d, 1)
+	}
+}
+
+// SetSpan installs s as the attribution target for subsequent charges and
+// returns the previous target, so callers can scope a span push/pop style:
+//
+//	prev := m.SetSpan(op)
+//	... charges land on op ...
+//	m.SetSpan(prev)
+//
+// A nil s turns span attribution off. SetSpan never affects the meter's
+// own totals.
+func (m *Meter) SetSpan(s *Span) *Span {
+	m.mu.Lock()
+	prev := m.cur
+	m.cur = s
+	m.mu.Unlock()
+	return prev
+}
+
+// CurrentSpan returns the current attribution target (nil when none).
+func (m *Meter) CurrentSpan() *Span {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur
 }
 
 // Elapsed returns total simulated time charged so far.
@@ -224,7 +257,11 @@ func (m *Meter) AddParallel(workers ...*Meter) {
 		m.byKind[k] += kinds[k]
 		m.nEvents[k] += events[k]
 	}
+	cur := m.cur
 	m.mu.Unlock()
+	if cur != nil {
+		cur.addCombined(maxTotal, kinds, events)
+	}
 }
 
 // AddSum folds src meters into m by plain summation of totals, per-kind
@@ -251,7 +288,11 @@ func (m *Meter) AddSum(srcs ...*Meter) {
 		m.byKind[k] += kinds[k]
 		m.nEvents[k] += events[k]
 	}
+	cur := m.cur
 	m.mu.Unlock()
+	if cur != nil {
+		cur.addCombined(sumTotal, kinds, events)
+	}
 }
 
 // MaxElapsed returns the largest elapsed time among the meters: the

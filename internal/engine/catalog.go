@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"r3bench/internal/btree"
 	"r3bench/internal/cost"
@@ -92,6 +93,63 @@ type DB struct {
 	tables   map[string]*Table
 	views    map[string]*sqlparse.SelectStmt
 	parallel int // requested intra-query parallel degree (<=1 = serial)
+
+	// writeHook observes every committed row mutation (guarded by mu).
+	writeHook WriteHook
+
+	// Cumulative execution counters for the metrics registry.
+	selects         atomic.Int64 // SELECT executions
+	parallelSelects atomic.Int64 // of those, plans compiled with degree >= 2
+	parallelRuns    atomic.Int64 // executions that engaged parallel workers
+}
+
+// WriteHook observes one row mutation: oldRow is nil on insert, newRow
+// is nil on delete. Hooks run synchronously on the writing session's
+// goroutine, on every write path (SQL DML, prepared DML, InsertRow,
+// BulkLoad) — the R/3 layer registers one to invalidate application-
+// server table buffers no matter which interface performed the write.
+type WriteHook func(table string, oldRow, newRow []val.Value)
+
+// SetWriteHook installs the database's write observer (nil to remove).
+func (db *DB) SetWriteHook(h WriteHook) {
+	db.mu.Lock()
+	db.writeHook = h
+	db.mu.Unlock()
+}
+
+// noteWrite invokes the write hook, if any.
+func (db *DB) noteWrite(table string, oldRow, newRow []val.Value) {
+	db.mu.RLock()
+	h := db.writeHook
+	db.mu.RUnlock()
+	if h != nil {
+		h(table, oldRow, newRow)
+	}
+}
+
+// EngineStats is a snapshot of the engine's cumulative execution
+// counters.
+type EngineStats struct {
+	Selects         int64 // SELECT executions
+	ParallelSelects int64 // executions of plans compiled with parallel degree >= 2
+	ParallelRuns    int64 // executions that actually engaged parallel workers
+}
+
+// Stats snapshots the execution counters.
+func (db *DB) Stats() EngineStats {
+	return EngineStats{
+		Selects:         db.selects.Load(),
+		ParallelSelects: db.parallelSelects.Load(),
+		ParallelRuns:    db.parallelRuns.Load(),
+	}
+}
+
+// noteSelect counts one SELECT execution.
+func (db *DB) noteSelect(p *selectPlan) {
+	db.selects.Add(1)
+	if p.parallel >= 2 {
+		db.parallelSelects.Add(1)
+	}
 }
 
 // Config controls an engine instance.

@@ -110,6 +110,7 @@ func (s *Session) execParsed(stmt sqlparse.Statement, params []val.Value) (*Resu
 
 // runSelect executes a compiled plan, charging client row shipping.
 func (s *Session) runSelect(plan *selectPlan, params []val.Value) (*Result, error) {
+	s.db.noteSelect(plan)
 	rt := &runtime{sess: s, params: params, subCache: make(map[*selectPlan][][]val.Value)}
 	res := &Result{Cols: plan.outCols}
 	err := plan.run(rt, nil, func(row []val.Value) error {
@@ -304,6 +305,7 @@ func (db *DB) insertRow(t *Table, row []val.Value, m *cost.Meter) error {
 			return fmt.Errorf("engine: %s: %w", t.Name, err)
 		}
 	}
+	db.noteWrite(t.Name, nil, row)
 	return nil
 }
 
@@ -354,6 +356,7 @@ func (s *Session) execDelete(st *sqlparse.DeleteStmt, params []val.Value) (*Resu
 				return nil, err
 			}
 		}
+		s.db.noteWrite(t.Name, rows[i], nil)
 	}
 	t.Heap.Flush(s.Meter)
 	s.Meter.Charge(cost.Commit, 1)
@@ -419,6 +422,7 @@ func (s *Session) execUpdate(st *sqlparse.UpdateStmt, params []val.Value) (*Resu
 				}
 			}
 		}
+		s.db.noteWrite(t.Name, oldRow, newRow)
 	}
 	t.Heap.Flush(s.Meter)
 	s.Meter.Charge(cost.Commit, 1)

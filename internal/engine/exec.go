@@ -26,6 +26,7 @@ type blockExec struct {
 	row    []val.Value
 	state  map[stepper]any
 	curRID storage.RID // last RID emitted by a scan (single-relation DML)
+	prof   *planProf   // operator spans under ExplainAnalyze; nil otherwise
 }
 
 // stepper is one stage of the left-deep join pipeline. run is invoked once
@@ -37,12 +38,37 @@ type stepper interface {
 
 // runSteps drives the pipeline from step i.
 func runSteps(steps []stepper, i int, be *blockExec, sink func() error) error {
+	if be.prof != nil {
+		return runStepsProf(steps, i, be, sink)
+	}
 	if i == len(steps) {
 		return sink()
 	}
 	return steps[i].run(be, func() error {
 		return runSteps(steps, i+1, be, sink)
 	})
+}
+
+// runStepsProf is runSteps with per-operator span attribution: step i's
+// work charges its own span, entering step i+1 counts one row produced
+// by step i, and the sink (projection / aggregation input) charges the
+// plan's output span.
+func runStepsProf(steps []stepper, i int, be *blockExec, sink func() error) error {
+	m := be.rt.meter()
+	if i == len(steps) {
+		prev := m.SetSpan(be.prof.output)
+		err := sink()
+		m.SetSpan(prev)
+		return err
+	}
+	sp := be.prof.steps[i]
+	prev := m.SetSpan(sp)
+	err := steps[i].run(be, func() error {
+		sp.AddRows(1)
+		return runStepsProf(steps, i+1, be, sink)
+	})
+	m.SetSpan(prev)
+	return err
 }
 
 // evalFilters evaluates a conjunction; unknown (NULL) is not true.
@@ -680,6 +706,7 @@ func (p *selectPlan) runSerial(rt *runtime, outer rowStack, emit func([]val.Valu
 		rt:    rt,
 		row:   make([]val.Value, p.nSlots),
 		state: state,
+		prof:  rt.planProf(p),
 	}
 	be.stack = append(append(rowStack{}, outer...), be.row)
 
@@ -701,6 +728,13 @@ func (p *selectPlan) runSerial(rt *runtime, outer rowStack, emit func([]val.Valu
 		err = p.runAggregated(be, produce, outer)
 	}
 	if err != nil && err != errStopIteration {
+		return err
+	}
+	if be.prof != nil {
+		m := rt.meter()
+		prev := m.SetSpan(be.prof.output)
+		err = sink.finish()
+		m.SetSpan(prev)
 		return err
 	}
 	return sink.finish()
@@ -834,9 +868,14 @@ func (p *selectPlan) runAggregated(be *blockExec, produce func(rowStack) error, 
 	if err != nil && err != errStopIteration {
 		return err
 	}
+	m := be.rt.meter()
+	if be.prof != nil {
+		prev := m.SetSpan(be.prof.output)
+		defer m.SetSpan(prev)
+	}
 	// Pipelined sort-group cost: sort the input once; no intermediate
 	// materialization.
-	chargeSort(be.rt.meter(), acc.nInput, 48)
+	chargeSort(m, acc.nInput, 48)
 	return p.finalizeGroups(be.rt, acc, outer, produce)
 }
 

@@ -24,6 +24,9 @@ type runtime struct {
 	// m overrides the session meter for one parallel worker lane; nil
 	// means charge the session meter directly.
 	m *cost.Meter
+	// prof collects per-operator span attribution when the statement runs
+	// under ExplainAnalyze; nil otherwise.
+	prof *execProfile
 }
 
 func (rt *runtime) meter() *cost.Meter {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	stdruntime "runtime"
 	"sync"
 
@@ -100,20 +101,27 @@ func (p *selectPlan) runParallel(rt *runtime, outer rowStack, emit func([]val.Va
 	subMu := &sync.Mutex{}
 	model := rt.sess.Meter.Model()
 
+	pp := rt.planProf(p) // nil unless running under ExplainAnalyze
+
 	// Pre-build every hash-join table once on the coordinator so workers
 	// share a read-only build side instead of each building their own —
 	// partitioned parallel build when the build side is a wide-enough
 	// base-table scan, serial coordinator build otherwise.
 	builtParallel := false
 	shared := make(map[stepper]any)
-	for _, st := range p.steps[1:] {
-		hs, ok := st.(*hashStep)
+	for si := 1; si < len(p.steps); si++ {
+		hs, ok := p.steps[si].(*hashStep)
 		if !ok {
 			continue
+		}
+		restore := noopRestore
+		if pp != nil {
+			restore = rt.spanScope(pp.steps[si])
 		}
 		var ht hashTable
 		if hs.rel.table != nil && hs.access.index == nil {
 			if ht, err = p.parallelBuild(rt, outer, hs, subMu, model); err != nil {
+				restore()
 				return true, err
 			}
 			builtParallel = builtParallel || ht != nil
@@ -122,27 +130,49 @@ func (p *selectPlan) runParallel(rt *runtime, outer rowStack, emit func([]val.Va
 			be0 := &blockExec{rt: rt, row: make([]val.Value, p.nSlots), state: shared}
 			be0.stack = append(append(rowStack{}, outer...), be0.row)
 			if ht, err = hs.build(be0); err != nil {
+				restore()
 				return true, err
 			}
 		}
 		shared[hs] = ht
+		restore()
 	}
 
 	if !partitionedLead {
 		if !builtParallel && len(shared) == 0 {
 			return false, nil
 		}
+		rt.sess.db.parallelRuns.Add(1)
 		// Build-only parallelism: probe pipeline runs serially over the
 		// pre-built (shared) hash tables.
 		return true, p.runSerial(rt, outer, emit, shared)
 	}
+	rt.sess.db.parallelRuns.Add(1)
 	heap := lead.rel.table.Heap
+
+	// Under ExplainAnalyze, per-lane operator detail hangs below one
+	// "parallel" span; the span itself receives the max-combined lane
+	// elapsed when AddParallel runs, so totals reconcile.
+	var par *cost.Span
+	laneSpans := make([]*cost.Span, len(parts))
+	if pp != nil {
+		par = rt.prof.parallelSpan(p, len(parts))
+		for i := range parts {
+			laneSpans[i] = par.LaneChild(fmt.Sprintf("worker %d", i))
+		}
+	}
 
 	results := make([]partResult, len(parts))
 	runPartitions(len(parts), func(i int) {
 		m := cost.NewMeter(model)
 		rtW := &runtime{sess: rt.sess, params: rt.params, subCache: rt.subCache, subMu: subMu, m: m}
-		beW := &blockExec{rt: rtW, row: make([]val.Value, p.nSlots), state: make(map[stepper]any, len(shared))}
+		var lanePP *planProf
+		if laneSpans[i] != nil {
+			rtW.prof = newExecProfile(laneSpans[i])
+			lanePP = rtW.prof.planFor(p)
+			m.SetSpan(lanePP.steps[0])
+		}
+		beW := &blockExec{rt: rtW, row: make([]val.Value, p.nSlots), state: make(map[stepper]any, len(shared)), prof: lanePP}
 		for k, v := range shared {
 			beW.state[k] = v
 		}
@@ -176,10 +206,16 @@ func (p *selectPlan) runParallel(rt *runtime, outer rowStack, emit func([]val.Va
 				return err
 			}
 			beW.curRID = rid
+			if lanePP != nil {
+				lanePP.steps[0].AddRows(1)
+			}
 			return runSteps(p.steps, 1, beW, sink)
 		})
 		if res.err != nil {
 			return
+		}
+		if lanePP != nil {
+			m.SetSpan(lanePP.output)
 		}
 		// Each worker sorts its partition's output; the coordinator only
 		// merges the pre-sorted runs.
@@ -188,19 +224,30 @@ func (p *selectPlan) runParallel(rt *runtime, outer rowStack, emit func([]val.Va
 		} else if len(p.orderKeys) > 0 {
 			chargeSort(m, int64(len(res.rows)), int64(len(p.projections)+len(p.orderKeys))*24)
 		}
+		if lanePP != nil {
+			m.SetSpan(nil)
+		}
 	})
 
 	meters := make([]*cost.Meter, len(results))
 	for i := range results {
 		meters[i] = results[i].m
 	}
+	restorePar := noopRestore
+	if par != nil {
+		restorePar = rt.spanScope(par)
+	}
 	rt.sess.Meter.AddParallel(meters...)
+	restorePar()
 	for i := range results {
 		if results[i].err != nil {
 			return true, results[i].err
 		}
 	}
 
+	if pp != nil {
+		defer rt.spanScope(pp.output)()
+	}
 	sink := newOutputSink(p, rt.meter(), emit)
 	sink.runs = len(results)
 	if p.agg != nil {

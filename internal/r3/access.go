@@ -13,22 +13,26 @@ import (
 // same cursor for, say, all the queries that retrieve the matching tuples
 // of the inner relation in a nested SELECT statement").
 type stmtCache struct {
+	sys   *System
 	sess  *engine.Session
 	stmts map[string]*engine.Stmt
 	hits  int64
 }
 
-func newStmtCache(sess *engine.Session) *stmtCache {
-	return &stmtCache{sess: sess, stmts: make(map[string]*engine.Stmt)}
+func newStmtCache(sys *System, sess *engine.Session) *stmtCache {
+	return &stmtCache{sys: sys, sess: sess, stmts: make(map[string]*engine.Stmt)}
 }
 
 // get returns a prepared cursor for the statement text, preparing it on
-// first use.
+// first use. Hits and misses also roll up into system-wide counters for
+// the metrics registry.
 func (sc *stmtCache) get(sql string) (*engine.Stmt, error) {
 	if st, ok := sc.stmts[sql]; ok {
 		sc.hits++
+		sc.sys.cursorHits.Add(1)
 		return st, nil
 	}
+	sc.sys.cursorMisses.Add(1)
 	st, err := sc.sess.Prepare(sql)
 	if err != nil {
 		return nil, err
@@ -304,7 +308,7 @@ func (sys *System) ConvertToTransparent(name string, m *cost.Meter) error {
 		return fmt.Errorf("r3: Release 2.2 can only convert pool tables, %s is a cluster table", name)
 	}
 	s := sys.DB.NewSessionWithMeter(m)
-	sc := newStmtCache(s)
+	sc := newStmtCache(sys, s)
 
 	// Materialize all logical rows first (the conversion reads through
 	// the old representation).
@@ -406,7 +410,7 @@ func (sys *System) RowCount(name string) int64 {
 	}
 	var n int64
 	s := sys.DB.NewSessionWithMeter(nil)
-	sc := newStmtCache(s)
+	sc := newStmtCache(sys, s)
 	_ = sys.scanLogical(sc, t, nil, func([]val.Value) error {
 		n++
 		return nil

@@ -2,6 +2,8 @@ package r3
 
 import (
 	"container/list"
+	"sort"
+	"strings"
 	"sync"
 
 	"r3bench/internal/cost"
@@ -15,14 +17,16 @@ import (
 // periodic in real SAP R/3; this simulation has one server, so writes
 // simply invalidate.
 type TableBuffer struct {
-	mu       sync.Mutex
-	table    string
-	capBytes int64
-	rowBytes int64 // modelled size of one cached row
-	entries  map[string]*list.Element
-	lru      *list.List
-	hits     int64
-	misses   int64
+	mu            sync.Mutex
+	table         string
+	capBytes      int64
+	rowBytes      int64 // modelled size of one cached row
+	entries       map[string]*list.Element
+	lru           *list.List
+	hits          int64
+	misses        int64
+	evictions     int64
+	invalidations int64
 }
 
 type bufEntry struct {
@@ -57,18 +61,24 @@ func (b *TableBuffer) lookup(key string, m *cost.Meter) ([]val.Value, bool) {
 	return nil, false
 }
 
-// insert caches a row, evicting LRU entries past the byte budget.
+// insert caches a row, evicting LRU entries past the byte budget. A key
+// already resident refreshes its row and moves to the front of the LRU
+// chain — re-caching is a touch, so a hot key must not keep an eviction
+// position from its first insert.
 func (b *TableBuffer) insert(key string, row []val.Value, m *cost.Meter) {
 	m.Charge(cost.TupleCPU, 4)
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if _, dup := b.entries[key]; dup {
+	if e, dup := b.entries[key]; dup {
+		e.Value.(*bufEntry).row = append([]val.Value(nil), row...)
+		b.lru.MoveToFront(e)
 		return
 	}
 	for int64(b.lru.Len()+1)*b.rowBytes > b.capBytes && b.lru.Len() > 0 {
 		victim := b.lru.Back()
 		delete(b.entries, victim.Value.(*bufEntry).key)
 		b.lru.Remove(victim)
+		b.evictions++
 	}
 	if b.rowBytes > b.capBytes {
 		return // degenerate budget: nothing fits
@@ -84,6 +94,55 @@ func (b *TableBuffer) invalidate(key string) {
 	if e, ok := b.entries[key]; ok {
 		delete(b.entries, key)
 		b.lru.Remove(e)
+		b.invalidations++
+	}
+}
+
+// invalidatePrefix drops every resident key starting with prefix — the
+// granularity available when one physical cluster row packs many logical
+// rows.
+func (b *TableBuffer) invalidatePrefix(prefix string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for key, e := range b.entries {
+		if strings.HasPrefix(key, prefix) {
+			delete(b.entries, key)
+			b.lru.Remove(e)
+			b.invalidations++
+		}
+	}
+}
+
+// invalidateAll empties the buffer (a write whose key cannot be mapped).
+func (b *TableBuffer) invalidateAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.invalidations += int64(b.lru.Len())
+	b.entries = make(map[string]*list.Element)
+	b.lru.Init()
+}
+
+// BufferStats is a snapshot of one table buffer's counters.
+type BufferStats struct {
+	Table         string
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+	Resident      int64 // entries currently cached
+}
+
+// Stats snapshots the buffer's counters.
+func (b *TableBuffer) Stats() BufferStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BufferStats{
+		Table:         b.table,
+		Hits:          b.hits,
+		Misses:        b.misses,
+		Evictions:     b.evictions,
+		Invalidations: b.invalidations,
+		Resident:      int64(b.lru.Len()),
 	}
 }
 
@@ -114,8 +173,13 @@ func (sys *System) SetBuffered(table string, capBytes int64) *TableBuffer {
 	}
 	sys.mu.Lock()
 	defer sys.mu.Unlock()
-	if capBytes <= 0 {
+	if old := sys.buffers[t.Name]; old != nil {
+		// Replacing or disabling: fold the counters into the retired
+		// bucket so cumulative metrics survive the buffer itself.
+		sys.retire(old.Stats())
 		delete(sys.buffers, t.Name)
+	}
+	if capBytes <= 0 {
 		return nil
 	}
 	var rowBytes int64
@@ -132,4 +196,48 @@ func (sys *System) Buffer(table string) *TableBuffer {
 	sys.mu.RLock()
 	defer sys.mu.RUnlock()
 	return sys.buffers[table]
+}
+
+// retire folds a disabled buffer's counters into the cumulative bucket.
+// Caller holds sys.mu. Resident is dropped: a retired buffer caches nothing.
+func (sys *System) retire(st BufferStats) {
+	acc := sys.retired[st.Table]
+	acc.Table = st.Table
+	acc.Hits += st.Hits
+	acc.Misses += st.Misses
+	acc.Evictions += st.Evictions
+	acc.Invalidations += st.Invalidations
+	sys.retired[st.Table] = acc
+}
+
+// BufferStatsAll snapshots every table buffer — live ones plus the
+// accumulated counters of buffers that have since been disabled — sorted
+// by table name for deterministic reporting.
+func (sys *System) BufferStatsAll() []BufferStats {
+	sys.mu.RLock()
+	byTable := make(map[string]BufferStats, len(sys.buffers)+len(sys.retired))
+	for name, acc := range sys.retired {
+		byTable[name] = acc
+	}
+	bufs := make([]*TableBuffer, 0, len(sys.buffers))
+	for _, b := range sys.buffers {
+		bufs = append(bufs, b)
+	}
+	sys.mu.RUnlock()
+	for _, b := range bufs {
+		st := b.Stats()
+		if acc, ok := byTable[st.Table]; ok {
+			st.Hits += acc.Hits
+			st.Misses += acc.Misses
+			st.Evictions += acc.Evictions
+			st.Invalidations += acc.Invalidations
+		}
+		byTable[st.Table] = st
+	}
+	out := make([]BufferStats, 0, len(byTable))
+	for _, st := range byTable {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"r3bench/internal/cost"
 	"r3bench/internal/engine"
@@ -61,6 +62,21 @@ type System struct {
 	version Release
 	ddic    map[string]*LogicalTable
 	buffers map[string]*TableBuffer
+	// retired accumulates counters of buffers that were disabled, so
+	// end-of-run metrics still see work done by short-lived buffers.
+	retired map[string]BufferStats
+
+	// System-wide cursor-cache counters across every connection's
+	// statement cache (Open SQL, Native SQL, dictionary scans).
+	cursorHits   atomic.Int64
+	cursorMisses atomic.Int64
+}
+
+// CursorStats reports cumulative cursor-cache reuse across all of the
+// system's connections: hits are statements served from a cached
+// prepared cursor, misses are fresh prepares.
+func (sys *System) CursorStats() (hits, misses int64) {
+	return sys.cursorHits.Load(), sys.cursorMisses.Load()
 }
 
 // Install creates a fresh R/3 system: data dictionary, physical schema
@@ -75,6 +91,7 @@ func Install(cfg Config) (*System, error) {
 		version: cfg.Release,
 		ddic:    make(map[string]*LogicalTable),
 		buffers: make(map[string]*TableBuffer),
+		retired: make(map[string]BufferStats),
 	}
 	for _, t := range sapTables() {
 		sys.ddic[t.Name] = t
@@ -82,7 +99,70 @@ func Install(cfg Config) (*System, error) {
 	if err := sys.createPhysical(); err != nil {
 		return nil, err
 	}
+	// Buffer coherency: hook every engine write path (Open SQL, Native
+	// SQL, prepared DML, raw engine calls) so application-server table
+	// buffers invalidate no matter which interface performed the write.
+	sys.DB.SetWriteHook(sys.onPhysicalWrite)
 	return sys, nil
+}
+
+// onPhysicalWrite maps one physical-row mutation back to the logical
+// table it belongs to and invalidates resident buffer entries:
+// transparent rows by exact key, pool-table (ATAB) rows by the packed
+// VARKEY, cluster rows by their cluster-key prefix (one physical row
+// packs many logical rows).
+func (sys *System) onPhysicalWrite(phys string, oldRow, newRow []val.Value) {
+	rows := [2][]val.Value{oldRow, newRow}
+	switch {
+	case phys == poolTableName:
+		for _, row := range rows {
+			if len(row) < 2 {
+				continue
+			}
+			logical := strings.TrimRight(row[0].AsStr(), " ")
+			t := sys.Table(logical)
+			buf := sys.Buffer(logical)
+			if t == nil || buf == nil {
+				continue
+			}
+			// Stored CHAR values are right-trimmed; buffer keys are
+			// fixed-width, so re-pad the VARKEY before matching.
+			key := row[1].AsStr()
+			if w := t.keyWidth(); len(key) < w {
+				key += strings.Repeat(" ", w-len(key))
+			}
+			buf.invalidate(key)
+		}
+	case strings.HasSuffix(phys, clusterSuffix):
+		logical := strings.TrimSuffix(phys, clusterSuffix)
+		t := sys.Table(logical)
+		buf := sys.Buffer(logical)
+		if t == nil || buf == nil {
+			return
+		}
+		for _, row := range rows {
+			if len(row) < len(t.ClusterPrefix) {
+				continue
+			}
+			buf.invalidatePrefix(t.keyPrefixString(row[:len(t.ClusterPrefix)]))
+		}
+	default:
+		buf := sys.Buffer(phys)
+		if buf == nil {
+			return
+		}
+		t := sys.Table(phys)
+		if t == nil || t.Kind != Transparent {
+			buf.invalidateAll()
+			return
+		}
+		for _, row := range rows {
+			if len(row) != len(t.Cols) {
+				continue
+			}
+			buf.invalidate(t.keyString(row))
+		}
+	}
 }
 
 // Version returns the installed release.
@@ -201,6 +281,16 @@ func (t *LogicalTable) keyString(row []val.Value) string {
 		b.WriteString(strings.Repeat(" ", w-len(s)))
 	}
 	return b.String()
+}
+
+// keyWidth returns the fixed total width of the table's concatenated
+// key string (the width keyString pads to).
+func (t *LogicalTable) keyWidth() int {
+	w := 0
+	for _, kc := range t.KeyCols {
+		w += t.Cols[t.ColIndex(kc)].Type.Width
+	}
+	return w
 }
 
 // keyPrefixString concatenates the first n key values.

@@ -21,12 +21,13 @@ type NativeSQL struct {
 	sys  *System
 	sess *engine.Session
 	sc   *stmtCache
+	ph   *Phases
 }
 
 // NativeSQL opens an EXEC SQL connection charging the given meter.
 func (sys *System) NativeSQL(m *cost.Meter) *NativeSQL {
 	sess := sys.DB.NewSessionWithMeter(m)
-	return &NativeSQL{sys: sys, sess: sess, sc: newStmtCache(sess)}
+	return &NativeSQL{sys: sys, sess: sess, sc: newStmtCache(sys, sess)}
 }
 
 // Meter returns the connection's virtual clock.
@@ -35,6 +36,12 @@ func (n *NativeSQL) Meter() *cost.Meter { return n.sess.Meter }
 // Session exposes the raw engine session (EXPLAIN etc.).
 func (n *NativeSQL) Session() *engine.Session { return n.sess }
 
+// SetPhases directs the connection's phase attribution (nil detaches).
+// Statements run through Exec attribute to the DB phase; cursors from
+// Prepare are raw engine statements, so their Query time lands in the
+// Client span unless the caller switches phases itself.
+func (n *NativeSQL) SetPhases(p *Phases) { n.ph = p }
+
 // Exec runs one SQL statement directly on the RDBMS. Statements that
 // reference encapsulated tables fail: "EXEC SQL commands cannot access
 // encapsulated relations".
@@ -42,6 +49,7 @@ func (n *NativeSQL) Exec(sql string, params ...val.Value) (*engine.Result, error
 	if err := n.checkEncapsulation(sql); err != nil {
 		return nil, err
 	}
+	defer n.ph.enterDB(n.sess.Meter)()
 	return n.sess.Exec(sql, params...)
 }
 
@@ -50,6 +58,7 @@ func (n *NativeSQL) Prepare(sql string) (*engine.Stmt, error) {
 	if err := n.checkEncapsulation(sql); err != nil {
 		return nil, err
 	}
+	defer n.ph.enterDB(n.sess.Meter)()
 	return n.sc.get(sql)
 }
 

@@ -78,6 +78,7 @@ type OpenSQL struct {
 	sys  *System
 	sess *engine.Session
 	sc   *stmtCache
+	ph   *Phases
 	// Translations counts ABAP→SQL statement translations (cursor-cache
 	// misses).
 	Translations int64
@@ -86,11 +87,15 @@ type OpenSQL struct {
 // OpenSQL opens an Open SQL connection charging the given meter.
 func (sys *System) OpenSQL(m *cost.Meter) *OpenSQL {
 	sess := sys.DB.NewSessionWithMeter(m)
-	return &OpenSQL{sys: sys, sess: sess, sc: newStmtCache(sess)}
+	return &OpenSQL{sys: sys, sess: sess, sc: newStmtCache(sys, sess)}
 }
 
 // Meter returns the connection's virtual clock.
 func (o *OpenSQL) Meter() *cost.Meter { return o.sess.Meter }
+
+// SetPhases directs the connection's phase attribution (nil detaches).
+// The caller attaches the same Phases to the meter with Phases.Attach.
+func (o *OpenSQL) SetPhases(p *Phases) { o.ph = p }
 
 // System returns the owning R/3 system.
 func (o *OpenSQL) System() *System { return o.sys }
@@ -219,7 +224,9 @@ func (o *OpenSQL) Select(table string, conds []Cond, fn func(Row) error) error {
 	if err != nil {
 		return err
 	}
+	restore := o.ph.enterDB(o.sess.Meter)
 	res, err := st.Query(params...)
+	restore()
 	if err != nil {
 		return err
 	}
@@ -235,9 +242,13 @@ func (o *OpenSQL) Select(table string, conds []Cond, fn func(Row) error) error {
 // translation per new statement shape.
 func (o *OpenSQL) prepare(sqlText string) (*engine.Stmt, error) {
 	if _, cached := o.sc.stmts[sqlText]; !cached {
+		restore := o.ph.enterTranslate(o.sess.Meter)
 		o.sess.Meter.Charge(cost.Translate, 1)
+		restore()
 		o.Translations++
 	}
+	restore := o.ph.enterDB(o.sess.Meter)
+	defer restore()
 	return o.sc.get(sqlText)
 }
 
@@ -245,7 +256,9 @@ func (o *OpenSQL) prepare(sqlText string) (*engine.Stmt, error) {
 // become dictionary key-prefix access, everything else filters in the
 // application server after decode.
 func (o *OpenSQL) selectEncapsulated(t *LogicalTable, conds []Cond, fn func(Row) error) error {
+	restore := o.ph.enterTranslate(o.sess.Meter)
 	o.sess.Meter.Charge(cost.Translate, 1)
+	restore()
 	prefix := []val.Value{val.Str(o.sys.Client)}
 	remaining := conds
 	for len(prefix) < len(t.KeyCols) {
@@ -264,7 +277,12 @@ func (o *OpenSQL) selectEncapsulated(t *LogicalTable, conds []Cond, fn func(Row)
 		}
 	}
 	m := o.sess.Meter
+	restoreDB := o.ph.enterDB(m)
+	defer restoreDB()
 	return o.sys.scanLogical(o.sc, t, prefix, func(vals []val.Value) error {
+		// Decoded rows filter and deliver in the application server.
+		restoreClient := o.ph.enterClient(m)
+		defer restoreClient()
 		for _, c := range remaining {
 			m.Charge(cost.TupleCPU, 1)
 			if !evalCond(t, vals, c) {
@@ -356,13 +374,9 @@ func (o *OpenSQL) Insert(table string, fields map[string]val.Value) error {
 			row[i] = val.Str("")
 		}
 	}
-	if buf := o.sys.Buffer(t.Name); buf != nil {
-		keyVals := make([]val.Value, len(t.KeyCols))
-		for i, kc := range t.KeyCols {
-			keyVals[i] = row[t.ColIndex(kc)]
-		}
-		buf.invalidate(t.keyPrefixString(keyVals))
-	}
+	// Buffer invalidation happens in the engine write hook (Install), so
+	// every write interface — not just this one — keeps buffers coherent.
+	defer o.ph.enterDB(o.sess.Meter)()
 	return o.sys.insertLogical(o.sess, t, row)
 }
 
@@ -391,6 +405,7 @@ func (o *OpenSQL) InsertGroup(table string, rows []map[string]val.Value) error {
 		}
 		full[ri] = row
 	}
+	defer o.ph.enterDB(o.sess.Meter)()
 	if t.Kind == Clustered {
 		return o.sys.insertClusterGroup(o.sess, t, full)
 	}
@@ -409,12 +424,14 @@ func (o *OpenSQL) Delete(table string, keyVals ...val.Value) error {
 		return fmt.Errorf("r3: unknown table %s", table)
 	}
 	prefix := append([]val.Value{val.Str(o.sys.Client)}, keyVals...)
+	defer o.ph.enterDB(o.sess.Meter)()
 	return o.sys.deleteLogical(o.sess, t, prefix)
 }
 
 // Commit ends the current logical unit of work: dirty pages of the
 // touched tables flush and the log forces.
 func (o *OpenSQL) Commit() {
+	defer o.ph.enterDB(o.sess.Meter)()
 	o.sys.DB.Pool().FlushAll(o.sess.Meter)
 	o.sess.Meter.Charge(cost.Commit, 1)
 }

@@ -186,7 +186,9 @@ func (o *OpenSQL) SelectJoin(q JoinQuery, fn func(Row) error) error {
 	if err != nil {
 		return err
 	}
+	restore := o.ph.enterDB(o.sess.Meter)
 	res, err := st.Query(params...)
+	restore()
 	if err != nil {
 		return err
 	}

@@ -80,6 +80,19 @@ func New(sys *r3.System, g *dbgen.Generator, strategy Strategy) *SAPImpl {
 // Name implements tpcd.Implementation.
 func (s *SAPImpl) Name() string { return s.strategy.String() }
 
+// EnablePhases attaches one phase-attribution span set to the session's
+// Open SQL and Native SQL connections (they share a meter): from this
+// call on, every simulated nanosecond lands in the translate, DB or
+// client-side span, and Root.Total() reconciles exactly with the meter
+// time elapsed since the call. Returns the phase set for inspection.
+func (s *SAPImpl) EnablePhases() *r3.Phases {
+	ph := r3.NewPhases(s.strategy.String())
+	s.o.SetPhases(ph)
+	s.n.SetPhases(ph)
+	ph.Attach(s.m)
+	return ph
+}
+
 // Meter implements tpcd.Implementation.
 func (s *SAPImpl) Meter() *cost.Meter { return s.m }
 

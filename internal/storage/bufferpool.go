@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"r3bench/internal/cost"
 )
@@ -37,7 +38,10 @@ type poolShard struct {
 	frames   map[pageKey]*frame
 	lru      *list.List // front = most recently used
 
-	hits, misses int64
+	// hits/misses are atomics so stat readers (HitRatio, ShardStats,
+	// the metrics registry) never contend with — or race against — the
+	// frame lock held by scan workers.
+	hits, misses atomic.Int64
 }
 
 // BufferPool caches disk pages with LRU replacement and charges page I/O to
@@ -120,16 +124,34 @@ func (bp *BufferPool) CapacityPages() int {
 func (bp *BufferPool) HitRatio() float64 {
 	var hits, misses int64
 	for _, sh := range bp.shards {
-		sh.mu.Lock()
-		hits += sh.hits
-		misses += sh.misses
-		sh.mu.Unlock()
+		hits += sh.hits.Load()
+		misses += sh.misses.Load()
 	}
 	total := hits + misses
 	if total == 0 {
 		return 0
 	}
 	return float64(hits) / float64(total)
+}
+
+// ShardStats is one lock shard's cache statistics.
+type ShardStats struct {
+	Hits     int64
+	Misses   int64
+	Capacity int // pages
+}
+
+// Stats snapshots per-shard hit/miss counters (lock-free) and capacities.
+func (bp *BufferPool) Stats() []ShardStats {
+	out := make([]ShardStats, len(bp.shards))
+	for i, sh := range bp.shards {
+		out[i] = ShardStats{
+			Hits:     sh.hits.Load(),
+			Misses:   sh.misses.Load(),
+			Capacity: sh.capacity,
+		}
+	}
+	return out
 }
 
 // Get returns the page's data, faulting it in if needed and charging m.
@@ -191,12 +213,12 @@ func (bp *BufferPool) lookup(key pageKey) ([]byte, bool, error) {
 	sh := bp.shard(key)
 	sh.mu.Lock()
 	if f, ok := sh.frames[key]; ok {
-		sh.hits++
+		sh.hits.Add(1)
 		sh.lru.MoveToFront(f.elem)
 		sh.mu.Unlock()
 		return f.data, true, nil
 	}
-	sh.misses++
+	sh.misses.Add(1)
 	sh.mu.Unlock()
 	data, err := bp.disk.readPage(key.file, key.page)
 	if err != nil {
@@ -294,8 +316,7 @@ func (bp *BufferPool) DropFile(file FileID) {
 // ResetStats zeroes hit/miss counters.
 func (bp *BufferPool) ResetStats() {
 	for _, sh := range bp.shards {
-		sh.mu.Lock()
-		sh.hits, sh.misses = 0, 0
-		sh.mu.Unlock()
+		sh.hits.Store(0)
+		sh.misses.Store(0)
 	}
 }

@@ -317,7 +317,7 @@ func TestRandomizedHeapAgainstModel(t *testing.T) {
 // -race). Each goroutine charges its own meter; partitions must cover
 // every row exactly once and full scans must see a consistent file.
 func TestConcurrentScansSharedPool(t *testing.T) {
-	h, _, m := newTestHeap(t, 8*PageSize) // far smaller than the file: constant eviction
+	h, bp, m := newTestHeap(t, 8*PageSize) // far smaller than the file: constant eviction
 	const nRows = 5000
 	var want int64
 	for i := 0; i < nRows; i++ {
@@ -361,7 +361,41 @@ func TestConcurrentScansSharedPool(t *testing.T) {
 			})
 		}(s)
 	}
+	// A stat reader hammers the counters while every scanner is running:
+	// under -race this pins that HitRatio and Stats read lock-free
+	// without racing against the shard locks the workers hold.
+	statDone := make(chan struct{})
+	var statWG sync.WaitGroup
+	statWG.Add(1)
+	go func() {
+		defer statWG.Done()
+		for {
+			select {
+			case <-statDone:
+				return
+			default:
+			}
+			if r := bp.HitRatio(); r < 0 || r > 1 {
+				t.Errorf("hit ratio out of range: %f", r)
+				return
+			}
+			total := 0
+			for _, sh := range bp.Stats() {
+				if sh.Hits < 0 || sh.Misses < 0 {
+					t.Errorf("negative shard counters: %+v", sh)
+					return
+				}
+				total += sh.Capacity
+			}
+			if total != bp.CapacityPages() {
+				t.Errorf("shard capacities sum to %d, want %d", total, bp.CapacityPages())
+				return
+			}
+		}
+	}()
 	wg.Wait()
+	close(statDone)
+	statWG.Wait()
 
 	for i, err := range errs {
 		if err != nil {

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Compare two benchmark snapshots on the simulated clock, failing on a
+# >10% regression. Usage:
+#
+#   ./scripts/bench_diff.sh OLD.json [NEW.json]
+#
+# With no NEW.json a fresh snapshot is taken into a temp file first, so
+# `make bench-diff` gates the working tree against the committed
+# baseline.
+set -eu
+
+cd "$(dirname "$0")/.."
+old="${1:?usage: bench_diff.sh OLD.json [NEW.json]}"
+new="${2:-}"
+
+if [ -z "$new" ]; then
+	new=$(mktemp)
+	trap 'rm -f "$new"' EXIT
+	BENCH_OUT="$new" ./scripts/bench_snapshot.sh >/dev/null
+fi
+
+exec go run ./cmd/benchdiff "$old" "$new"

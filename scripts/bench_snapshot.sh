@@ -5,19 +5,27 @@
 #   ./scripts/bench_snapshot.sh [bench-regex]
 #
 # The default regex covers the power test per strategy plus the parallel
-# degrees and per-query parallel pairs (DESIGN.md §5).
+# degrees and per-query parallel pairs (DESIGN.md §5). Set BENCH_OUT to
+# redirect the output file (bench_diff.sh uses this for throwaway
+# snapshots). The snapshot also embeds a metrics-registry dump from a
+# small harness run (table8 exercises the table buffer) under "metrics".
 set -eu
 
 cd "$(dirname "$0")/.."
 regex="${1:-BenchmarkPower22_RDBMS$|BenchmarkPowerParallel|BenchmarkParallelQ}"
-out="BENCH_$(date +%F).json"
+out="${BENCH_OUT:-BENCH_$(date +%F).json}"
 
 raw=$(go test -run xxx -bench "$regex" -benchtime 1x . 2>&1) || {
 	printf '%s\n' "$raw" >&2
 	exit 1
 }
 
-printf '%s\n' "$raw" | awk -v date="$(date +%F)" '
+mtmp=$(mktemp)
+trap 'rm -f "$mtmp"' EXIT
+go run ./cmd/r3bench -sf "${METRICS_SF:-0.005}" -exp table8 -metrics-json "$mtmp" >/dev/null
+metrics=$(cat "$mtmp")
+
+printf '%s\n' "$raw" | awk -v date="$(date +%F)" -v metrics="$metrics" '
 /^Benchmark/ {
 	name = $1
 	sim = ""
@@ -37,6 +45,8 @@ END {
 	printf "\n  ]"
 	if (serial != "" && deg4 != "")
 		printf ",\n  \"power_speedup_deg4\": %.2f", serial / deg4
+	if (metrics != "")
+		printf ",\n  \"metrics\": %s", metrics
 	printf "\n}\n"
 }' > "$out"
 
