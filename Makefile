@@ -3,9 +3,15 @@ GO ?= go
 # Newest committed snapshot is the regression baseline for bench-diff.
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: all vet build test race bench-smoke bench-snapshot bench-diff ci check
+.PHONY: all fmt-check vet build test race bench-smoke bench-snapshot bench-diff ci check
 
 all: check
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +38,6 @@ bench-snapshot:
 bench-diff:
 	./scripts/bench_diff.sh $(BENCH_BASELINE)
 
-ci: vet race bench-diff
+ci: fmt-check vet race bench-diff
 
 check: vet build race bench-smoke

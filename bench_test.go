@@ -252,6 +252,12 @@ func BenchmarkParallelQ6_Deg4(b *testing.B)    { benchQueryParallel(b, 6, 4) }
 func BenchmarkParallelQ12_Serial(b *testing.B) { benchQueryParallel(b, 12, 1) }
 func BenchmarkParallelQ12_Deg4(b *testing.B)   { benchQueryParallel(b, 12, 4) }
 
+// --- Multi-join queries, serial: histogram-driven join planning ---
+
+func BenchmarkJoinQ5_Serial(b *testing.B) { benchQueryParallel(b, 5, 1) }
+func BenchmarkJoinQ8_Serial(b *testing.B) { benchQueryParallel(b, 8, 1) }
+func BenchmarkJoinQ9_Serial(b *testing.B) { benchQueryParallel(b, 9, 1) }
+
 // --- Table 6: parameterized access-path choice (Figure 3) ---
 
 func table6Setup(b *testing.B) *r3.System {

@@ -6,7 +6,7 @@
 //
 // Exit status 1 means at least one benchmark's sim_ms grew by more than
 // the threshold percentage; benchmarks present in only one file are
-// reported but do not fail the gate.
+// reported as ADDED/REMOVED but do not fail the gate.
 package main
 
 import (
@@ -38,6 +38,53 @@ func load(path string) (*snapshot, error) {
 	return &s, nil
 }
 
+// diffRow is one benchmark's comparison outcome. Status is "" for a
+// benchmark within threshold, "REGRESSION" past it, "ADDED" when only
+// the new snapshot has it, "REMOVED" when only the old one does.
+type diffRow struct {
+	Name     string
+	Old, New float64
+	HasOld   bool
+	HasNew   bool
+	Delta    float64 // percent, meaningful only when both sides present
+	Status   string
+}
+
+// diff compares two snapshots: rows follow the new snapshot's order with
+// removed benchmarks appended in old-snapshot order; failed is true when
+// any matched benchmark's sim_ms grew by more than threshold percent.
+// One-sided rows never fail the gate.
+func diff(oldS, newS *snapshot, threshold float64) (rows []diffRow, failed bool) {
+	oldBy := make(map[string]float64, len(oldS.Benchmarks))
+	for _, b := range oldS.Benchmarks {
+		oldBy[b.Name] = b.SimMS
+	}
+	seen := make(map[string]bool, len(newS.Benchmarks))
+	for _, b := range newS.Benchmarks {
+		seen[b.Name] = true
+		old, ok := oldBy[b.Name]
+		if !ok {
+			rows = append(rows, diffRow{Name: b.Name, New: b.SimMS, HasNew: true, Status: "ADDED"})
+			continue
+		}
+		r := diffRow{Name: b.Name, Old: old, New: b.SimMS, HasOld: true, HasNew: true}
+		if old != 0 {
+			r.Delta = (b.SimMS - old) / old * 100
+		}
+		if r.Delta > threshold {
+			r.Status = "REGRESSION"
+			failed = true
+		}
+		rows = append(rows, r)
+	}
+	for _, b := range oldS.Benchmarks {
+		if !seen[b.Name] {
+			rows = append(rows, diffRow{Name: b.Name, Old: b.SimMS, HasOld: true, Status: "REMOVED"})
+		}
+	}
+	return rows, failed
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 10, "fail when sim_ms grows by more than this percentage")
 	flag.Parse()
@@ -56,35 +103,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	oldBy := make(map[string]float64, len(oldS.Benchmarks))
-	for _, b := range oldS.Benchmarks {
-		oldBy[b.Name] = b.SimMS
-	}
-
+	rows, failed := diff(oldS, newS, *threshold)
 	fmt.Printf("%-36s %12s %12s %9s\n", "benchmark", "old sim_ms", "new sim_ms", "delta")
-	failed := false
-	seen := make(map[string]bool, len(newS.Benchmarks))
-	for _, b := range newS.Benchmarks {
-		seen[b.Name] = true
-		old, ok := oldBy[b.Name]
-		if !ok {
-			fmt.Printf("%-36s %12s %12.4g %9s\n", b.Name, "-", b.SimMS, "new")
-			continue
-		}
-		delta := 0.0
-		if old != 0 {
-			delta = (b.SimMS - old) / old * 100
-		}
-		mark := ""
-		if delta > *threshold {
-			mark = "  REGRESSION"
-			failed = true
-		}
-		fmt.Printf("%-36s %12.4g %12.4g %+8.1f%%%s\n", b.Name, old, b.SimMS, delta, mark)
-	}
-	for _, b := range oldS.Benchmarks {
-		if !seen[b.Name] {
-			fmt.Printf("%-36s %12.4g %12s %9s\n", b.Name, b.SimMS, "-", "gone")
+	for _, r := range rows {
+		switch {
+		case !r.HasOld:
+			fmt.Printf("%-36s %12s %12.4g %9s\n", r.Name, "-", r.New, r.Status)
+		case !r.HasNew:
+			fmt.Printf("%-36s %12.4g %12s %9s\n", r.Name, r.Old, "-", r.Status)
+		default:
+			mark := ""
+			if r.Status != "" {
+				mark = "  " + r.Status
+			}
+			fmt.Printf("%-36s %12.4g %12.4g %+8.1f%%%s\n", r.Name, r.Old, r.New, r.Delta, mark)
 		}
 	}
 	if failed {

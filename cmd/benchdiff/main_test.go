@@ -1,0 +1,82 @@
+package main
+
+import "testing"
+
+func snap(pairs ...any) *snapshot {
+	s := &snapshot{}
+	for i := 0; i < len(pairs); i += 2 {
+		s.Benchmarks = append(s.Benchmarks, benchmark{
+			Name:  pairs[i].(string),
+			SimMS: pairs[i+1].(float64),
+		})
+	}
+	return s
+}
+
+func TestDiffStatuses(t *testing.T) {
+	oldS := snap("stable", 100.0, "regressed", 100.0, "improved", 100.0, "removed", 50.0)
+	newS := snap("stable", 105.0, "regressed", 130.0, "improved", 60.0, "added", 42.0)
+
+	rows, failed := diff(oldS, newS, 10)
+	if !failed {
+		t.Fatalf("diff reported no failure despite a 30%% regression")
+	}
+	want := map[string]string{
+		"stable":    "",
+		"regressed": "REGRESSION",
+		"improved":  "",
+		"added":     "ADDED",
+		"removed":   "REMOVED",
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		status, ok := want[r.Name]
+		if !ok {
+			t.Errorf("unexpected row %q", r.Name)
+			continue
+		}
+		if r.Status != status {
+			t.Errorf("%s: status %q, want %q", r.Name, r.Status, status)
+		}
+	}
+}
+
+func TestDiffOneSidedRowsDoNotFail(t *testing.T) {
+	rows, failed := diff(snap("removed", 10.0), snap("added", 99999.0), 10)
+	if failed {
+		t.Fatalf("one-sided benchmarks must not fail the gate")
+	}
+	for _, r := range rows {
+		if r.HasOld && r.HasNew {
+			t.Errorf("%s: expected one-sided row", r.Name)
+		}
+	}
+}
+
+func TestDiffRowOrderAndFields(t *testing.T) {
+	oldS := snap("b", 200.0, "gone", 10.0)
+	newS := snap("a", 1.0, "b", 210.0)
+	rows, failed := diff(oldS, newS, 10)
+	if failed {
+		t.Fatalf("5%% growth under a 10%% threshold must pass")
+	}
+	names := []string{"a", "b", "gone"} // new-snapshot order, removed appended
+	for i, n := range names {
+		if rows[i].Name != n {
+			t.Fatalf("row %d = %q, want %q", i, rows[i].Name, n)
+		}
+	}
+	if d := rows[1].Delta; d < 4.9 || d > 5.1 {
+		t.Errorf("b: delta %.2f%%, want ~5%%", d)
+	}
+}
+
+func TestDiffZeroOldBaseline(t *testing.T) {
+	// old == 0 must not divide by zero or flag a regression.
+	rows, failed := diff(snap("z", 0.0), snap("z", 5.0), 10)
+	if failed || rows[0].Status != "" {
+		t.Fatalf("zero baseline flagged: failed=%v status=%q", failed, rows[0].Status)
+	}
+}

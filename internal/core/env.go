@@ -26,6 +26,11 @@ type Config struct {
 	// Parallel is the engines' intra-query parallel degree (0 or 1 =
 	// serial). It applies to the original-schema DB and both R/3 systems.
 	Parallel int
+	// TableBufferBytes, when positive, overrides the capacity of every
+	// application-server table buffer the R/3 systems enable (see
+	// r3.Config.TableBufferBytes). 0 keeps each experiment's own budget —
+	// including the undersized MARA buffer of Table 8.
+	TableBufferBytes int64
 
 	env *Env
 }
@@ -38,18 +43,19 @@ const DefaultSF = 0.02
 // 3.0E system (KONV converted, ship-date index dropped — the paper's 3.0
 // tuning).
 type Env struct {
-	SF       float64
-	Parallel int
-	Gen      *dbgen.Generator
-	rdb      *engine.DB
-	sys2     *r3.System
-	sys3     *r3.System
+	SF           float64
+	Parallel     int
+	TableBufSize int64
+	Gen          *dbgen.Generator
+	rdb          *engine.DB
+	sys2         *r3.System
+	sys3         *r3.System
 }
 
 // envOf returns the config's lazily created environment.
 func (cfg *Config) envOf() *Env {
 	if cfg.env == nil {
-		cfg.env = &Env{SF: cfg.SF, Parallel: cfg.Parallel, Gen: dbgen.New(cfg.SF)}
+		cfg.env = &Env{SF: cfg.SF, Parallel: cfg.Parallel, TableBufSize: cfg.TableBufferBytes, Gen: dbgen.New(cfg.SF)}
 	}
 	return cfg.env
 }
@@ -69,7 +75,7 @@ func (e *Env) RDB() (*engine.DB, error) {
 // Sys22 returns the loaded Release 2.2G system.
 func (e *Env) Sys22() (*r3.System, error) {
 	if e.sys2 == nil {
-		sys, err := r3.Install(r3.Config{Release: r3.Release22, Parallel: e.Parallel})
+		sys, err := r3.Install(r3.Config{Release: r3.Release22, Parallel: e.Parallel, TableBufferBytes: e.TableBufSize})
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +92,7 @@ func (e *Env) Sys22() (*r3.System, error) {
 // configuration of the paper's Table 5 run.
 func (e *Env) Sys30() (*r3.System, error) {
 	if e.sys3 == nil {
-		sys, err := r3.Install(r3.Config{Release: r3.Release30, Parallel: e.Parallel})
+		sys, err := r3.Install(r3.Config{Release: r3.Release30, Parallel: e.Parallel, TableBufferBytes: e.TableBufSize})
 		if err != nil {
 			return nil, err
 		}

@@ -35,6 +35,10 @@ func addEngineMetrics(reg *metrics.Registry, prefix string, db *engine.DB) {
 	reg.SetInt(prefix+".engine.selects", st.Selects)
 	reg.SetInt(prefix+".engine.parallel_selects", st.ParallelSelects)
 	reg.SetInt(prefix+".engine.parallel_runs", st.ParallelRuns)
+	reg.SetInt(prefix+".optimizer.peeks", st.Peeks)
+	reg.SetInt(prefix+".optimizer.replans", st.Replans)
+	reg.SetInt(prefix+".optimizer.hist_estimates", st.HistEstimates)
+	reg.SetInt(prefix+".optimizer.default_estimates", st.DefaultEstimates)
 	pool := db.Pool()
 	reg.Set(prefix+".pool.hit_ratio", pool.HitRatio())
 	for i, sh := range pool.Stats() {
@@ -59,5 +63,10 @@ func addSystemMetrics(reg *metrics.Registry, prefix string, sys *r3.System) {
 		reg.SetInt(base+"evictions", bs.Evictions)
 		reg.SetInt(base+"invalidations", bs.Invalidations)
 		reg.SetInt(base+"resident", bs.Resident)
+		undersized := int64(0)
+		if bs.Undersized() {
+			undersized = 1
+		}
+		reg.SetInt(base+"undersized", undersized)
 	}
 }

@@ -52,7 +52,11 @@ func (ep *execProfile) planFor(p *selectPlan) *planProf {
 	}
 	pp := &planProf{parent: parent}
 	for _, st := range p.steps {
-		pp.steps = append(pp.steps, parent.Child(describeStep(st)))
+		name := describeStep(st)
+		if est := stepEstRows(st); est > 0 {
+			name = fmt.Sprintf("%s (est %.0f rows)", name, est)
+		}
+		pp.steps = append(pp.steps, parent.Child(name))
 	}
 	if p.agg != nil {
 		pp.output = parent.Child(fmt.Sprintf("sort-group (%d keys, %d aggregates)",
@@ -138,7 +142,7 @@ func (s *Session) ExplainAnalyze(sql string, params ...val.Value) (*Analyzed, er
 	prev := s.Meter.SetSpan(opt)
 	s.Meter.Charge(cost.Interface, 1)
 	s.Meter.ChargeDuration(cost.Interface, optimizeCharge)
-	plan, err := s.db.planSelect(sel, nil)
+	plan, err := s.db.planSelect(sel, nil, nil)
 	s.Meter.SetSpan(prev)
 	if err != nil {
 		return nil, err

@@ -94,6 +94,17 @@ type DB struct {
 	views    map[string]*sqlparse.SelectStmt
 	parallel int // requested intra-query parallel degree (<=1 = serial)
 
+	// peekBinds plans a prepared statement's first execution with its
+	// actual bind values; adaptive replans cached statements whose
+	// estimates prove badly wrong (both default off — the paper's
+	// 2.2-era blind behavior; guarded by mu).
+	peekBinds bool
+	adaptive  bool
+
+	// opt holds the optimizer observability counters shared with every
+	// table's statistics.
+	opt optCounters
+
 	// writeHook observes every committed row mutation (guarded by mu).
 	writeHook WriteHook
 
@@ -130,18 +141,58 @@ func (db *DB) noteWrite(table string, oldRow, newRow []val.Value) {
 // EngineStats is a snapshot of the engine's cumulative execution
 // counters.
 type EngineStats struct {
-	Selects         int64 // SELECT executions
-	ParallelSelects int64 // executions of plans compiled with parallel degree >= 2
-	ParallelRuns    int64 // executions that actually engaged parallel workers
+	Selects          int64 // SELECT executions
+	ParallelSelects  int64 // executions of plans compiled with parallel degree >= 2
+	ParallelRuns     int64 // executions that actually engaged parallel workers
+	Peeks            int64 // prepared-statement plans built with peeked bind values
+	Replans          int64 // feedback-driven re-optimizations of cached plans
+	HistEstimates    int64 // selectivity estimates served from gathered statistics
+	DefaultEstimates int64 // selectivity estimates that fell back to blind defaults
 }
 
 // Stats snapshots the execution counters.
 func (db *DB) Stats() EngineStats {
 	return EngineStats{
-		Selects:         db.selects.Load(),
-		ParallelSelects: db.parallelSelects.Load(),
-		ParallelRuns:    db.parallelRuns.Load(),
+		Selects:          db.selects.Load(),
+		ParallelSelects:  db.parallelSelects.Load(),
+		ParallelRuns:     db.parallelRuns.Load(),
+		Peeks:            db.opt.peeks.Load(),
+		Replans:          db.opt.replans.Load(),
+		HistEstimates:    db.opt.histEst.Load(),
+		DefaultEstimates: db.opt.defEst.Load(),
 	}
+}
+
+// SetPeekBinds toggles bind peeking: when on, a prepared SELECT defers
+// optimization to its first execution and plans with the actual bind
+// values. Off (the default) reproduces the paper's blind planning.
+func (db *DB) SetPeekBinds(on bool) {
+	db.mu.Lock()
+	db.peekBinds = on
+	db.mu.Unlock()
+}
+
+// SetAdaptive toggles feedback-driven re-optimization: when on, each
+// prepared-statement execution records actual row counts, and a cached
+// plan whose leading-scan estimate is off by >= feedbackFactor is
+// invalidated and replanned with the observed cardinality (at most
+// replanCap times per statement).
+func (db *DB) SetAdaptive(on bool) {
+	db.mu.Lock()
+	db.adaptive = on
+	db.mu.Unlock()
+}
+
+func (db *DB) peekEnabled() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.peekBinds
+}
+
+func (db *DB) adaptiveEnabled() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.adaptive
 }
 
 // noteSelect counts one SELECT execution.
@@ -259,7 +310,7 @@ func (db *DB) createTable(ct *sqlparse.CreateTable) (*Table, error) {
 		t.PrimaryKey = append(t.PrimaryKey, ci)
 	}
 	t.Heap = storage.NewHeapFile(db.disk, db.pool, val.NewRowCodec(layout))
-	t.stats = newTableStats(len(t.Cols))
+	t.stats = newTableStats(len(t.Cols), &db.opt)
 	if len(t.PrimaryKey) > 0 {
 		pkIdx := &Index{
 			Name:      name + "_PK",

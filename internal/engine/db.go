@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -74,7 +75,7 @@ func (s *Session) Query(sql string, params ...val.Value) (*Result, error) {
 func (s *Session) execParsed(stmt sqlparse.Statement, params []val.Value) (*Result, error) {
 	switch st := stmt.(type) {
 	case *sqlparse.SelectStmt:
-		plan, err := s.db.planSelect(st, nil)
+		plan, err := s.db.planSelect(st, nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -110,8 +111,18 @@ func (s *Session) execParsed(stmt sqlparse.Statement, params []val.Value) (*Resu
 
 // runSelect executes a compiled plan, charging client row shipping.
 func (s *Session) runSelect(plan *selectPlan, params []val.Value) (*Result, error) {
+	return s.runSelectFB(plan, params, nil)
+}
+
+// runSelectFB is runSelect with an optional feedback recorder: when fb is
+// non-nil, the execution counts the rows each plan step produces so the
+// statement can compare them against the optimizer's estimates.
+func (s *Session) runSelectFB(plan *selectPlan, params []val.Value, fb *execFeedback) (*Result, error) {
 	s.db.noteSelect(plan)
 	rt := &runtime{sess: s, params: params, subCache: make(map[*selectPlan][][]val.Value)}
+	if fb != nil {
+		rt.fb, rt.fbPlan = fb, plan
+	}
 	res := &Result{Cols: plan.outCols}
 	err := plan.run(rt, nil, func(row []val.Value) error {
 		s.Meter.Charge(cost.RowShip, 1)
@@ -132,19 +143,44 @@ type Stmt struct {
 	sess *Session
 	plan *selectPlan
 	ast  sqlparse.Statement
+	sel  *sqlparse.SelectStmt // non-nil for SELECT statements
+
+	// Adaptive-replanning state: observed cardinalities by relation
+	// alias, and how many replans this statement has spent.
+	feedback map[string]float64
+	replans  int
 }
 
-// Prepare parses and (for SELECT) optimizes a statement.
+// feedbackFactor is the estimate-vs-actual mismatch ratio (either
+// direction) that invalidates a cached plan; replanCap bounds replans per
+// statement. Together they make adaptation deterministic: a replanned
+// plan's estimate equals the observed count, so the trigger cannot fire
+// again for the same cardinality, and the cap ends any residual churn
+// after at most replanCap re-optimizations.
+const (
+	feedbackFactor = 10.0
+	replanCap      = 2
+)
+
+// Prepare parses and (for SELECT) optimizes a statement. With bind
+// peeking enabled, SELECT optimization is deferred to the first Query,
+// when the actual parameter values are available.
 func (s *Session) Prepare(sql string) (*Stmt, error) {
 	ast, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	s.Meter.Charge(cost.Interface, 1)
-	s.Meter.ChargeDuration(cost.Interface, optimizeCharge)
 	st := &Stmt{sess: s, ast: ast}
 	if sel, ok := ast.(*sqlparse.SelectStmt); ok {
-		if st.plan, err = s.db.planSelect(sel, nil); err != nil {
+		st.sel = sel
+		if s.db.peekEnabled() {
+			return st, nil // the optimize charge moves to the first Query
+		}
+	}
+	s.Meter.ChargeDuration(cost.Interface, optimizeCharge)
+	if st.sel != nil {
+		if st.plan, err = s.db.planSelect(st.sel, nil, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -152,13 +188,84 @@ func (s *Session) Prepare(sql string) (*Stmt, error) {
 }
 
 // Query re-executes the prepared statement (a cursor REOPEN): one
-// interface round trip, no re-optimization.
+// interface round trip and normally no re-optimization. A deferred
+// (peeking) or invalidated (adaptive) statement replans first.
 func (st *Stmt) Query(params ...val.Value) (*Result, error) {
-	st.sess.Meter.Charge(cost.Interface, 1)
-	if st.plan != nil {
-		return st.sess.runSelect(st.plan, params)
+	s := st.sess
+	s.Meter.Charge(cost.Interface, 1)
+	if st.sel == nil {
+		return s.execParsed(st.ast, params)
 	}
-	return st.sess.execParsed(st.ast, params)
+	if st.plan == nil {
+		if err := st.replan(params); err != nil {
+			return nil, err
+		}
+	}
+	if !s.db.adaptiveEnabled() || st.replans >= replanCap {
+		return s.runSelect(st.plan, params)
+	}
+	fb := &execFeedback{counts: make([]int64, len(st.plan.steps))}
+	res, err := s.runSelectFB(st.plan, params, fb)
+	if err != nil {
+		return nil, err
+	}
+	st.noteFeedback(fb)
+	return res, nil
+}
+
+// replan (re)optimizes the statement with what is known now: the current
+// bind values when peeking is on, and any cardinalities observed by
+// earlier executions.
+func (st *Stmt) replan(params []val.Value) error {
+	s := st.sess
+	s.Meter.ChargeDuration(cost.Interface, optimizeCharge)
+	opts := &planOpts{feedback: st.feedback}
+	if s.db.peekEnabled() {
+		opts.peek = params
+	}
+	plan, err := s.db.planSelect(st.sel, nil, opts)
+	if err != nil {
+		return err
+	}
+	if opts.peek != nil {
+		s.db.opt.peeks.Add(1)
+	}
+	st.plan = plan
+	return nil
+}
+
+// noteFeedback compares the leading scan's actual output against its
+// estimate; a >= feedbackFactor mismatch invalidates the plan so the next
+// execution replans with the observed cardinality.
+func (st *Stmt) noteFeedback(fb *execFeedback) {
+	lead, ok := st.plan.steps[0].(*scanStep)
+	if !ok || lead.rel.table == nil || lead.estOut <= 0 {
+		return
+	}
+	est := lead.estOut
+	actual := math.Max(1, float64(fb.counts[0]))
+	if est/actual < feedbackFactor && actual/est < feedbackFactor {
+		return
+	}
+	if st.feedback == nil {
+		st.feedback = make(map[string]float64)
+	}
+	st.feedback[lead.rel.alias] = actual
+	st.plan = nil
+	st.replans++
+	st.sess.db.opt.replans.Add(1)
+}
+
+// Explain renders the statement's current plan, or a placeholder while a
+// peeking statement has not yet seen its first bind values.
+func (st *Stmt) Explain() string {
+	if st.sel == nil {
+		return "(not a SELECT)\n"
+	}
+	if st.plan == nil {
+		return "(not yet planned: optimization deferred to the first execution)\n"
+	}
+	return st.plan.explainString()
 }
 
 // Explain returns a one-line-per-step description of the plan chosen for
@@ -173,22 +280,42 @@ func (s *Session) Explain(sql string, params ...val.Value) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("engine: EXPLAIN supports only SELECT")
 	}
-	plan, err := s.db.planSelect(sel, nil)
+	plan, err := s.db.planSelect(sel, nil, nil)
 	if err != nil {
 		return "", err
 	}
+	return plan.explainString(), nil
+}
+
+// explainString renders the plan one line per step.
+func (p *selectPlan) explainString() string {
 	var b strings.Builder
-	if plan.parallel >= 2 {
-		fmt.Fprintf(&b, "0: parallel degree %d (leading scan partitioned)\n", plan.parallel)
+	if p.parallel >= 2 {
+		fmt.Fprintf(&b, "0: parallel degree %d (leading scan partitioned)\n", p.parallel)
 	}
-	for i, step := range plan.steps {
+	for i, step := range p.steps {
 		fmt.Fprintf(&b, "%d: %s\n", i+1, describeStep(step))
 	}
-	if plan.agg != nil {
+	if p.agg != nil {
 		fmt.Fprintf(&b, "%d: sort-group (%d keys, %d aggregates)\n",
-			len(plan.steps)+1, len(plan.agg.groupFns), len(plan.agg.specs))
+			len(p.steps)+1, len(p.agg.groupFns), len(p.agg.specs))
 	}
-	return b.String(), nil
+	return b.String()
+}
+
+// stepEstRows returns a step's estimated output cardinality, or 0 when
+// the step kind carries none.
+func stepEstRows(st stepper) float64 {
+	switch st := st.(type) {
+	case *scanStep:
+		return st.estOut
+	case *hashStep:
+		return st.estOut
+	case *inlStep:
+		return st.estOut
+	default:
+		return 0
+	}
 }
 
 func describeStep(st stepper) string {
@@ -318,7 +445,7 @@ func (s *Session) collectMatches(t *Table, where sqlparse.Expr, params []val.Val
 		Where:  where,
 		Limit:  -1,
 	}
-	plan, err := s.db.planSelect(sel, nil)
+	plan, err := s.db.planSelect(sel, nil, nil)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -25,8 +25,15 @@ type blockExec struct {
 	stack  rowStack
 	row    []val.Value
 	state  map[stepper]any
-	curRID storage.RID // last RID emitted by a scan (single-relation DML)
-	prof   *planProf   // operator spans under ExplainAnalyze; nil otherwise
+	curRID storage.RID   // last RID emitted by a scan (single-relation DML)
+	prof   *planProf     // operator spans under ExplainAnalyze; nil otherwise
+	fb     *execFeedback // per-step row counting for adaptive replanning; nil otherwise
+}
+
+// execFeedback accumulates the number of rows each plan step produced
+// during one execution — the execution-side half of adaptive replanning.
+type execFeedback struct {
+	counts []int64
 }
 
 // stepper is one stage of the left-deep join pipeline. run is invoked once
@@ -41,11 +48,26 @@ func runSteps(steps []stepper, i int, be *blockExec, sink func() error) error {
 	if be.prof != nil {
 		return runStepsProf(steps, i, be, sink)
 	}
+	if be.fb != nil {
+		return runStepsFB(steps, i, be, sink)
+	}
 	if i == len(steps) {
 		return sink()
 	}
 	return steps[i].run(be, func() error {
 		return runSteps(steps, i+1, be, sink)
+	})
+}
+
+// runStepsFB is runSteps counting each step's produced rows into
+// be.fb.counts (entering step i+1 means step i produced a row).
+func runStepsFB(steps []stepper, i int, be *blockExec, sink func() error) error {
+	if i == len(steps) {
+		return sink()
+	}
+	return steps[i].run(be, func() error {
+		be.fb.counts[i]++
+		return runStepsFB(steps, i+1, be, sink)
 	})
 }
 
@@ -93,6 +115,7 @@ type scanStep struct {
 	rel          *relInfo
 	access       accessPath
 	extraFilters []exprFn
+	estOut       float64 // optimizer's estimated output rows
 }
 
 func (s *scanStep) run(be *blockExec, next func() error) error {
@@ -106,6 +129,7 @@ type inlStep struct {
 	index   *Index
 	eqFns   []exprFn
 	filters []exprFn
+	estOut  float64 // optimizer's estimated output rows
 }
 
 func (s *inlStep) run(be *blockExec, next func() error) error {
@@ -306,6 +330,7 @@ type hashStep struct {
 	buildKeyFns []exprFn // evaluated on the build scratch row
 	probeFns    []exprFn // evaluated on the probe (current) row
 	filters     []exprFn
+	estOut      float64 // optimizer's estimated output rows
 }
 
 // hashTable is the built side of a hash join.
@@ -707,6 +732,7 @@ func (p *selectPlan) runSerial(rt *runtime, outer rowStack, emit func([]val.Valu
 		row:   make([]val.Value, p.nSlots),
 		state: state,
 		prof:  rt.planProf(p),
+		fb:    rt.fbFor(p),
 	}
 	be.stack = append(append(rowStack{}, outer...), be.row)
 

@@ -27,6 +27,11 @@ type runtime struct {
 	// prof collects per-operator span attribution when the statement runs
 	// under ExplainAnalyze; nil otherwise.
 	prof *execProfile
+	// fb records per-step produced-row counts for the plan fbPlan when a
+	// prepared statement executes with adaptive replanning enabled; nil
+	// otherwise. Subquery blocks share the runtime but are not recorded.
+	fb     *execFeedback
+	fbPlan *selectPlan
 }
 
 func (rt *runtime) meter() *cost.Meter {
@@ -34,6 +39,15 @@ func (rt *runtime) meter() *cost.Meter {
 		return rt.m
 	}
 	return rt.sess.Meter
+}
+
+// fbFor returns the statement's feedback recorder when p is the plan
+// being observed, nil otherwise.
+func (rt *runtime) fbFor(p *selectPlan) *execFeedback {
+	if rt.fb != nil && p == rt.fbPlan {
+		return rt.fb
+	}
+	return nil
 }
 
 // rowStack is the stack of in-flight rows: index 0 is the outermost
@@ -90,6 +104,9 @@ func (sc *scope) resolve(tbl, col string) (int, int, error) {
 type compiler struct {
 	db *DB
 	sc *scope
+	// opts carries the planning round's peeked bind values and feedback
+	// (nil for blind planning); subquery compilation inherits it.
+	opts *planOpts
 	// usedOuter is set when any compiled expression resolved through a
 	// parent scope — i.e. the block is correlated.
 	usedOuter bool

@@ -81,6 +81,7 @@ type partResult struct {
 	rows []outRow  // projected rows, scan order (non-aggregated plans)
 	acc  *aggAccum // partial group state (aggregated plans)
 	m    *cost.Meter
+	fb   *execFeedback // per-lane step row counts (adaptive replanning)
 	err  error
 }
 
@@ -149,6 +150,7 @@ func (p *selectPlan) runParallel(rt *runtime, outer rowStack, emit func([]val.Va
 	}
 	rt.sess.db.parallelRuns.Add(1)
 	heap := lead.rel.table.Heap
+	fbMain := rt.fbFor(p)
 
 	// Under ExplainAnalyze, per-lane operator detail hangs below one
 	// "parallel" span; the span itself receives the max-combined lane
@@ -180,6 +182,10 @@ func (p *selectPlan) runParallel(rt *runtime, outer rowStack, emit func([]val.Va
 
 		res := &results[i]
 		res.m = m
+		if fbMain != nil {
+			res.fb = &execFeedback{counts: make([]int64, len(fbMain.counts))}
+			beW.fb = res.fb
+		}
 		var sink func() error
 		if p.agg != nil {
 			res.acc = newAggAccum(p)
@@ -208,6 +214,9 @@ func (p *selectPlan) runParallel(rt *runtime, outer rowStack, emit func([]val.Va
 			beW.curRID = rid
 			if lanePP != nil {
 				lanePP.steps[0].AddRows(1)
+			}
+			if res.fb != nil {
+				res.fb.counts[0]++
 			}
 			return runSteps(p.steps, 1, beW, sink)
 		})
@@ -242,6 +251,15 @@ func (p *selectPlan) runParallel(rt *runtime, outer rowStack, emit func([]val.Va
 	for i := range results {
 		if results[i].err != nil {
 			return true, results[i].err
+		}
+	}
+	if fbMain != nil {
+		// Sum lane counts in partition order — addition commutes, so the
+		// totals match the serial execution's counts exactly.
+		for i := range results {
+			for j, c := range results[i].fb.counts {
+				fbMain.counts[j] += c
+			}
 		}
 	}
 

@@ -78,6 +78,35 @@ type relInfo struct {
 	// soleRelation marks the only relation of a single-table block, where
 	// the rule-based blind-index fallback applies (Section 4.1).
 	soleRelation bool
+	// fbRows, when > 0, is the observed output cardinality of this
+	// relation from a previous execution of the same statement (adaptive
+	// replanning); it overrides the estimate.
+	fbRows float64
+}
+
+// planOpts carries optional optimizer inputs for one planning round.
+type planOpts struct {
+	// peek, when non-nil, supplies the actual bind values of the
+	// execution being planned: parameter sargs plan as if they were
+	// literals (bind peeking). nil reproduces the paper's blind planning.
+	peek []val.Value
+	// feedback maps relation aliases to observed output cardinalities
+	// from earlier executions of the same statement.
+	feedback map[string]float64
+}
+
+// peekVal resolves a sarg value expression to a plan-time constant: a
+// literal always, a parameter only when bind peeking supplied values.
+func (cc *compiler) peekVal(e sqlparse.Expr) (val.Value, bool) {
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		return x.Val, true
+	case *sqlparse.Param:
+		if cc.opts != nil && x.Index >= 0 && x.Index < len(cc.opts.peek) {
+			return cc.opts.peek[x.Index], true
+		}
+	}
+	return val.Null, false
 }
 
 // conjunct is one AND-factor of the WHERE/ON clauses.
@@ -136,8 +165,9 @@ func (db *DB) planConsts() planConsts {
 }
 
 // planSelect compiles and optimizes one SELECT block. outerScope is the
-// scope chain of enclosing queries (nil at the top level).
-func (db *DB) planSelect(s *sqlparse.SelectStmt, outerScope *scope) (*selectPlan, error) {
+// scope chain of enclosing queries (nil at the top level); opts carries
+// peeked bind values and execution feedback (nil for blind planning).
+func (db *DB) planSelect(s *sqlparse.SelectStmt, outerScope *scope, opts *planOpts) (*selectPlan, error) {
 	p := &selectPlan{db: db, limit: s.Limit}
 
 	// 1. Flatten FROM into relations; inner-join ON conjuncts merge into
@@ -149,7 +179,7 @@ func (db *DB) planSelect(s *sqlparse.SelectStmt, outerScope *scope) (*selectPlan
 	flatten = func(ref sqlparse.TableRef, outerRight bool, on []sqlparse.Expr) error {
 		switch r := ref.(type) {
 		case *sqlparse.BaseTable:
-			ri, err := db.buildRelInfo(r, outerScope)
+			ri, err := db.buildRelInfo(r, outerScope, opts)
 			if err != nil {
 				return err
 			}
@@ -201,7 +231,7 @@ func (db *DB) planSelect(s *sqlparse.SelectStmt, outerScope *scope) (*selectPlan
 	p.nSlots = offset
 	sc := &scope{parent: outerScope, cols: entries}
 	p.layout = entries
-	cc := &compiler{db: db, sc: sc}
+	cc := &compiler{db: db, sc: sc, opts: opts}
 
 	// 3. Split WHERE into conjuncts and classify.
 	if s.Where != nil {
@@ -239,6 +269,11 @@ func (db *DB) planSelect(s *sqlparse.SelectStmt, outerScope *scope) (*selectPlan
 	pc := db.planConsts()
 	for i, ri := range rels {
 		ri.soleRelation = len(rels) == 1
+		if opts != nil {
+			if obs, ok := opts.feedback[ri.alias]; ok && obs > 0 {
+				ri.fbRows = obs
+			}
+		}
 		db.chooseAccessPath(pc, ri, i)
 	}
 
@@ -311,7 +346,7 @@ func (p *selectPlan) planParallel() {
 
 // buildRelInfo resolves one FROM table: base table, view (merged or
 // materialized), or error.
-func (db *DB) buildRelInfo(bt *sqlparse.BaseTable, outerScope *scope) (*relInfo, error) {
+func (db *DB) buildRelInfo(bt *sqlparse.BaseTable, outerScope *scope, opts *planOpts) (*relInfo, error) {
 	name := strings.ToUpper(bt.Name)
 	alias := strings.ToUpper(bt.Alias)
 	if t := db.Table(name); t != nil {
@@ -324,7 +359,7 @@ func (db *DB) buildRelInfo(bt *sqlparse.BaseTable, outerScope *scope) (*relInfo,
 		return ri, nil
 	}
 	if vq := db.view(name); vq != nil {
-		sub, err := db.planSelect(vq, outerScope)
+		sub, err := db.planSelect(vq, outerScope, opts)
 		if err != nil {
 			return nil, fmt.Errorf("engine: expanding view %s: %w", name, err)
 		}
@@ -466,9 +501,9 @@ func (p *selectPlan) classifyConjunct(cc *compiler, rels []*relInfo, e sqlparse.
 				if sf, err := cc.compile(vx); err == nil {
 					cj.sargFn = sf
 				}
-				if lit, ok := vx.(*sqlparse.Literal); ok {
+				if lv, ok := cc.peekVal(vx); ok {
 					cj.sargKnown = true
-					cj.sargLit = lit.Val
+					cj.sargLit = lv
 				}
 				cj.sel = p.sargSel(rels[rel], cj)
 				return cj, nil
@@ -488,12 +523,12 @@ func (p *selectPlan) classifyConjunct(cc *compiler, rels []*relInfo, e sqlparse.
 						cj.sargFn = loFn
 						cj.betweenHi = hiFn
 					}
-					loLit, ok1 := ex.Lo.(*sqlparse.Literal)
-					hiLit, ok2 := ex.Hi.(*sqlparse.Literal)
+					loLit, ok1 := cc.peekVal(ex.Lo)
+					hiLit, ok2 := cc.peekVal(ex.Hi)
 					if ok1 && ok2 {
 						cj.sargKnown = true
-						cj.sargLit = loLit.Val
-						cj.betweenHiLit = hiLit.Val
+						cj.sargLit = loLit
+						cj.betweenHiLit = hiLit
 					}
 					cj.sel = p.sargSel(rels[rel], cj)
 					return cj, nil
@@ -503,8 +538,31 @@ func (p *selectPlan) classifyConjunct(cc *compiler, rels []*relInfo, e sqlparse.
 		cj.sel = 0.2
 	case *sqlparse.Like:
 		cj.sel = defaultLikeSel
+		if cr, ok := ex.X.(*sqlparse.ColumnRef); ok && !ex.Not {
+			if pv, ok2 := cc.peekVal(ex.Pattern); ok2 && pv.K == val.KStr {
+				if rel, col := p.findRelCol(rels, cc, cr); rel >= 0 && rels[rel].table != nil {
+					cj.sel = rels[rel].table.stats.selLike(col, pv.AsStr())
+				}
+			}
+		}
 	case *sqlparse.InList:
 		cj.sel = defaultInSel
+		if cr, ok := ex.X.(*sqlparse.ColumnRef); ok && !ex.Not {
+			vals := make([]val.Value, 0, len(ex.List))
+			for _, le := range ex.List {
+				v, ok2 := cc.peekVal(le)
+				if !ok2 {
+					vals = nil
+					break
+				}
+				vals = append(vals, v)
+			}
+			if len(vals) == len(ex.List) {
+				if rel, col := p.findRelCol(rels, cc, cr); rel >= 0 && rels[rel].table != nil {
+					cj.sel = rels[rel].table.stats.selInList(col, vals)
+				}
+			}
+		}
 	case *sqlparse.InSubquery, *sqlparse.Exists:
 		cj.sel = 0.5
 	case *sqlparse.IsNull:

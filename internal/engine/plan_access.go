@@ -25,6 +25,12 @@ func (db *DB) chooseAccessPath(pc planConsts, ri *relInfo, relIdx int) {
 		sel *= cj.sel
 	}
 	ri.estRows = math.Max(1, ri.baseRows*sel)
+	if ri.fbRows > 0 {
+		// Adaptive feedback: a prior execution of this statement observed
+		// the relation's actual output cardinality; trust it over the
+		// estimate.
+		ri.estRows = math.Max(1, ri.fbRows)
+	}
 
 	if ri.table == nil {
 		// Derived relations are always materialized scans.
@@ -50,6 +56,14 @@ func (db *DB) chooseAccessPath(pc planConsts, ri *relInfo, relIdx int) {
 		cand, ok := db.matchIndex(pc, ri, ix)
 		if !ok {
 			continue
+		}
+		if ri.fbRows > 0 {
+			// The bound is no longer blind once its cardinality has been
+			// observed: re-cost the index against the feedback row count
+			// and let the cost comparison decide.
+			cand.estRows = ri.estRows
+			cand.estCost = db.indexScanCost(pc, ri, ix, cand.estRows)
+			cand.blindBound = false
 		}
 		// Rule-based fallback: on a single-table query whose index bound
 		// is a parameter (no statistics apply), the optimizer of the era
@@ -185,7 +199,7 @@ func (p *selectPlan) optimizeJoinOrder(pc planConsts, rels []*relInfo, conjs []c
 	var steps []stepper
 	switch {
 	case n == 1:
-		steps = []stepper{&scanStep{rel: rels[0], access: rels[0].access}}
+		steps = []stepper{&scanStep{rel: rels[0], access: rels[0].access, estOut: rels[0].estRows}}
 		// Multi-rel conjuncts cannot exist; subquery conjuncts carry the
 		// full mask (= bit 0) and attach here.
 		for _, cj := range conjs {
@@ -207,7 +221,7 @@ func (p *selectPlan) optimizeJoinOrder(pc planConsts, rels []*relInfo, conjs []c
 				mask:  m,
 				cost:  ri.access.estCost,
 				rows:  ri.estRows,
-				steps: []stepper{&scanStep{rel: ri, access: ri.access}},
+				steps: []stepper{&scanStep{rel: ri, access: ri.access, estOut: ri.estRows}},
 			}
 		}
 		full := uint64(1)<<uint(n) - 1
@@ -335,7 +349,8 @@ func (p *selectPlan) extend(pc planConsts, rels []*relInfo, conjs []conjunct, e 
 		bestCost, bestStep = nlCost, st
 	}
 
-	// Attach late (non-edge) filters to whatever step won.
+	// Attach late (non-edge) filters to whatever step won, and record the
+	// estimated output cardinality for EXPLAIN ANALYZE and feedback.
 	for _, cj := range lateFilters {
 		switch st := bestStep.(type) {
 		case *scanStep:
@@ -345,6 +360,14 @@ func (p *selectPlan) extend(pc planConsts, rels []*relInfo, conjs []conjunct, e 
 		case *inlStep:
 			st.filters = append(st.filters, cj.fn)
 		}
+	}
+	switch st := bestStep.(type) {
+	case *scanStep:
+		st.estOut = outRows
+	case *hashStep:
+		st.estOut = outRows
+	case *inlStep:
+		st.estOut = outRows
 	}
 
 	steps := make([]stepper, len(e.steps), len(e.steps)+1)
@@ -451,7 +474,7 @@ func (p *selectPlan) greedyOrder(pc planConsts, rels []*relInfo, conjs []conjunc
 		mask:  1 << uint(start),
 		cost:  rels[start].access.estCost,
 		rows:  rels[start].estRows,
-		steps: []stepper{&scanStep{rel: rels[start], access: rels[start].access}},
+		steps: []stepper{&scanStep{rel: rels[start], access: rels[start].access, estOut: rels[start].estRows}},
 	}
 	for bits.OnesCount64(cur.mask) < n {
 		var bestCand *dpEntry
@@ -492,7 +515,7 @@ func (p *selectPlan) fixedOrderSteps(pc planConsts, rels []*relInfo, conjs []con
 			}
 			steps = append(steps, st)
 		} else {
-			st := &scanStep{rel: ri, access: ri.access}
+			st := &scanStep{rel: ri, access: ri.access, estOut: ri.estRows}
 			for ci, cj := range conjs {
 				if !claimed[ci] && cj.mask != 0 && cj.mask&newMask == cj.mask {
 					st.extraFilters = append(st.extraFilters, cj.fn)

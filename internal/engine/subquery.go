@@ -31,7 +31,7 @@ func (c *compiler) absorbSub(sub *selectPlan) {
 // compileScalarSubquery compiles (SELECT ...) used as a value: one column,
 // at most one row; empty results yield NULL.
 func (c *compiler) compileScalarSubquery(e *sqlparse.ScalarSubquery) (exprFn, error) {
-	sub, err := c.db.planSelect(e.Sub, c.sc)
+	sub, err := c.db.planSelect(e.Sub, c.sc, c.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +59,7 @@ func (c *compiler) compileScalarSubquery(e *sqlparse.ScalarSubquery) (exprFn, er
 // re-run per outer row with first-row early termination — the naive
 // mid-1990s strategy whose cost the paper's Q2/Q16 comparisons expose.
 func (c *compiler) compileExists(e *sqlparse.Exists) (exprFn, error) {
-	sub, err := c.db.planSelect(e.Sub, c.sc)
+	sub, err := c.db.planSelect(e.Sub, c.sc, c.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +91,7 @@ func (c *compiler) compileExists(e *sqlparse.Exists) (exprFn, error) {
 // linear scan — deliberately reproducing the era's poor nested-query
 // processing rather than building a hash index over the result.
 func (c *compiler) compileInSubquery(e *sqlparse.InSubquery) (exprFn, error) {
-	sub, err := c.db.planSelect(e.Sub, c.sc)
+	sub, err := c.db.planSelect(e.Sub, c.sc, c.opts)
 	if err != nil {
 		return nil, err
 	}

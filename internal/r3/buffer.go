@@ -132,6 +132,13 @@ type BufferStats struct {
 	Resident      int64 // entries currently cached
 }
 
+// Undersized reports whether the buffer spent more effort evicting than
+// serving: more evictions than hits means the working set does not fit
+// and the buffer is thrashing (the paper's Table 8 MARA pathology).
+func (s BufferStats) Undersized() bool {
+	return s.Evictions > s.Hits
+}
+
 // Stats snapshots the buffer's counters.
 func (b *TableBuffer) Stats() BufferStats {
 	b.mu.Lock()
@@ -173,6 +180,12 @@ func (sys *System) SetBuffered(table string, capBytes int64) *TableBuffer {
 	}
 	sys.mu.Lock()
 	defer sys.mu.Unlock()
+	if capBytes > 0 && sys.tableBufBytes > 0 {
+		// Operator-tuned sizing (Config.TableBufferBytes) wins over the
+		// per-call budget, so a whole run can be re-measured with
+		// right-sized buffers without touching every SetBuffered site.
+		capBytes = sys.tableBufBytes
+	}
 	if old := sys.buffers[t.Name]; old != nil {
 		// Replacing or disabling: fold the counters into the retired
 		// bucket so cumulative metrics survive the buffer itself.

@@ -1,0 +1,105 @@
+package r3
+
+import (
+	"testing"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/dbgen"
+	"r3bench/internal/val"
+)
+
+func TestBufferStatsUndersized(t *testing.T) {
+	if (BufferStats{Hits: 100, Evictions: 50}).Undersized() {
+		t.Error("more hits than evictions must not read as undersized")
+	}
+	if !(BufferStats{Hits: 10, Evictions: 50}).Undersized() {
+		t.Error("more evictions than hits must read as undersized")
+	}
+	if (BufferStats{}).Undersized() {
+		t.Error("an idle buffer is not undersized")
+	}
+}
+
+// maraRowBytes computes the modelled cached-row size SetBuffered uses.
+func maraRowBytes(sys *System) int64 {
+	var rowBytes int64
+	for _, c := range sys.Table("MARA").Cols {
+		rowBytes += int64(c.Type.Width)
+	}
+	return rowBytes
+}
+
+// TestRightSizedBufferRetainsResidents pins the Table 8 pathology and its
+// cure: a budget below the working set thrashes (evictions swamp hits,
+// Undersized fires), one sized to the working set keeps every row
+// resident with zero evictions.
+func TestRightSizedBufferRetainsResidents(t *testing.T) {
+	sys, g := installedSys(t, Release22)
+	n := int64(g.NumParts())
+	rowBytes := maraRowBytes(sys)
+	workload := func() {
+		o := sys.OpenSQL(cost.NewMeter(sys.DB.Model()))
+		for pass := 0; pass < 2; pass++ {
+			for i := int64(1); i <= n; i++ {
+				if _, ok, err := o.SelectSingle("MARA", []Cond{Eq("MATNR", val.Str(Key16(i)))}); err != nil || !ok {
+					t.Fatalf("MARA lookup %d: ok=%v err=%v", i, ok, err)
+				}
+			}
+		}
+	}
+
+	small := sys.SetBuffered("MARA", rowBytes*4)
+	workload()
+	st := small.Stats()
+	if !st.Undersized() {
+		t.Errorf("4-row buffer over %d keys not flagged undersized: %+v", n, st)
+	}
+	if st.Evictions == 0 {
+		t.Errorf("4-row buffer never evicted: %+v", st)
+	}
+
+	right := sys.SetBuffered("MARA", rowBytes*(n+8))
+	workload()
+	st = right.Stats()
+	if st.Evictions != 0 {
+		t.Errorf("right-sized buffer evicted %d times", st.Evictions)
+	}
+	if st.Resident != n {
+		t.Errorf("Resident = %d, want the full working set %d", st.Resident, n)
+	}
+	if st.Hits < n {
+		t.Errorf("Hits = %d, want at least the second pass's %d", st.Hits, n)
+	}
+	if st.Undersized() {
+		t.Errorf("right-sized buffer flagged undersized: %+v", st)
+	}
+	sys.SetBuffered("MARA", 0)
+}
+
+// TestTableBufferBytesOverride pins the Config.TableBufferBytes knob: it
+// overrides every SetBuffered budget while it is set, and disabling a
+// buffer still works.
+func TestTableBufferBytesOverride(t *testing.T) {
+	sys, err := Install(Config{Release: Release22, TableBufferBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadDirect(dbgen.New(testSF)); err != nil {
+		t.Fatal(err)
+	}
+	// The per-call budget says "nothing fits"; the override wins.
+	buf := sys.SetBuffered("MARA", 1)
+	o := sys.OpenSQL(cost.NewMeter(sys.DB.Model()))
+	key := []Cond{Eq("MATNR", val.Str(Key16(7)))}
+	for i := 0; i < 10; i++ {
+		if _, ok, err := o.SelectSingle("MARA", key); err != nil || !ok {
+			t.Fatalf("lookup %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if r := buf.HitRatio(); r < 0.89 {
+		t.Errorf("hit ratio %.2f under override, want ~0.9 (override ignored?)", r)
+	}
+	if sys.SetBuffered("MARA", 0) != nil || sys.Buffer("MARA") != nil {
+		t.Error("capBytes=0 must still disable buffering under an override")
+	}
+}

@@ -52,6 +52,11 @@ type Config struct {
 	// Parallel is the back-end RDBMS's intra-query parallel degree
 	// (0 or 1 = serial).
 	Parallel int
+	// TableBufferBytes, when positive, overrides the byte budget of every
+	// application-server table buffer enabled via SetBuffered. The paper's
+	// Table 8 shows what happens when this is left undersized: the MARA
+	// buffer thrashes (35k misses, 34k evictions, nothing resident).
+	TableBufferBytes int64
 }
 
 // System is one installed SAP R/3 instance plus its back-end RDBMS.
@@ -61,7 +66,10 @@ type System struct {
 	mu      sync.RWMutex
 	version Release
 	ddic    map[string]*LogicalTable
-	buffers map[string]*TableBuffer
+	// tableBufBytes, when positive, overrides the capacity passed to
+	// SetBuffered (operator-tuned buffer sizing; Config.TableBufferBytes).
+	tableBufBytes int64
+	buffers       map[string]*TableBuffer
 	// retired accumulates counters of buffers that were disabled, so
 	// end-of-run metrics still see work done by short-lived buffers.
 	retired map[string]BufferStats
@@ -86,12 +94,13 @@ func Install(cfg Config) (*System, error) {
 		cfg.Client = DefaultClient
 	}
 	sys := &System{
-		DB:      engine.Open(engine.Config{BufferBytes: cfg.BufferBytes, CostModel: cfg.CostModel, Parallel: cfg.Parallel}),
-		Client:  cfg.Client,
-		version: cfg.Release,
-		ddic:    make(map[string]*LogicalTable),
-		buffers: make(map[string]*TableBuffer),
-		retired: make(map[string]BufferStats),
+		DB:            engine.Open(engine.Config{BufferBytes: cfg.BufferBytes, CostModel: cfg.CostModel, Parallel: cfg.Parallel}),
+		Client:        cfg.Client,
+		version:       cfg.Release,
+		ddic:          make(map[string]*LogicalTable),
+		tableBufBytes: cfg.TableBufferBytes,
+		buffers:       make(map[string]*TableBuffer),
+		retired:       make(map[string]BufferStats),
 	}
 	for _, t := range sapTables() {
 		sys.ddic[t.Name] = t
@@ -164,6 +173,17 @@ func (sys *System) onPhysicalWrite(phys string, oldRow, newRow []val.Value) {
 		}
 	}
 }
+
+// SetPeekBinds toggles bind-value peeking on the back-end RDBMS: when
+// enabled, the first execution of a prepared Open/Native SQL statement
+// plans with the actual bound values instead of blind placeholders. Off
+// by default — the 2.2-era blind behavior the paper measures.
+func (sys *System) SetPeekBinds(on bool) { sys.DB.SetPeekBinds(on) }
+
+// SetAdaptive toggles feedback-driven re-optimization on the back-end
+// RDBMS: cached plans whose cardinality estimate proves off by an order
+// of magnitude are invalidated and replanned with observed row counts.
+func (sys *System) SetAdaptive(on bool) { sys.DB.SetAdaptive(on) }
 
 // Version returns the installed release.
 func (sys *System) Version() Release {

@@ -80,3 +80,39 @@ func TestParallelPlansEngage(t *testing.T) {
 		t.Errorf("only %d query blocks planned parallel at degree 4; want >= 4", engaged)
 	}
 }
+
+// TestParallelDeterminismWithOptimizerKnobs re-runs the byte-identical
+// check with bind peeking and adaptive replanning enabled: the
+// statistics-and-adaptivity layer must never change what a query returns,
+// only how it runs.
+func TestParallelDeterminismWithOptimizerKnobs(t *testing.T) {
+	db, g := loadedDB(t)
+	impl := NewRDBMS(db, g)
+
+	serial := make([]string, 18)
+	for q := 1; q <= 17; q++ {
+		rows, err := impl.RunQuery(q)
+		if err != nil {
+			t.Fatalf("serial Q%d: %v", q, err)
+		}
+		serial[q] = encodeResult(rows)
+	}
+
+	db.SetPeekBinds(true)
+	db.SetAdaptive(true)
+	defer db.SetPeekBinds(false)
+	defer db.SetAdaptive(false)
+	for _, deg := range []int{1, 2, 8} {
+		db.SetParallel(deg)
+		for q := 1; q <= 17; q++ {
+			rows, err := impl.RunQuery(q)
+			if err != nil {
+				t.Fatalf("knobs on, parallel=%d Q%d: %v", deg, q, err)
+			}
+			if got := encodeResult(rows); got != serial[q] {
+				t.Errorf("knobs on, parallel=%d Q%d result differs from serial run", deg, q)
+			}
+		}
+	}
+	db.SetParallel(0)
+}

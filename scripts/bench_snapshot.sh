@@ -12,7 +12,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-regex="${1:-BenchmarkPower22_RDBMS$|BenchmarkPowerParallel|BenchmarkParallelQ}"
+regex="${1:-BenchmarkPower22_RDBMS$|BenchmarkPowerParallel|BenchmarkParallelQ|BenchmarkJoinQ}"
 out="${BENCH_OUT:-BENCH_$(date +%F).json}"
 
 raw=$(go test -run xxx -bench "$regex" -benchtime 1x . 2>&1) || {
