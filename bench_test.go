@@ -258,6 +258,11 @@ func BenchmarkJoinQ5_Serial(b *testing.B) { benchQueryParallel(b, 5, 1) }
 func BenchmarkJoinQ8_Serial(b *testing.B) { benchQueryParallel(b, 8, 1) }
 func BenchmarkJoinQ9_Serial(b *testing.B) { benchQueryParallel(b, 9, 1) }
 
+// --- ORDER BY-heavy queries, serial: precomputed-key output sort ---
+
+func BenchmarkOrderQ1_Serial(b *testing.B) { benchQueryParallel(b, 1, 1) }
+func BenchmarkOrderQ3_Serial(b *testing.B) { benchQueryParallel(b, 3, 1) }
+
 // --- Table 6: parameterized access-path choice (Figure 3) ---
 
 func table6Setup(b *testing.B) *r3.System {

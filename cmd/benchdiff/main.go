@@ -2,11 +2,14 @@
 // scripts/bench_snapshot.sh and fails when the simulated clock
 // regressed. It is the CI gate against accidental cost regressions:
 //
-//	benchdiff [-threshold 10] OLD.json NEW.json
+//	benchdiff [-threshold 10] [-min-hit-ratio 0.92] [-max-hit-drop 2] OLD.json NEW.json
 //
 // Exit status 1 means at least one benchmark's sim_ms grew by more than
-// the threshold percentage; benchmarks present in only one file are
-// reported as ADDED/REMOVED but do not fail the gate.
+// the threshold percentage, or a buffer-pool hit-ratio metric in the new
+// snapshot fell below -min-hit-ratio, or dropped by more than
+// -max-hit-drop percentage points against the old snapshot. Benchmarks
+// present in only one file are reported as ADDED/REMOVED but do not fail
+// the gate.
 package main
 
 import (
@@ -14,11 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 )
 
 type snapshot struct {
-	Date       string      `json:"date"`
-	Benchmarks []benchmark `json:"benchmarks"`
+	Date       string             `json:"date"`
+	Benchmarks []benchmark        `json:"benchmarks"`
+	Metrics    map[string]float64 `json:"metrics"`
 }
 
 type benchmark struct {
@@ -85,8 +91,46 @@ func diff(oldS, newS *snapshot, threshold float64) (rows []diffRow, failed bool)
 	return rows, failed
 }
 
+// hitRow is one hit-ratio metric's gate outcome.
+type hitRow struct {
+	Name     string
+	Old, New float64
+	HasOld   bool
+	Status   string // "" passes, "LOW" below floor, "DROP" fell > maxDropPP
+}
+
+// diffHitRatios gates every `*.pool.hit_ratio` metric of the new snapshot:
+// below minRatio fails outright (minRatio <= 0 disables the floor); a drop
+// of more than maxDropPP percentage points against the same metric in the
+// old snapshot fails as a regression (metrics absent from the old snapshot
+// only face the floor). Rows come back sorted by name for stable output.
+func diffHitRatios(oldS, newS *snapshot, minRatio, maxDropPP float64) (rows []hitRow, failed bool) {
+	for name, cur := range newS.Metrics {
+		if !strings.HasSuffix(name, ".pool.hit_ratio") {
+			continue
+		}
+		r := hitRow{Name: name, New: cur}
+		if old, ok := oldS.Metrics[name]; ok {
+			r.Old, r.HasOld = old, true
+		}
+		switch {
+		case minRatio > 0 && cur < minRatio:
+			r.Status = "LOW"
+			failed = true
+		case r.HasOld && (r.Old-cur)*100 > maxDropPP:
+			r.Status = "DROP"
+			failed = true
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows, failed
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 10, "fail when sim_ms grows by more than this percentage")
+	minHitRatio := flag.Float64("min-hit-ratio", 0, "fail when any *.pool.hit_ratio metric in NEW is below this (0 disables the floor)")
+	maxHitDrop := flag.Float64("max-hit-drop", 2, "fail when a *.pool.hit_ratio metric drops by more than this many percentage points vs OLD")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json")
@@ -119,8 +163,24 @@ func main() {
 			fmt.Printf("%-36s %12.4g %12.4g %+8.1f%%%s\n", r.Name, r.Old, r.New, r.Delta, mark)
 		}
 	}
+	hitRows, hitFailed := diffHitRatios(oldS, newS, *minHitRatio, *maxHitDrop)
+	if len(hitRows) > 0 {
+		fmt.Printf("\n%-36s %12s %12s %9s\n", "hit-ratio metric", "old", "new", "")
+		for _, r := range hitRows {
+			oldCol := "-"
+			if r.HasOld {
+				oldCol = fmt.Sprintf("%.4f", r.Old)
+			}
+			fmt.Printf("%-36s %12s %12.4f %9s\n", r.Name, oldCol, r.New, r.Status)
+		}
+	}
+
 	if failed {
 		fmt.Printf("\nFAIL: at least one benchmark regressed by more than %.4g%% simulated time\n", *threshold)
+		os.Exit(1)
+	}
+	if hitFailed {
+		fmt.Printf("\nFAIL: a pool hit ratio is below %.4g or dropped by more than %.4gpp\n", *minHitRatio, *maxHitDrop)
 		os.Exit(1)
 	}
 	fmt.Printf("\nOK: no benchmark regressed by more than %.4g%% simulated time\n", *threshold)

@@ -80,3 +80,53 @@ func TestDiffZeroOldBaseline(t *testing.T) {
 		t.Fatalf("zero baseline flagged: failed=%v status=%q", failed, rows[0].Status)
 	}
 }
+
+func metricSnap(pairs ...any) *snapshot {
+	s := &snapshot{Metrics: map[string]float64{}}
+	for i := 0; i < len(pairs); i += 2 {
+		s.Metrics[pairs[i].(string)] = pairs[i+1].(float64)
+	}
+	return s
+}
+
+func TestHitRatioFloor(t *testing.T) {
+	oldS := metricSnap()
+	newS := metricSnap(
+		"sap22.pool.hit_ratio", 0.89,
+		"rdb.pool.hit_ratio", 0.95,
+		"sap22.pool.readahead.windows", 5.0, // not a hit ratio: ignored
+	)
+	rows, failed := diffHitRatios(oldS, newS, 0.92, 2)
+	if !failed {
+		t.Fatal("0.89 under a 0.92 floor must fail")
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d hit-ratio rows, want 2 (non-ratio metrics must be ignored)", len(rows))
+	}
+	// Sorted by name: rdb first, sap22 second.
+	if rows[0].Name != "rdb.pool.hit_ratio" || rows[0].Status != "" {
+		t.Errorf("rdb row wrong: %+v", rows[0])
+	}
+	if rows[1].Name != "sap22.pool.hit_ratio" || rows[1].Status != "LOW" {
+		t.Errorf("sap22 row wrong: %+v", rows[1])
+	}
+
+	if _, failed := diffHitRatios(oldS, newS, 0, 2); failed {
+		t.Error("min-hit-ratio 0 must disable the floor for new-only metrics")
+	}
+}
+
+func TestHitRatioDrop(t *testing.T) {
+	oldS := metricSnap("sap22.pool.hit_ratio", 0.95)
+	newS := metricSnap("sap22.pool.hit_ratio", 0.925)
+	// 2.5pp drop > 2pp gate, even though 0.925 clears a 0.90 floor.
+	rows, failed := diffHitRatios(oldS, newS, 0.90, 2)
+	if !failed || rows[0].Status != "DROP" {
+		t.Fatalf("2.5pp drop not flagged: failed=%v rows=%+v", failed, rows)
+	}
+	// A 1.5pp drop stays within the gate.
+	newS = metricSnap("sap22.pool.hit_ratio", 0.935)
+	if rows, failed := diffHitRatios(oldS, newS, 0.90, 2); failed || rows[0].Status != "" {
+		t.Fatalf("1.5pp drop flagged: failed=%v rows=%+v", failed, rows)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	r3bench [-sf 0.02] [-parallel 1] [-table-buffer-bytes 0] [-exp all|table1,...,table9]
+//	r3bench [-sf 0.02] [-parallel 1] [-table-buffer-bytes 0] [-table-buffer-fixed] [-exp all|table1,...,table9]
 //
 // The paper runs at SF=0.2; the default 0.02 keeps a full run to minutes
 // of wall time. Simulated times scale approximately linearly with SF.
@@ -26,11 +26,12 @@ func main() {
 	parallel := flag.Int("parallel", 1, "intra-query parallel degree (1 = serial, as in the paper)")
 	exp := flag.String("exp", "all", "experiments to run: all, or comma-separated table1..table9")
 	tableBuf := flag.Int64("table-buffer-bytes", 0, "override every R/3 table-buffer capacity in bytes (0 = each experiment's own budget)")
+	tableBufFixed := flag.Bool("table-buffer-fixed", false, "pin table-buffer budgets (no eviction-pressure auto-resize; reproduces the paper's undersized-cache sweeps literally)")
 	showMetrics := flag.Bool("metrics", false, "print the cumulative metrics registry after the run")
 	metricsJSON := flag.String("metrics-json", "", "write the metrics registry as JSON to this file")
 	flag.Parse()
 
-	cfg := &core.Config{SF: *sf, Parallel: *parallel, TableBufferBytes: *tableBuf, Out: os.Stdout}
+	cfg := &core.Config{SF: *sf, Parallel: *parallel, TableBufferBytes: *tableBuf, TableBufferFixed: *tableBufFixed, Out: os.Stdout}
 	start := time.Now()
 	var err error
 	if *exp == "all" {

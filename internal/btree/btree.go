@@ -53,7 +53,17 @@ type Tree struct {
 	// lastLeaf models a one-leaf write cache for maintenance I/O: inserts
 	// into the leaf we already hold are free, switching leaves charges.
 	lastLeaf *node
+
+	// cache, when set, models index-page residence in the database
+	// buffer: probes of resident leaves charge nothing (see PageCache).
+	// Nil — the default — charges every probe a full random read.
+	cache *PageCache
 }
+
+// SetCache attaches a (usually shared) residence model for the tree's
+// leaf pages; nil detaches it. Not safe to call concurrently with
+// readers — wire it at index-creation time.
+func (t *Tree) SetCache(c *PageCache) { t.cache = c }
 
 // New returns an empty tree. If unique is true, Insert rejects duplicate
 // keys.
@@ -286,7 +296,7 @@ func (t *Tree) Seek(start []byte, m *cost.Meter) *Iterator {
 	i := sort.Search(len(n.keys), func(i int) bool {
 		return bytes.Compare(n.keys[i], start) >= 0
 	})
-	if m != nil {
+	if m != nil && !(t.cache != nil && t.cache.touch(n, true)) {
 		m.Charge(cost.RandRead, 1)
 	}
 	return &Iterator{tree: t, leaf: n, idx: i - 1, m: m, perLeaf: t.entriesPerLeaf()}
@@ -310,7 +320,12 @@ func (it *Iterator) Next() bool {
 	if it.m != nil {
 		it.m.Charge(cost.TupleCPU, 1)
 		if it.seen%it.perLeaf == 0 {
-			it.m.Charge(cost.SeqRead, 1)
+			// Leaf boundary: resident leaves are free; non-resident ones
+			// charge the sequential read and bypass admission so a long
+			// index sweep cannot flush the hot probe set.
+			if c := it.tree.cache; c == nil || !c.touch(it.leaf, false) {
+				it.m.Charge(cost.SeqRead, 1)
+			}
 		}
 	}
 	return true

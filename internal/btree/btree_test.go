@@ -235,3 +235,76 @@ func TestStringKeys(t *testing.T) {
 		t.Fatalf("string range scan returned %d entries", len(got))
 	}
 }
+
+// TestPageCacheProbeAdmitScanBypass pins the residence model: a probe's
+// leaf miss charges one random read and admits the leaf, a repeat probe
+// is free, and range-scan leaf crossings charge as before but never
+// admit.
+func TestPageCacheProbeAdmitScanBypass(t *testing.T) {
+	tr := New(true)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(key(i), rid(i), nil)
+	}
+	c := NewPageCache(1 << 20)
+	tr.SetCache(c)
+
+	m := cost.NewMeter(cost.Default1996())
+	tr.Seek(key(500), m)
+	if m.Count(cost.RandRead) != 1 {
+		t.Fatalf("cold probe charged %d random reads, want 1", m.Count(cost.RandRead))
+	}
+	tr.Seek(key(500), m)
+	if m.Count(cost.RandRead) != 1 {
+		t.Fatalf("warm probe charged I/O: %d random reads", m.Count(cost.RandRead))
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Resident != 1 {
+		t.Fatalf("stats after probe pair: %+v", st)
+	}
+
+	// A full sweep charges the usual sequential reads but must not grow
+	// the resident set: crossings bypass admission.
+	m2 := cost.NewMeter(cost.Default1996())
+	it := tr.Seek(nil, m2)
+	for it.Next() {
+	}
+	if seq := m2.Count(cost.SeqRead); seq < 100 || seq > 1000 {
+		t.Errorf("sweep charged %d sequential reads", seq)
+	}
+	st = c.Stats()
+	// Seek(nil) admitted the first leaf; crossings admitted nothing.
+	if st.Resident > 2 {
+		t.Errorf("scan grew resident set to %d leaves", st.Resident)
+	}
+	if st.ScanBypass == 0 {
+		t.Error("sweep recorded no scan bypasses")
+	}
+
+	// The hot probe leaf survived the sweep.
+	m3 := cost.NewMeter(cost.Default1996())
+	tr.Seek(key(500), m3)
+	if m3.Count(cost.RandRead) != 0 {
+		t.Errorf("hot leaf evicted by scan: probe charged %d random reads", m3.Count(cost.RandRead))
+	}
+}
+
+// TestPageCacheEvictsLRU pins the capacity bound: with room for one
+// modelled leaf, probing a second leaf evicts the first.
+func TestPageCacheEvictsLRU(t *testing.T) {
+	tr := New(true)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(key(i), rid(i), nil)
+	}
+	c := NewPageCache(1) // clamps to a single leaf
+	tr.SetCache(c)
+	m := cost.NewMeter(cost.Default1996())
+	tr.Seek(key(10), m)
+	tr.Seek(key(90000), m)
+	tr.Seek(key(10), m)
+	if got := m.Count(cost.RandRead); got != 3 {
+		t.Errorf("single-slot cache charged %d random reads, want 3", got)
+	}
+	if st := c.Stats(); st.Resident != 1 || st.Capacity != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}

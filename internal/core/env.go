@@ -31,6 +31,10 @@ type Config struct {
 	// r3.Config.TableBufferBytes). 0 keeps each experiment's own budget —
 	// including the undersized MARA buffer of Table 8.
 	TableBufferBytes int64
+	// TableBufferFixed pins table-buffer budgets (SetBufferedFixed): no
+	// eviction-pressure auto-resize, so the paper's undersized-cache
+	// pathologies reproduce exactly as printed. Default off = adaptive.
+	TableBufferFixed bool
 
 	env *Env
 }

@@ -41,10 +41,26 @@ func addEngineMetrics(reg *metrics.Registry, prefix string, db *engine.DB) {
 	reg.SetInt(prefix+".optimizer.default_estimates", st.DefaultEstimates)
 	pool := db.Pool()
 	reg.Set(prefix+".pool.hit_ratio", pool.HitRatio())
+	windows, pages, raHits := pool.ReadaheadStats()
+	reg.SetInt(prefix+".pool.readahead.windows", windows)
+	reg.SetInt(prefix+".pool.readahead.pages", pages)
+	reg.SetInt(prefix+".pool.readahead.hits", raHits)
+	young, old := pool.Occupancy()
+	reg.SetInt(prefix+".pool.young", young)
+	reg.SetInt(prefix+".pool.old", old)
+	if ic := db.IndexCache(); ic != nil {
+		st := ic.Stats()
+		reg.SetInt(prefix+".index_cache.hits", st.Hits)
+		reg.SetInt(prefix+".index_cache.misses", st.Misses)
+		reg.SetInt(prefix+".index_cache.scan_bypass", st.ScanBypass)
+		reg.SetInt(prefix+".index_cache.resident", int64(st.Resident))
+		reg.Set(prefix+".index_cache.hit_ratio", ic.HitRatio())
+	}
 	for i, sh := range pool.Stats() {
 		base := fmt.Sprintf("%s.pool.shard%d.", prefix, i)
 		reg.SetInt(base+"hits", sh.Hits)
 		reg.SetInt(base+"misses", sh.Misses)
+		reg.SetInt(base+"readahead_hits", sh.ReadaheadHits)
 		reg.SetInt(base+"capacity_pages", int64(sh.Capacity))
 	}
 }
@@ -63,6 +79,10 @@ func addSystemMetrics(reg *metrics.Registry, prefix string, sys *r3.System) {
 		reg.SetInt(base+"evictions", bs.Evictions)
 		reg.SetInt(base+"invalidations", bs.Invalidations)
 		reg.SetInt(base+"resident", bs.Resident)
+		reg.SetInt(base+"admission_rejects", bs.AdmissionRejects)
+		reg.SetInt(base+"scan_bypass", bs.ScanBypass)
+		reg.SetInt(base+"resizes", bs.Resizes)
+		reg.SetInt(base+"cap_bytes", bs.CapBytes)
 		undersized := int64(0)
 		if bs.Undersized() {
 			undersized = 1

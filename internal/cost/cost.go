@@ -40,12 +40,14 @@ const (
 	Decode                // decode of one pool/cluster tuple
 	Check                 // one batch-input consistency check
 	Commit                // one transaction commit (log force)
+	ReadAhead             // one batched sequential readahead window (several pages, one charge)
 	numKinds
 )
 
 var kindNames = [...]string{
 	"seq-read", "rand-read", "page-write", "tuple-cpu", "sort-cpu",
 	"interface", "row-ship", "translate", "decode", "check", "commit",
+	"readahead",
 }
 
 // String returns the stable lower-case name of the event class.
@@ -87,6 +89,11 @@ func Default1996() Model {
 	m.PerEvent[Decode] = 30 * time.Microsecond
 	m.PerEvent[Check] = 2900 * time.Millisecond
 	m.PerEvent[Commit] = 15 * time.Millisecond
+	// A readahead window is one sequential multi-page transfer: the disk
+	// streams the whole window off the track in roughly the time of a
+	// single-page sequential read, so the per-page cost collapses into
+	// one charge per window (DESIGN.md §9).
+	m.PerEvent[ReadAhead] = 1 * time.Millisecond
 	return m
 }
 

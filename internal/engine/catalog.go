@@ -89,6 +89,7 @@ type DB struct {
 	mu       sync.RWMutex
 	disk     *storage.Disk
 	pool     *storage.BufferPool
+	ixCache  *btree.PageCache // shared index-page residence model
 	model    cost.Model
 	tables   map[string]*Table
 	views    map[string]*sqlparse.SelectStmt
@@ -208,6 +209,11 @@ type Config struct {
 	// BufferBytes is the database buffer size. The paper's SAP R/3
 	// installation allots 10 MB by default.
 	BufferBytes int
+	// IndexCacheBytes is the modelled share of the buffer given over to
+	// index leaf pages (see btree.PageCache): probes of resident leaves
+	// are buffer hits and charge no I/O. 0 means DefaultIndexCacheBytes;
+	// negative disables the model, charging every probe a random read.
+	IndexCacheBytes int64
 	// CostModel is the virtual-clock model; zero value means
 	// cost.Default1996.
 	CostModel cost.Model
@@ -220,6 +226,10 @@ type Config struct {
 // DefaultBufferBytes mirrors the paper's default RDBMS buffer (10 MB).
 const DefaultBufferBytes = 10 << 20
 
+// DefaultIndexCacheBytes is the default modelled index-page share of the
+// buffer: a fifth of the paper's 10 MB default.
+const DefaultIndexCacheBytes = 2 << 20
+
 // Open creates an empty database.
 func Open(cfg Config) *DB {
 	if cfg.BufferBytes == 0 {
@@ -229,15 +239,37 @@ func Open(cfg Config) *DB {
 	if cfg.CostModel == zero {
 		cfg.CostModel = cost.Default1996()
 	}
+	var ixCache *btree.PageCache
+	switch {
+	case cfg.IndexCacheBytes == 0:
+		ixCache = btree.NewPageCache(DefaultIndexCacheBytes)
+	case cfg.IndexCacheBytes > 0:
+		ixCache = btree.NewPageCache(cfg.IndexCacheBytes)
+	}
 	disk := storage.NewDisk()
 	return &DB{
 		disk:     disk,
 		pool:     storage.NewBufferPool(disk, cfg.BufferBytes),
+		ixCache:  ixCache,
 		model:    cfg.CostModel,
 		tables:   make(map[string]*Table),
 		views:    make(map[string]*sqlparse.SelectStmt),
 		parallel: cfg.Parallel,
 	}
+}
+
+// IndexCache exposes the shared index-page residence model (nil when
+// disabled) for harness metrics.
+func (db *DB) IndexCache() *btree.PageCache { return db.ixCache }
+
+// newTree creates an index tree attached to the database's index-page
+// cache.
+func (db *DB) newTree(unique bool) *btree.Tree {
+	t := btree.New(unique)
+	if db.ixCache != nil {
+		t.SetCache(db.ixCache)
+	}
+	return t
 }
 
 // SetParallel changes the requested intra-query parallel degree. Plans
@@ -318,7 +350,7 @@ func (db *DB) createTable(ct *sqlparse.CreateTable) (*Table, error) {
 			ColIdxs:   append([]int(nil), t.PrimaryKey...),
 			Unique:    true,
 			Clustered: true, // loads arrive in key order in our workloads
-			Tree:      btree.New(true),
+			Tree:      db.newTree(true),
 		}
 		t.Indexes = append(t.Indexes, pkIdx)
 	}
@@ -340,7 +372,7 @@ func (db *DB) createIndex(ci *sqlparse.CreateIndex, m *cost.Meter) (*Index, erro
 			return nil, fmt.Errorf("engine: index %s already exists", name)
 		}
 	}
-	ix := &Index{Name: name, Table: t, Unique: ci.Unique, Tree: btree.New(ci.Unique)}
+	ix := &Index{Name: name, Table: t, Unique: ci.Unique, Tree: db.newTree(ci.Unique)}
 	for _, cn := range ci.Cols {
 		pos := t.ColIndex(cn)
 		if pos < 0 {

@@ -586,10 +586,14 @@ func (st *aggState) result(spec aggSpec) val.Value {
 	return val.Null
 }
 
-// outRow is one projected output row plus its ORDER BY keys.
+// outRow is one projected output row plus its ORDER BY keys. sortKey is
+// the keys' precomputed order-preserving byte encoding, built once per
+// row at finish so the sort comparator is a bytes.Compare instead of a
+// per-comparison val.Compare walk over the key columns.
 type outRow struct {
-	proj []val.Value
-	keys []val.Value
+	proj    []val.Value
+	keys    []val.Value
+	sortKey []byte
 }
 
 // projectRow evaluates the plan's projections (and ORDER BY keys, when the
@@ -680,18 +684,11 @@ func (o *outputSink) finish() error {
 	} else {
 		chargeSort(o.m, int64(len(o.rows)), int64(len(p.projections)+len(p.orderKeys))*24)
 	}
+	for i := range o.rows {
+		o.rows[i].sortKey = p.sortKeyOf(o.rows[i].keys, nil)
+	}
 	sort.SliceStable(o.rows, func(i, j int) bool {
-		for k := range p.orderKeys {
-			c := val.Compare(o.rows[i].keys[k], o.rows[j].keys[k])
-			if c == 0 {
-				continue
-			}
-			if p.orderDesc[k] {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
+		return bytes.Compare(o.rows[i].sortKey, o.rows[j].sortKey) < 0
 	})
 	n := len(o.rows)
 	if p.limit >= 0 && p.limit < n {
@@ -706,6 +703,29 @@ func (o *outputSink) finish() error {
 		}
 	}
 	return nil
+}
+
+// sortKeyOf appends the composite sort key for one row's ORDER BY values
+// to dst. Each segment is val.AppendKey's order-preserving encoding;
+// descending segments are byte-inverted, which reverses exactly that
+// segment's order because the encoding is per-segment prefix-free. CHAR
+// values right-trim their padding first — val.Compare treats trailing
+// spaces as insignificant, and the byte encoding must agree or padded
+// equals would order (unstably) by their pad bytes.
+func (p *selectPlan) sortKeyOf(keys []val.Value, dst []byte) []byte {
+	for k, v := range keys {
+		if v.K == val.KStr {
+			v = val.Str(strings.TrimRight(v.S, " "))
+		}
+		start := len(dst)
+		dst = val.AppendKey(dst, v)
+		if p.orderDesc[k] {
+			for i := start; i < len(dst); i++ {
+				dst[i] = ^dst[i]
+			}
+		}
+	}
+	return dst
 }
 
 // run executes the block, calling emit for every output row (a reused

@@ -53,9 +53,12 @@ type Config struct {
 	// (0 or 1 = serial).
 	Parallel int
 	// TableBufferBytes, when positive, overrides the byte budget of every
-	// application-server table buffer enabled via SetBuffered. The paper's
-	// Table 8 shows what happens when this is left undersized: the MARA
-	// buffer thrashes (35k misses, 34k evictions, nothing resident).
+	// application-server table buffer enabled via SetBuffered and also
+	// bounds eviction-pressure-driven auto-resize (adaptive buffers
+	// otherwise grow toward an 8 MB default ceiling). The paper's Table 8
+	// shows what a pinned undersized budget does: the MARA buffer
+	// thrashes (35k misses, 34k evictions, nothing resident);
+	// SetBufferedFixed reproduces that pathology on demand.
 	TableBufferBytes int64
 }
 

@@ -207,6 +207,17 @@ func (o *OpenSQL) Select(table string, conds []Cond, fn func(Row) error) error {
 	if t == nil {
 		return fmt.Errorf("r3: unknown table %s", table)
 	}
+	if buf := o.sys.Buffer(t.Name); buf != nil && !condsPinFullKey(t, conds) {
+		// Single-record buffering only: a SELECT loop that does not pin
+		// the full primary key is a (partial) table scan, and pouring its
+		// rows into the buffer would evict the point-lookup working set.
+		// The rows stream past the buffer; only a counter notes them.
+		inner := fn
+		fn = func(r Row) error {
+			buf.noteScanBypass(1)
+			return inner(r)
+		}
+	}
 	if t.Kind != Transparent {
 		return o.selectEncapsulated(t, conds, fn)
 	}
@@ -236,6 +247,26 @@ func (o *OpenSQL) Select(table string, conds []Cond, fn func(Row) error) error {
 		}
 	}
 	return nil
+}
+
+// condsPinFullKey reports whether conds pin every primary-key column
+// after the implicit MANDT with an equality — the SELECT SINGLE shape.
+// Such reads are single-record accesses, not scans, and stay eligible
+// for buffer insertion (SelectSingle reaches Select through its DB path).
+func condsPinFullKey(t *LogicalTable, conds []Cond) bool {
+	for _, kc := range t.KeyCols[1:] {
+		found := false
+		for _, c := range conds {
+			if c.Col == kc && c.Op == "=" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // prepare goes through the cursor cache, charging one ABAP→SQL

@@ -19,6 +19,8 @@ type frame struct {
 	data  []byte
 	dirty bool
 	elem  *list.Element
+	young bool // resident in the young sublist (proven by a second touch)
+	ra    bool // admitted by readahead; first demand touch still pending
 }
 
 // maxPoolShards bounds the number of lock shards; tiny pools collapse to
@@ -30,41 +32,83 @@ const maxPoolShards = 8
 // suffers more than contention costs.
 const minPagesPerShard = 64
 
+// oldFracNum/oldFracDen set the old sublist's target share of a shard
+// (3/8, the classic midpoint default): new pages enter the old sublist
+// and must prove themselves with a second touch before they may displace
+// anything in the young sublist.
+const (
+	oldFracNum = 3
+	oldFracDen = 8
+)
+
+// readaheadWindow is the number of consecutive pages fetched per
+// readahead batch; raTrigger is the run of consecutive page requests
+// that arms readahead; minReadaheadPages is the smallest pool for which
+// readahead pays — a smaller pool would churn the prefetched window out
+// before the scan consumed it.
+const (
+	readaheadWindow   = 8
+	raTrigger         = 2
+	minReadaheadPages = 4 * readaheadWindow
+)
+
 // poolShard is one independently locked slice of the buffer pool: its own
-// frame map, its own LRU list, its own share of the capacity.
+// frame map, its own young/old LRU sublists, its own share of the capacity.
 type poolShard struct {
 	mu       sync.Mutex
 	capacity int
+	youngCap int // capacity - old-sublist target
 	frames   map[pageKey]*frame
-	lru      *list.List // front = most recently used
+	young    *list.List // pages touched at least twice; front = most recent
+	old      *list.List // unproven pages (scans live here); evicted first
 
-	// hits/misses are atomics so stat readers (HitRatio, ShardStats,
-	// the metrics registry) never contend with — or race against — the
+	// Counters are atomics so stat readers (HitRatio, ShardStats, the
+	// metrics registry) never contend with — or race against — the
 	// frame lock held by scan workers.
-	hits, misses atomic.Int64
+	hits, misses, raHits atomic.Int64
+	youngLen, oldLen     atomic.Int64
 }
 
-// BufferPool caches disk pages with LRU replacement and charges page I/O to
-// the accessing session's cost meter. Its capacity models the paper's
-// database buffer (10 MB by default in the SAP R/3 installation).
+// BufferPool caches disk pages and charges page I/O to the accessing
+// session's cost meter. Its capacity models the paper's database buffer
+// (10 MB by default in the SAP R/3 installation).
+//
+// Replacement is a midpoint-insertion LRU: each shard keeps a "young"
+// and an "old" sublist. New pages enter the old sublist and are promoted
+// to the young sublist only on a second touch, so a one-pass scan can
+// evict at most other scan pages — the hot B-tree and cluster pages a
+// point query depends on stay resident (scan resistance).
 //
 // A read that hits the pool is free; a miss charges cost.SeqRead when the
 // page immediately follows the previous page read from the same file
-// (prefetchable sequential access) and cost.RandRead otherwise. Writing
-// back a dirty page charges cost.PageWrite.
+// (prefetchable sequential access) and cost.RandRead otherwise. Scanners
+// that track their own run of consecutive pages use a ScanRun, which also
+// performs sequential readahead: once a run is detected, the next window
+// of pages streams in as one batched cost.ReadAhead charge and subsequent
+// requests are readahead hits (tracked separately from resident hits).
+// Writing back a dirty page charges cost.PageWrite.
 //
 // The pool is sharded: frames are spread over up to maxPoolShards
-// independently locked LRU segments so concurrent scan workers do not
-// serialize on one mutex. The sequential-read detector stays global (it
-// models the disk's single head position per file) under its own small
-// lock; partitioned scans that track their own run of consecutive pages
-// should use GetScan, which bypasses the global detector entirely.
+// independently locked segments so concurrent scan workers do not
+// serialize on one mutex. The sequential-read detector of Get stays
+// global (it models the disk's single head position per file) under its
+// own small lock; partitioned scans use per-partition ScanRuns, which
+// bypass the global detector entirely.
 type BufferPool struct {
-	disk   *Disk
-	shards []*poolShard
+	disk     *Disk
+	shards   []*poolShard
+	capPages int
 
 	seqMu    sync.Mutex
 	lastRead map[FileID]PageID
+
+	// Policy knobs (on by default; the determinism suite flips them to
+	// prove results are byte-identical either way).
+	midpoint  atomic.Bool
+	readahead atomic.Bool
+
+	raWindows atomic.Int64 // batched window fetches issued
+	raPages   atomic.Int64 // pages fetched speculatively (beyond the demand page)
 }
 
 // NewBufferPool returns a pool over disk holding at most capacityBytes of
@@ -84,8 +128,11 @@ func NewBufferPool(disk *Disk, capacityBytes int) *BufferPool {
 	bp := &BufferPool{
 		disk:     disk,
 		shards:   make([]*poolShard, nShards),
+		capPages: capPages,
 		lastRead: make(map[FileID]PageID),
 	}
+	bp.midpoint.Store(true)
+	bp.readahead.Store(true)
 	per := capPages / nShards
 	extra := capPages % nShards
 	for i := range bp.shards {
@@ -93,10 +140,16 @@ func NewBufferPool(disk *Disk, capacityBytes int) *BufferPool {
 		if i < extra {
 			c++
 		}
+		oldTarget := c * oldFracNum / oldFracDen
+		if oldTarget < 1 {
+			oldTarget = 1
+		}
 		bp.shards[i] = &poolShard{
 			capacity: c,
+			youngCap: c - oldTarget,
 			frames:   make(map[pageKey]*frame),
-			lru:      list.New(),
+			young:    list.New(),
+			old:      list.New(),
 		}
 	}
 	return bp
@@ -112,19 +165,28 @@ func (bp *BufferPool) shard(key pageKey) *poolShard {
 }
 
 // CapacityPages returns the pool capacity in pages.
-func (bp *BufferPool) CapacityPages() int {
-	total := 0
-	for _, sh := range bp.shards {
-		total += sh.capacity
-	}
-	return total
+func (bp *BufferPool) CapacityPages() int { return bp.capPages }
+
+// SetMidpoint toggles midpoint insertion (true by default). Off, newly
+// admitted pages go straight to the young sublist and the pool degrades
+// to the plain LRU of earlier releases.
+func (bp *BufferPool) SetMidpoint(on bool) { bp.midpoint.Store(on) }
+
+// SetReadahead toggles sequential readahead for ScanRuns (true by
+// default). Off, every scanned page charges its own sequential read.
+func (bp *BufferPool) SetReadahead(on bool) { bp.readahead.Store(on) }
+
+// readaheadOn reports whether window fetches are currently worthwhile.
+func (bp *BufferPool) readaheadOn() bool {
+	return bp.readahead.Load() && bp.capPages >= minReadaheadPages
 }
 
-// HitRatio returns the fraction of page requests served from the pool.
+// HitRatio returns the fraction of page requests served from the pool,
+// counting both resident hits and readahead hits.
 func (bp *BufferPool) HitRatio() float64 {
 	var hits, misses int64
 	for _, sh := range bp.shards {
-		hits += sh.hits.Load()
+		hits += sh.hits.Load() + sh.raHits.Load()
 		misses += sh.misses.Load()
 	}
 	total := hits + misses
@@ -136,22 +198,58 @@ func (bp *BufferPool) HitRatio() float64 {
 
 // ShardStats is one lock shard's cache statistics.
 type ShardStats struct {
-	Hits     int64
-	Misses   int64
-	Capacity int // pages
+	Hits          int64
+	Misses        int64
+	ReadaheadHits int64 // first demand touches of prefetched pages
+	Capacity      int   // pages
+	Young         int64 // pages currently in the young sublist
+	Old           int64 // pages currently in the old sublist
 }
 
-// Stats snapshots per-shard hit/miss counters (lock-free) and capacities.
+// Stats snapshots per-shard counters and occupancy (lock-free) and
+// capacities.
 func (bp *BufferPool) Stats() []ShardStats {
 	out := make([]ShardStats, len(bp.shards))
 	for i, sh := range bp.shards {
 		out[i] = ShardStats{
-			Hits:     sh.hits.Load(),
-			Misses:   sh.misses.Load(),
-			Capacity: sh.capacity,
+			Hits:          sh.hits.Load(),
+			Misses:        sh.misses.Load(),
+			ReadaheadHits: sh.raHits.Load(),
+			Capacity:      sh.capacity,
+			Young:         sh.youngLen.Load(),
+			Old:           sh.oldLen.Load(),
 		}
 	}
 	return out
+}
+
+// ReadaheadStats reports the pool-wide readahead counters: window
+// fetches issued, pages fetched speculatively, and readahead hits
+// (prefetched pages later demanded).
+func (bp *BufferPool) ReadaheadStats() (windows, pages, hits int64) {
+	for _, sh := range bp.shards {
+		hits += sh.raHits.Load()
+	}
+	return bp.raWindows.Load(), bp.raPages.Load(), hits
+}
+
+// Occupancy returns the pool-wide young/old sublist sizes in pages.
+func (bp *BufferPool) Occupancy() (young, old int64) {
+	for _, sh := range bp.shards {
+		young += sh.youngLen.Load()
+		old += sh.oldLen.Load()
+	}
+	return young, old
+}
+
+// Contains reports whether the page is resident, without touching LRU
+// state or counters (used by tests and diagnostics).
+func (bp *BufferPool) Contains(file FileID, page PageID) bool {
+	sh := bp.shard(pageKey{file, page})
+	sh.mu.Lock()
+	_, ok := sh.frames[pageKey{file, page}]
+	sh.mu.Unlock()
+	return ok
 }
 
 // Get returns the page's data, faulting it in if needed and charging m.
@@ -159,11 +257,8 @@ func (bp *BufferPool) Stats() []ShardStats {
 // via MarkDirty. Sequential-vs-random charging follows the global per-file
 // last-read cursor.
 func (bp *BufferPool) Get(file FileID, page PageID, m *cost.Meter) ([]byte, error) {
-	data, hit, err := bp.lookup(pageKey{file, page})
-	if err != nil {
-		return nil, err
-	}
-	if hit {
+	key := pageKey{file, page}
+	if data, hit := bp.touch(key); hit {
 		bp.seqMu.Lock()
 		bp.lastRead[file] = page
 		bp.seqMu.Unlock()
@@ -174,6 +269,10 @@ func (bp *BufferPool) Get(file FileID, page PageID, m *cost.Meter) ([]byte, erro
 	last, ok := bp.lastRead[file]
 	bp.lastRead[file] = page
 	bp.seqMu.Unlock()
+	data, err := bp.disk.readPage(file, page)
+	if err != nil {
+		return nil, err
+	}
 	if m != nil {
 		if ok && page == last+1 {
 			m.Charge(cost.SeqRead, 1)
@@ -181,21 +280,51 @@ func (bp *BufferPool) Get(file FileID, page PageID, m *cost.Meter) ([]byte, erro
 			m.Charge(cost.RandRead, 1)
 		}
 	}
-	return bp.admit(pageKey{file, page}, data, m), nil
+	return bp.admit(key, data, m, false), nil
 }
 
-// GetScan is Get for a caller that tracks its own run of consecutive
-// pages (a partitioned scan worker): seq says whether this page continues
-// the caller's run. The global per-file cursor is neither consulted nor
-// updated, so concurrent partition scans charge deterministically and do
-// not perturb each other's sequential-read detection.
-func (bp *BufferPool) GetScan(file FileID, page PageID, seq bool, m *cost.Meter) ([]byte, error) {
-	data, hit, err := bp.lookup(pageKey{file, page})
+// ScanRun tracks one scanner's run of consecutive page requests — a
+// serial heap scan or one partition of a parallel scan. Run state is
+// caller-local, so concurrent partitions charge deterministically and do
+// not perturb each other's sequential detection, and readahead never
+// prefetches past limit (the exclusive end of the caller's page range).
+type ScanRun struct {
+	bp    *BufferPool
+	file  FileID
+	limit PageID
+	last  PageID
+	has   bool
+	run   int
+}
+
+// NewScanRun starts a run over file; readahead stops at limit (exclusive).
+func (bp *BufferPool) NewScanRun(file FileID, limit PageID) *ScanRun {
+	return &ScanRun{bp: bp, file: file, limit: limit}
+}
+
+// Get returns the page's data for this run, faulting it in if needed.
+// A miss that continues a run of at least raTrigger consecutive pages
+// fetches the whole next window in one batched cost.ReadAhead charge;
+// other misses charge cost.SeqRead (run continuation) or cost.RandRead.
+func (r *ScanRun) Get(page PageID, m *cost.Meter) ([]byte, error) {
+	bp := r.bp
+	seq := r.has && page == r.last+1
+	if seq {
+		r.run++
+	} else {
+		r.run = 1
+	}
+	r.last, r.has = page, true
+	key := pageKey{r.file, page}
+	if data, hit := bp.touch(key); hit {
+		return data, nil
+	}
+	if seq && r.run >= raTrigger && bp.readaheadOn() {
+		return bp.fetchWindow(r.file, page, r.limit, m)
+	}
+	data, err := bp.disk.readPage(r.file, page)
 	if err != nil {
 		return nil, err
-	}
-	if hit {
-		return data, nil
 	}
 	if m != nil {
 		if seq {
@@ -204,50 +333,156 @@ func (bp *BufferPool) GetScan(file FileID, page PageID, seq bool, m *cost.Meter)
 			m.Charge(cost.RandRead, 1)
 		}
 	}
-	return bp.admit(pageKey{file, page}, data, m), nil
+	return bp.admit(key, data, m, false), nil
 }
 
-// lookup returns the cached page (hit=true) or reads it from disk
-// (hit=false; the caller must admit it).
-func (bp *BufferPool) lookup(key pageKey) ([]byte, bool, error) {
+// fetchWindow streams pages [start, start+readaheadWindow) — clipped to
+// the file and to limit — into the pool as one batched sequential
+// transfer: a single cost.ReadAhead charge covers the whole window. The
+// demand page enters as a normal admission; the speculative pages are
+// flagged so their first demand touch counts as a readahead hit and does
+// not yet promote them.
+func (bp *BufferPool) fetchWindow(file FileID, start, limit PageID, m *cost.Meter) ([]byte, error) {
+	end := start + readaheadWindow
+	if n := PageID(bp.disk.NumPages(file)); end > n {
+		end = n
+	}
+	if limit > 0 && end > limit {
+		end = limit
+	}
+	var demand []byte
+	speculative := int64(0)
+	for p := start; p < end; p++ {
+		key := pageKey{file, p}
+		if p != start && bp.Contains(file, p) {
+			continue // already resident: leave its recency alone
+		}
+		data, err := bp.disk.readPage(file, p)
+		if err != nil {
+			if p == start {
+				return nil, err
+			}
+			break // the demand page is in; a short window is fine
+		}
+		got := bp.admit(key, data, m, p != start)
+		if p == start {
+			demand = got
+		} else {
+			speculative++
+		}
+	}
+	if m != nil {
+		m.Charge(cost.ReadAhead, 1)
+	}
+	bp.raWindows.Add(1)
+	bp.raPages.Add(speculative)
+	return demand, nil
+}
+
+// touch returns the cached page and registers the access: a hit on a
+// readahead page consumes its flag (counted separately, no promotion —
+// a scan touches each page exactly once), a hit on an old-sublist page
+// is its second touch and promotes it to the young sublist, a hit on a
+// young page refreshes its recency. Misses only bump the miss counter;
+// the caller reads the disk and admits.
+func (bp *BufferPool) touch(key pageKey) ([]byte, bool) {
 	sh := bp.shard(key)
 	sh.mu.Lock()
-	if f, ok := sh.frames[key]; ok {
-		sh.hits.Add(1)
-		sh.lru.MoveToFront(f.elem)
+	f, ok := sh.frames[key]
+	if !ok {
+		sh.misses.Add(1)
 		sh.mu.Unlock()
-		return f.data, true, nil
+		return nil, false
 	}
-	sh.misses.Add(1)
+	switch {
+	case f.ra:
+		f.ra = false
+		sh.raHits.Add(1)
+		if f.young {
+			sh.young.MoveToFront(f.elem)
+		} else {
+			sh.old.MoveToFront(f.elem)
+		}
+	case f.young:
+		sh.hits.Add(1)
+		sh.young.MoveToFront(f.elem)
+	default:
+		// Second touch: the page proved itself; move it to the young
+		// sublist and demote young overflow back to the old list's head.
+		sh.hits.Add(1)
+		sh.promote(f)
+	}
+	data := f.data
 	sh.mu.Unlock()
-	data, err := bp.disk.readPage(key.file, key.page)
-	if err != nil {
-		return nil, false, err
+	return data, true
+}
+
+// promote moves an old-sublist frame to the young sublist. Caller holds
+// sh.mu.
+func (sh *poolShard) promote(f *frame) {
+	sh.old.Remove(f.elem)
+	sh.oldLen.Add(-1)
+	f.elem = sh.young.PushFront(f)
+	f.young = true
+	sh.youngLen.Add(1)
+	for int(sh.youngLen.Load()) > sh.youngCap && sh.young.Len() > 1 {
+		tail := sh.young.Back()
+		tf := tail.Value.(*frame)
+		sh.young.Remove(tail)
+		sh.youngLen.Add(-1)
+		tf.young = false
+		tf.elem = sh.old.PushFront(tf)
+		sh.oldLen.Add(1)
 	}
-	return data, false, nil
 }
 
 // admit inserts a freshly read page, unless a concurrent reader admitted
-// it first (then the cached copy wins).
-func (bp *BufferPool) admit(key pageKey, data []byte, m *cost.Meter) []byte {
+// it first (then the cached copy wins). ra marks a speculative readahead
+// admission. Midpoint on, new pages enter the old sublist; off, they go
+// straight to the young list (plain LRU).
+func (bp *BufferPool) admit(key pageKey, data []byte, m *cost.Meter, ra bool) []byte {
 	sh := bp.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if f, ok := sh.frames[key]; ok {
-		sh.lru.MoveToFront(f.elem)
+		if !ra {
+			if f.young {
+				sh.young.MoveToFront(f.elem)
+			} else {
+				sh.old.MoveToFront(f.elem)
+			}
+		}
 		return f.data
 	}
-	for sh.lru.Len() >= sh.capacity {
-		victim := sh.lru.Back()
+	for sh.young.Len()+sh.old.Len() >= sh.capacity {
+		victim := sh.old.Back()
+		fromOld := true
+		if victim == nil {
+			victim = sh.young.Back()
+			fromOld = false
+		}
 		vf := victim.Value.(*frame)
 		if vf.dirty && m != nil {
 			m.Charge(cost.PageWrite, 1)
 		}
-		sh.lru.Remove(victim)
+		if fromOld {
+			sh.old.Remove(victim)
+			sh.oldLen.Add(-1)
+		} else {
+			sh.young.Remove(victim)
+			sh.youngLen.Add(-1)
+		}
 		delete(sh.frames, vf.key)
 	}
-	f := &frame{key: key, data: data}
-	f.elem = sh.lru.PushFront(f)
+	f := &frame{key: key, data: data, ra: ra}
+	if bp.midpoint.Load() {
+		f.elem = sh.old.PushFront(f)
+		sh.oldLen.Add(1)
+	} else {
+		f.young = true
+		f.elem = sh.young.PushFront(f)
+		sh.youngLen.Add(1)
+	}
 	sh.frames[key] = f
 	return data
 }
@@ -302,7 +537,13 @@ func (bp *BufferPool) DropFile(file FileID) {
 		sh.mu.Lock()
 		for key, f := range sh.frames {
 			if key.file == file {
-				sh.lru.Remove(f.elem)
+				if f.young {
+					sh.young.Remove(f.elem)
+					sh.youngLen.Add(-1)
+				} else {
+					sh.old.Remove(f.elem)
+					sh.oldLen.Add(-1)
+				}
 				delete(sh.frames, key)
 			}
 		}
@@ -313,10 +554,14 @@ func (bp *BufferPool) DropFile(file FileID) {
 	bp.seqMu.Unlock()
 }
 
-// ResetStats zeroes hit/miss counters.
+// ResetStats zeroes hit/miss/readahead counters (occupancy is state, not
+// a counter, and stays).
 func (bp *BufferPool) ResetStats() {
 	for _, sh := range bp.shards {
 		sh.hits.Store(0)
 		sh.misses.Store(0)
+		sh.raHits.Store(0)
 	}
+	bp.raWindows.Store(0)
+	bp.raPages.Store(0)
 }

@@ -187,8 +187,9 @@ func (h *HeapFile) Update(rid RID, row []val.Value, m *cost.Meter) error {
 func (h *HeapFile) Scan(m *cost.Meter, fn func(rid RID, row []val.Value) error) error {
 	n := h.disk.NumPages(h.file)
 	buf := make([]val.Value, 0, h.codec.NumCols())
+	run := h.pool.NewScanRun(h.file, PageID(n))
 	for p := 0; p < n; p++ {
-		page, err := h.pool.Get(h.file, PageID(p), m)
+		page, err := run.Get(PageID(p), m)
 		if err != nil {
 			return err
 		}
@@ -220,16 +221,18 @@ func (h *HeapFile) Scan(m *cost.Meter, fn func(rid RID, row []val.Value) error) 
 // ScanRange calls fn for every live row in pages [loPage, hiPage), in
 // file order — one partition of a parallel scan. Page charging is
 // partition-local: the first page of the range costs a random read (the
-// worker's arm seeks there), subsequent pages are sequential. The global
-// per-file sequential detector is untouched, so concurrent partitions
-// charge deterministically.
+// worker's arm seeks there), subsequent pages are sequential or a batched
+// readahead window. The global per-file sequential detector is untouched,
+// so concurrent partitions charge deterministically, and the run's limit
+// keeps readahead from prefetching into a neighboring partition's range.
 func (h *HeapFile) ScanRange(loPage, hiPage int, m *cost.Meter, fn func(rid RID, row []val.Value) error) error {
 	if n := h.disk.NumPages(h.file); hiPage > n {
 		hiPage = n
 	}
 	buf := make([]val.Value, 0, h.codec.NumCols())
+	run := h.pool.NewScanRun(h.file, PageID(hiPage))
 	for p := loPage; p < hiPage; p++ {
-		page, err := h.pool.GetScan(h.file, PageID(p), p > loPage, m)
+		page, err := run.Get(PageID(p), m)
 		if err != nil {
 			return err
 		}

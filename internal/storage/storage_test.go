@@ -320,20 +320,24 @@ func TestConcurrentScansSharedPool(t *testing.T) {
 	h, bp, m := newTestHeap(t, 8*PageSize) // far smaller than the file: constant eviction
 	const nRows = 5000
 	var want int64
+	rids := make([]RID, 0, nRows)
 	for i := 0; i < nRows; i++ {
-		if _, err := h.Insert(row(i), m); err != nil {
+		rid, err := h.Insert(row(i), m)
+		if err != nil {
 			t.Fatal(err)
 		}
+		rids = append(rids, rid)
 		want += int64(i)
 	}
 	pages := h.Pages()
 	const workers = 8
+	const lookupWorkers = 2
 	per := (pages + workers - 1) / workers
 
 	var wg sync.WaitGroup
 	partSums := make([]int64, workers)
 	partCounts := make([]int64, workers)
-	errs := make([]error, workers+2)
+	errs := make([]error, workers+2+lookupWorkers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -360,6 +364,29 @@ func TestConcurrentScansSharedPool(t *testing.T) {
 				return nil
 			})
 		}(s)
+	}
+	// Point-lookup workers hammer random rids on the same shards the scan
+	// workers are churning: hits, misses, promotions and evictions all
+	// interleave on one frame map (the paper's OLTP-probe vs OLAP-scan mix).
+	for l := 0; l < lookupWorkers; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			lm := cost.NewMeter(cost.Default1996())
+			r := rand.New(rand.NewSource(int64(100 + l)))
+			for i := 0; i < 2000; i++ {
+				j := r.Intn(len(rids))
+				got, err := h.Fetch(rids[j], lm, nil)
+				if err != nil {
+					errs[workers+2+l] = err
+					return
+				}
+				if got[0].AsInt() != int64(j) {
+					errs[workers+2+l] = fmt.Errorf("lookup %d: got %v", j, got[0])
+					return
+				}
+			}
+		}(l)
 	}
 	// A stat reader hammers the counters while every scanner is running:
 	// under -race this pins that HitRatio and Stats read lock-free
@@ -414,5 +441,171 @@ func TestConcurrentScansSharedPool(t *testing.T) {
 		if sum != want {
 			t.Fatalf("full scan %d: sum %d, want %d", s, sum, want)
 		}
+	}
+}
+
+// TestScanResistance pins the tentpole property: a full scan of a file far
+// larger than the pool must not evict pages another session has proven hot
+// (touched twice → young sublist). With midpoint insertion off (plain LRU)
+// the same scan flushes them — the contrast guards against silently
+// regressing to the old policy.
+func TestScanResistance(t *testing.T) {
+	disk := NewDisk()
+	pool := NewBufferPool(disk, 64*PageSize) // one shard: deterministic LRU
+	hot := disk.CreateFile()
+	const hotPages = 8
+	for i := 0; i < hotPages; i++ {
+		disk.AllocPage(hot)
+	}
+	big := disk.CreateFile()
+	const bigPages = 200
+	for i := 0; i < bigPages; i++ {
+		disk.AllocPage(big)
+	}
+	m := cost.NewMeter(cost.Default1996())
+
+	heat := func() {
+		for pass := 0; pass < 2; pass++ { // second pass = second touch = young
+			for p := 0; p < hotPages; p++ {
+				if _, err := pool.Get(hot, PageID(p), m); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	scanBig := func() {
+		run := pool.NewScanRun(big, bigPages)
+		for p := 0; p < bigPages; p++ {
+			if _, err := run.Get(PageID(p), m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	heat()
+	scanBig()
+	for p := 0; p < hotPages; p++ {
+		if !pool.Contains(hot, PageID(p)) {
+			t.Fatalf("midpoint LRU: hot page %d evicted by a 200-page scan", p)
+		}
+	}
+	young, old := pool.Occupancy()
+	if young+old != 64 {
+		t.Fatalf("occupancy %d+%d, want full pool of 64", young, old)
+	}
+
+	// Plain LRU control: the identical workload flushes the hot set.
+	pool.SetMidpoint(false)
+	pool.DropFile(hot)
+	pool.DropFile(big)
+	heat()
+	scanBig()
+	survivors := 0
+	for p := 0; p < hotPages; p++ {
+		if pool.Contains(hot, PageID(p)) {
+			survivors++
+		}
+	}
+	if survivors == hotPages {
+		t.Fatal("plain LRU kept the whole hot set: control is not exercising eviction")
+	}
+}
+
+// TestReadaheadChargesWindows checks the batched charging contract: a
+// sequential sweep through a cold file charges one cost.ReadAhead per
+// window plus the initial random read, never per-page sequential reads,
+// and the prefetched pages count as readahead hits, not misses.
+func TestReadaheadChargesWindows(t *testing.T) {
+	disk := NewDisk()
+	pool := NewBufferPool(disk, 64*PageSize)
+	f := disk.CreateFile()
+	const pages = 32
+	for i := 0; i < pages; i++ {
+		disk.AllocPage(f)
+	}
+	m := cost.NewMeter(cost.Default1996())
+	run := pool.NewScanRun(f, pages)
+	for p := 0; p < pages; p++ {
+		if _, err := run.Get(PageID(p), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Page 0: random read. Page 1 arms the run → windows fetch pages
+	// 1-8, 9-16, 17-24, 25-31; everything else is a readahead hit.
+	if got := m.Count(cost.RandRead); got != 1 {
+		t.Errorf("RandRead = %d, want 1", got)
+	}
+	if got := m.Count(cost.SeqRead); got != 0 {
+		t.Errorf("SeqRead = %d, want 0 (windows absorb the sequential pages)", got)
+	}
+	if got := m.Count(cost.ReadAhead); got != 4 {
+		t.Errorf("ReadAhead = %d, want 4", got)
+	}
+	windows, raPages, raHits := pool.ReadaheadStats()
+	if windows != 4 || raPages != 27 || raHits != 27 {
+		t.Errorf("readahead stats = (%d windows, %d pages, %d hits), want (4, 27, 27)", windows, raPages, raHits)
+	}
+	var misses int64
+	for _, sh := range pool.Stats() {
+		misses += sh.Misses
+	}
+	if misses != 5 {
+		t.Errorf("misses = %d, want 5 (page 0 + one demand page per window)", misses)
+	}
+	if pool.HitRatio() < 0.84 { // 27 of 32 requests served without a disk wait
+		t.Errorf("hit ratio = %f", pool.HitRatio())
+	}
+}
+
+// TestReadaheadOffChargesPerPage pins the knob: with readahead disabled
+// the same sweep charges the seed policy's per-page sequential reads.
+func TestReadaheadOffChargesPerPage(t *testing.T) {
+	disk := NewDisk()
+	pool := NewBufferPool(disk, 64*PageSize)
+	pool.SetReadahead(false)
+	f := disk.CreateFile()
+	const pages = 32
+	for i := 0; i < pages; i++ {
+		disk.AllocPage(f)
+	}
+	m := cost.NewMeter(cost.Default1996())
+	run := pool.NewScanRun(f, pages)
+	for p := 0; p < pages; p++ {
+		if _, err := run.Get(PageID(p), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Count(cost.RandRead) != 1 || m.Count(cost.SeqRead) != 31 || m.Count(cost.ReadAhead) != 0 {
+		t.Fatalf("charges rand=%d seq=%d readahead=%d, want 1/31/0",
+			m.Count(cost.RandRead), m.Count(cost.SeqRead), m.Count(cost.ReadAhead))
+	}
+	windows, raPages, _ := pool.ReadaheadStats()
+	if windows != 0 || raPages != 0 {
+		t.Fatalf("readahead ran while disabled: %d windows, %d pages", windows, raPages)
+	}
+}
+
+// TestReadaheadDisabledOnTinyPools: below minReadaheadPages a window would
+// evict itself before the scan consumed it, so tiny pools keep the seed's
+// per-page behavior even with the knob on.
+func TestReadaheadDisabledOnTinyPools(t *testing.T) {
+	disk := NewDisk()
+	pool := NewBufferPool(disk, 8*PageSize)
+	f := disk.CreateFile()
+	for i := 0; i < 16; i++ {
+		disk.AllocPage(f)
+	}
+	m := cost.NewMeter(cost.Default1996())
+	run := pool.NewScanRun(f, 16)
+	for p := 0; p < 16; p++ {
+		if _, err := run.Get(PageID(p), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Count(cost.ReadAhead) != 0 {
+		t.Fatalf("tiny pool issued %d readahead windows", m.Count(cost.ReadAhead))
+	}
+	if m.Count(cost.RandRead) != 1 || m.Count(cost.SeqRead) != 15 {
+		t.Fatalf("charges rand=%d seq=%d, want 1/15", m.Count(cost.RandRead), m.Count(cost.SeqRead))
 	}
 }

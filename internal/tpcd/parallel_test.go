@@ -116,3 +116,49 @@ func TestParallelDeterminismWithOptimizerKnobs(t *testing.T) {
 	}
 	db.SetParallel(0)
 }
+
+// TestParallelDeterminismWithCacheKnobs re-runs the byte-identical check
+// with the buffer-replacement knobs flipped: midpoint insertion and
+// sequential readahead change which pages are resident and how I/O is
+// charged, but must never change what a query returns — at any parallel
+// degree, in any on/off combination.
+func TestParallelDeterminismWithCacheKnobs(t *testing.T) {
+	db, g := loadedDB(t)
+	impl := NewRDBMS(db, g)
+
+	serial := make([]string, 18)
+	for q := 1; q <= 17; q++ {
+		rows, err := impl.RunQuery(q)
+		if err != nil {
+			t.Fatalf("serial Q%d: %v", q, err)
+		}
+		serial[q] = encodeResult(rows)
+	}
+
+	pool := db.Pool()
+	defer pool.SetMidpoint(true)
+	defer pool.SetReadahead(true)
+	for _, knobs := range []struct{ midpoint, readahead bool }{
+		{false, false}, // the seed's plain LRU, per-page charging
+		{true, false},
+		{false, true},
+	} {
+		pool.SetMidpoint(knobs.midpoint)
+		pool.SetReadahead(knobs.readahead)
+		for _, deg := range []int{1, 2, 8} {
+			db.SetParallel(deg)
+			for q := 1; q <= 17; q++ {
+				rows, err := impl.RunQuery(q)
+				if err != nil {
+					t.Fatalf("midpoint=%v readahead=%v parallel=%d Q%d: %v",
+						knobs.midpoint, knobs.readahead, deg, q, err)
+				}
+				if got := encodeResult(rows); got != serial[q] {
+					t.Errorf("midpoint=%v readahead=%v parallel=%d Q%d result differs from serial run",
+						knobs.midpoint, knobs.readahead, deg, q)
+				}
+			}
+		}
+	}
+	db.SetParallel(0)
+}

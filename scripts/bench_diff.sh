@@ -1,6 +1,7 @@
 #!/bin/sh
 # Compare two benchmark snapshots on the simulated clock, failing on a
-# >10% regression. Usage:
+# >10% regression, a pool hit ratio below MIN_HIT_RATIO (default 0.92),
+# or a hit-ratio drop of more than 2 percentage points. Usage:
 #
 #   ./scripts/bench_diff.sh OLD.json [NEW.json]
 #
@@ -19,4 +20,4 @@ if [ -z "$new" ]; then
 	BENCH_OUT="$new" ./scripts/bench_snapshot.sh >/dev/null
 fi
 
-exec go run ./cmd/benchdiff "$old" "$new"
+exec go run ./cmd/benchdiff -min-hit-ratio "${MIN_HIT_RATIO:-0.92}" "$old" "$new"

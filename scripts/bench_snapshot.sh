@@ -5,14 +5,17 @@
 #   ./scripts/bench_snapshot.sh [bench-regex]
 #
 # The default regex covers the power test per strategy plus the parallel
-# degrees and per-query parallel pairs (DESIGN.md §5). Set BENCH_OUT to
-# redirect the output file (bench_diff.sh uses this for throwaway
-# snapshots). The snapshot also embeds a metrics-registry dump from a
-# small harness run (table8 exercises the table buffer) under "metrics".
+# degrees, per-query parallel pairs (DESIGN.md §5) and the ORDER BY-heavy
+# serial queries. Set BENCH_OUT to redirect the output file
+# (bench_diff.sh uses this for throwaway snapshots). The snapshot also
+# embeds a metrics-registry dump from a small harness run (table8
+# exercises the table buffer, readahead and admission control) under
+# "metrics", including pool.hit_ratio, pool.readahead.* and
+# table_buffer.*.admission_rejects for the benchdiff hit-ratio gate.
 set -eu
 
 cd "$(dirname "$0")/.."
-regex="${1:-BenchmarkPower22_RDBMS$|BenchmarkPowerParallel|BenchmarkParallelQ|BenchmarkJoinQ}"
+regex="${1:-BenchmarkPower22_RDBMS$|BenchmarkPowerParallel|BenchmarkParallelQ|BenchmarkJoinQ|BenchmarkOrderQ}"
 out="${BENCH_OUT:-BENCH_$(date +%F).json}"
 
 raw=$(go test -run xxx -bench "$regex" -benchtime 1x . 2>&1) || {
