@@ -25,9 +25,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One pass over the headline benchmark to catch bench-path regressions fast.
+# One pass over the headline benchmark plus the vectorized-vs-row
+# aggregation pair (allocs/op shows the batch executor's real win) to
+# catch bench-path regressions fast.
 bench-smoke:
-	$(GO) test -run xxx -bench=BenchmarkPower22_RDBMS -benchtime=1x .
+	$(GO) test -run xxx -bench 'BenchmarkPower22_RDBMS$$|BenchmarkAggQ1' -benchtime=1x -benchmem .
 
 # Full snapshot of the simulated-clock numbers into a committed BENCH_<date>.json.
 bench-snapshot:

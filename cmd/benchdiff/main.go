@@ -2,14 +2,18 @@
 // scripts/bench_snapshot.sh and fails when the simulated clock
 // regressed. It is the CI gate against accidental cost regressions:
 //
-//	benchdiff [-threshold 10] [-min-hit-ratio 0.92] [-max-hit-drop 2] OLD.json NEW.json
+//	benchdiff [-threshold 10] [-min-hit-ratio 0.92] [-max-hit-drop 2]
+//	          [-max-allocs-increase 25] OLD.json NEW.json
 //
 // Exit status 1 means at least one benchmark's sim_ms grew by more than
-// the threshold percentage, or a buffer-pool hit-ratio metric in the new
-// snapshot fell below -min-hit-ratio, or dropped by more than
-// -max-hit-drop percentage points against the old snapshot. Benchmarks
-// present in only one file are reported as ADDED/REMOVED but do not fail
-// the gate.
+// the threshold percentage, a benchmark's real allocations per operation
+// grew by more than -max-allocs-increase percent (the vectorized
+// executor's win is measured in allocs/op; a regression there is a real
+// wall-clock regression even when the simulated clock is unchanged), or
+// a buffer-pool hit-ratio metric in the new snapshot fell below
+// -min-hit-ratio, or dropped by more than -max-hit-drop percentage
+// points against the old snapshot. Benchmarks present in only one file
+// are reported as ADDED/REMOVED but do not fail the gate.
 package main
 
 import (
@@ -28,8 +32,9 @@ type snapshot struct {
 }
 
 type benchmark struct {
-	Name  string  `json:"name"`
-	SimMS float64 `json:"sim_ms"`
+	Name        string  `json:"name"`
+	SimMS       float64 `json:"sim_ms"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 func load(path string) (*snapshot, error) {
@@ -127,10 +132,49 @@ func diffHitRatios(oldS, newS *snapshot, minRatio, maxDropPP float64) (rows []hi
 	return rows, failed
 }
 
+// allocRow is one benchmark's allocs/op comparison.
+type allocRow struct {
+	Name     string
+	Old, New float64
+	Delta    float64 // percent
+	Status   string  // "" passes, "ALLOCS" grew past the cap
+}
+
+// diffAllocs gates real allocations per operation for every benchmark
+// both snapshots measured (snapshots predating allocs/op capture simply
+// contribute no rows). Growth beyond maxIncreasePct percent fails;
+// maxIncreasePct <= 0 disables the gate.
+func diffAllocs(oldS, newS *snapshot, maxIncreasePct float64) (rows []allocRow, failed bool) {
+	if maxIncreasePct <= 0 {
+		return nil, false
+	}
+	oldBy := make(map[string]float64, len(oldS.Benchmarks))
+	for _, b := range oldS.Benchmarks {
+		if b.AllocsPerOp > 0 {
+			oldBy[b.Name] = b.AllocsPerOp
+		}
+	}
+	for _, b := range newS.Benchmarks {
+		old, ok := oldBy[b.Name]
+		if !ok || b.AllocsPerOp <= 0 {
+			continue
+		}
+		r := allocRow{Name: b.Name, Old: old, New: b.AllocsPerOp}
+		r.Delta = (b.AllocsPerOp - old) / old * 100
+		if r.Delta > maxIncreasePct {
+			r.Status = "ALLOCS"
+			failed = true
+		}
+		rows = append(rows, r)
+	}
+	return rows, failed
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 10, "fail when sim_ms grows by more than this percentage")
 	minHitRatio := flag.Float64("min-hit-ratio", 0, "fail when any *.pool.hit_ratio metric in NEW is below this (0 disables the floor)")
 	maxHitDrop := flag.Float64("max-hit-drop", 2, "fail when a *.pool.hit_ratio metric drops by more than this many percentage points vs OLD")
+	maxAllocsIncrease := flag.Float64("max-allocs-increase", 25, "fail when a benchmark's allocs/op grows by more than this percentage vs OLD (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json")
@@ -163,6 +207,17 @@ func main() {
 			fmt.Printf("%-36s %12.4g %12.4g %+8.1f%%%s\n", r.Name, r.Old, r.New, r.Delta, mark)
 		}
 	}
+	allocRows, allocsFailed := diffAllocs(oldS, newS, *maxAllocsIncrease)
+	if len(allocRows) > 0 {
+		fmt.Printf("\n%-36s %12s %12s %9s\n", "allocs/op", "old", "new", "delta")
+		for _, r := range allocRows {
+			mark := ""
+			if r.Status != "" {
+				mark = "  " + r.Status
+			}
+			fmt.Printf("%-36s %12.4g %12.4g %+8.1f%%%s\n", r.Name, r.Old, r.New, r.Delta, mark)
+		}
+	}
 	hitRows, hitFailed := diffHitRatios(oldS, newS, *minHitRatio, *maxHitDrop)
 	if len(hitRows) > 0 {
 		fmt.Printf("\n%-36s %12s %12s %9s\n", "hit-ratio metric", "old", "new", "")
@@ -177,6 +232,10 @@ func main() {
 
 	if failed {
 		fmt.Printf("\nFAIL: at least one benchmark regressed by more than %.4g%% simulated time\n", *threshold)
+		os.Exit(1)
+	}
+	if allocsFailed {
+		fmt.Printf("\nFAIL: a benchmark's allocs/op grew by more than %.4g%%\n", *maxAllocsIncrease)
 		os.Exit(1)
 	}
 	if hitFailed {

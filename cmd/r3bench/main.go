@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	r3bench [-sf 0.02] [-parallel 1] [-table-buffer-bytes 0] [-table-buffer-fixed] [-exp all|table1,...,table9]
+//	r3bench [-sf 0.02] [-parallel 1] [-table-buffer-bytes 0] [-table-buffer-fixed] [-array-fetch] [-exp all|table1,...,table9]
 //
 // The paper runs at SF=0.2; the default 0.02 keeps a full run to minutes
 // of wall time. Simulated times scale approximately linearly with SF.
@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,11 +29,29 @@ func main() {
 	exp := flag.String("exp", "all", "experiments to run: all, or comma-separated table1..table9")
 	tableBuf := flag.Int64("table-buffer-bytes", 0, "override every R/3 table-buffer capacity in bytes (0 = each experiment's own budget)")
 	tableBufFixed := flag.Bool("table-buffer-fixed", false, "pin table-buffer budgets (no eviction-pressure auto-resize; reproduces the paper's undersized-cache sweeps literally)")
+	arrayFetch := flag.Bool("array-fetch", false, "ship result rows in array-fetch packets instead of one interface round trip per row (off = the paper's per-row interface)")
 	showMetrics := flag.Bool("metrics", false, "print the cumulative metrics registry after the run")
 	metricsJSON := flag.String("metrics-json", "", "write the metrics registry as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
 
-	cfg := &core.Config{SF: *sf, Parallel: *parallel, TableBufferBytes: *tableBuf, TableBufferFixed: *tableBufFixed, Out: os.Stdout}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "r3bench: creating CPU profile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "r3bench: starting CPU profile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := &core.Config{SF: *sf, Parallel: *parallel, TableBufferBytes: *tableBuf,
+		TableBufferFixed: *tableBufFixed, ArrayFetch: *arrayFetch, Out: os.Stdout}
 	start := time.Now()
 	var err error
 	if *exp == "all" {
@@ -69,6 +89,19 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "r3bench: creating heap profile:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle allocations so the profile shows live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "r3bench: writing heap profile:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 	fmt.Printf("\n(wall time: %s)\n", time.Since(start).Round(time.Millisecond))
 }

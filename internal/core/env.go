@@ -35,6 +35,10 @@ type Config struct {
 	// eviction-pressure auto-resize, so the paper's undersized-cache
 	// pathologies reproduce exactly as printed. Default off = adaptive.
 	TableBufferFixed bool
+	// ArrayFetch enables packet-granular result shipping (the array
+	// interface) on every engine the run builds. Default off — the
+	// paper's tables measure the per-row interface of the 1996 systems.
+	ArrayFetch bool
 
 	env *Env
 }
@@ -50,6 +54,7 @@ type Env struct {
 	SF           float64
 	Parallel     int
 	TableBufSize int64
+	ArrayFetch   bool
 	Gen          *dbgen.Generator
 	rdb          *engine.DB
 	sys2         *r3.System
@@ -59,7 +64,8 @@ type Env struct {
 // envOf returns the config's lazily created environment.
 func (cfg *Config) envOf() *Env {
 	if cfg.env == nil {
-		cfg.env = &Env{SF: cfg.SF, Parallel: cfg.Parallel, TableBufSize: cfg.TableBufferBytes, Gen: dbgen.New(cfg.SF)}
+		cfg.env = &Env{SF: cfg.SF, Parallel: cfg.Parallel, TableBufSize: cfg.TableBufferBytes,
+			ArrayFetch: cfg.ArrayFetch, Gen: dbgen.New(cfg.SF)}
 	}
 	return cfg.env
 }
@@ -67,7 +73,7 @@ func (cfg *Config) envOf() *Env {
 // RDB returns the loaded original-schema database.
 func (e *Env) RDB() (*engine.DB, error) {
 	if e.rdb == nil {
-		db := engine.Open(engine.Config{Parallel: e.Parallel})
+		db := engine.Open(engine.Config{Parallel: e.Parallel, ArrayFetch: e.ArrayFetch})
 		if err := tpcd.Load(db, e.Gen, nil); err != nil {
 			return nil, fmt.Errorf("core: loading original DB: %w", err)
 		}
@@ -79,7 +85,7 @@ func (e *Env) RDB() (*engine.DB, error) {
 // Sys22 returns the loaded Release 2.2G system.
 func (e *Env) Sys22() (*r3.System, error) {
 	if e.sys2 == nil {
-		sys, err := r3.Install(r3.Config{Release: r3.Release22, Parallel: e.Parallel, TableBufferBytes: e.TableBufSize})
+		sys, err := r3.Install(r3.Config{Release: r3.Release22, Parallel: e.Parallel, TableBufferBytes: e.TableBufSize, ArrayInterface: e.ArrayFetch})
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +102,7 @@ func (e *Env) Sys22() (*r3.System, error) {
 // configuration of the paper's Table 5 run.
 func (e *Env) Sys30() (*r3.System, error) {
 	if e.sys3 == nil {
-		sys, err := r3.Install(r3.Config{Release: r3.Release30, Parallel: e.Parallel, TableBufferBytes: e.TableBufSize})
+		sys, err := r3.Install(r3.Config{Release: r3.Release30, Parallel: e.Parallel, TableBufferBytes: e.TableBufSize, ArrayInterface: e.ArrayFetch})
 		if err != nil {
 			return nil, err
 		}

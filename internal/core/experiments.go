@@ -444,27 +444,35 @@ ORDER BY KPOSN`)
 	// Open SQL: ship every qualifying KONV tuple and group in the
 	// application server with EXTRACT/SORT/LOOP AT END OF — two phases
 	// with an intermediate materialization (paper Figure 4, right).
-	om := cost.NewMeter(sys.DB.Model())
-	o := sys.OpenSQL(om)
-	tab := r3.NewITab(om, "KPOSN", "CHARGE")
-	err = o.Select("KONV", []r3.Cond{
-		r3.Eq("STUNR", val.Str("040")), r3.Eq("ZAEHK", val.Str("01")),
-		r3.Eq("KSCHL", val.Str("DISC")),
-	}, func(r r3.Row) error {
-		tab.Append(r.Get("KPOSN"),
-			val.Float(r.Get("KAWRT").AsFloat()*(1+r.Get("KBETR").AsFloat()/1000)))
-		return nil
-	})
-	if err != nil {
-		return err
-	}
 	var openRows int
-	err = tab.GroupBy([]string{"KPOSN"}, []r3.Agg{
-		{Fn: "AVG", Of: func(r []val.Value) val.Value { return r[1] }},
-	}, func(kv, av []val.Value) error {
-		openRows++
-		return nil
-	})
+	openRun := func() (*cost.Meter, error) {
+		om := cost.NewMeter(sys.DB.Model())
+		o := sys.OpenSQL(om)
+		tab := r3.NewITab(om, "KPOSN", "CHARGE")
+		err := o.Select("KONV", []r3.Cond{
+			r3.Eq("STUNR", val.Str("040")), r3.Eq("ZAEHK", val.Str("01")),
+			r3.Eq("KSCHL", val.Str("DISC")),
+		}, func(r r3.Row) error {
+			tab.Append(r.Get("KPOSN"),
+				val.Float(r.Get("KAWRT").AsFloat()*(1+r.Get("KBETR").AsFloat()/1000)))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		openRows = 0
+		err = tab.GroupBy([]string{"KPOSN"}, []r3.Agg{
+			{Fn: "AVG", Of: func(r []val.Value) val.Value { return r[1] }},
+		}, func(kv, av []val.Value) error {
+			openRows++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return om, nil
+	}
+	om, err := openRun()
 	if err != nil {
 		return err
 	}
@@ -472,6 +480,41 @@ ORDER BY KPOSN`)
 	cfg.printf("%-12s  %14s  %14s\n", "cost", cost.Fmt(nm.Elapsed()), cost.Fmt(om.Elapsed()))
 	cfg.printf("\n(%d vs %d groups; paper: 4m11s vs 13m48s — >3x for the two-phase\napplication-server grouping)\n",
 		len(resN.Rows), openRows)
+
+	// Ablation: how much of the client-side penalty is the 1996 stack's
+	// per-row interface and two-phase grouping strategy rather than the
+	// client-side placement itself? Re-run the Open SQL variant with the
+	// array-fetch interface (rows ship in packets), with single-pass
+	// streaming hash grouping (no sort + materialize + rescan), and with
+	// both. Defaults are restored afterwards so every other table still
+	// reproduces the paper's configuration.
+	native := float64(nm.Elapsed())
+	cfg.printf("\nOpen SQL ablation (vs Native SQL):\n")
+	cfg.printf("  %-28s  %14s  %6s\n", "mode", "cost", "ratio")
+	report := func(label string, m *cost.Meter) {
+		cfg.printf("  %-28s  %14s  %5.1fx\n", label, cost.Fmt(m.Elapsed()), float64(m.Elapsed())/native)
+	}
+	report("per-row ship, 2-phase group", om)
+	modes := []struct {
+		label      string
+		arrayFetch bool
+		singlePass bool
+	}{
+		{"array fetch", true, false},
+		{"single-pass group", false, true},
+		{"array fetch + single-pass", true, true},
+	}
+	for _, mode := range modes {
+		sys.SetArrayFetch(mode.arrayFetch)
+		r3.SetITabSinglePass(mode.singlePass)
+		m, err := openRun()
+		sys.SetArrayFetch(false)
+		r3.SetITabSinglePass(false)
+		if err != nil {
+			return err
+		}
+		report(mode.label, m)
+	}
 	return nil
 }
 

@@ -35,6 +35,9 @@ func addEngineMetrics(reg *metrics.Registry, prefix string, db *engine.DB) {
 	reg.SetInt(prefix+".engine.selects", st.Selects)
 	reg.SetInt(prefix+".engine.parallel_selects", st.ParallelSelects)
 	reg.SetInt(prefix+".engine.parallel_runs", st.ParallelRuns)
+	reg.SetInt(prefix+".interface.calls", st.InterfaceCalls)
+	reg.SetInt(prefix+".interface.rows_shipped", st.RowsShipped)
+	reg.SetInt(prefix+".interface.packets", st.Packets)
 	reg.SetInt(prefix+".optimizer.peeks", st.Peeks)
 	reg.SetInt(prefix+".optimizer.replans", st.Replans)
 	reg.SetInt(prefix+".optimizer.hist_estimates", st.HistEstimates)

@@ -29,25 +29,26 @@ type Kind int
 
 // Event classes charged against the virtual clock.
 const (
-	SeqRead   Kind = iota // sequential page read from disk
-	RandRead              // random page read (seek + rotational delay)
-	PageWrite             // page write
-	TupleCPU              // per-tuple CPU work (predicate eval, copy, hash)
-	SortCPU               // per-comparison sort work
-	Interface             // client/server round trip (one call)
-	RowShip               // one result row shipped across the interface
-	Translate             // Open SQL → SQL translation of one statement
-	Decode                // decode of one pool/cluster tuple
-	Check                 // one batch-input consistency check
-	Commit                // one transaction commit (log force)
-	ReadAhead             // one batched sequential readahead window (several pages, one charge)
+	SeqRead      Kind = iota // sequential page read from disk
+	RandRead                 // random page read (seek + rotational delay)
+	PageWrite                // page write
+	TupleCPU                 // per-tuple CPU work (predicate eval, copy, hash)
+	SortCPU                  // per-comparison sort work
+	Interface                // client/server round trip (one call)
+	RowShip                  // one result row shipped across the interface
+	Translate                // Open SQL → SQL translation of one statement
+	Decode                   // decode of one pool/cluster tuple
+	Check                    // one batch-input consistency check
+	Commit                   // one transaction commit (log force)
+	ReadAhead                // one batched sequential readahead window (several pages, one charge)
+	RowShipBatch             // one array-fetch packet shipped across the interface (several rows, one charge)
 	numKinds
 )
 
 var kindNames = [...]string{
 	"seq-read", "rand-read", "page-write", "tuple-cpu", "sort-cpu",
 	"interface", "row-ship", "translate", "decode", "check", "commit",
-	"readahead",
+	"readahead", "row-ship-batch",
 }
 
 // String returns the stable lower-case name of the event class.
@@ -94,8 +95,21 @@ func Default1996() Model {
 	// single-page sequential read, so the per-page cost collapses into
 	// one charge per window (DESIGN.md §9).
 	m.PerEvent[ReadAhead] = 1 * time.Millisecond
+	// An array-fetch packet ships up to ArrayFetchRows result rows in one
+	// interface buffer copy: the round trip and context switch that make
+	// RowShip expensive are paid once per packet, not once per tuple
+	// (DESIGN.md §10). The round trip dominates, so a packet costs only
+	// ~25% more than a single-row ship (the larger buffer copy); full
+	// packets move rows ~80x cheaper, and a one-row result (the SELECT
+	// SINGLE pattern) pays just that small partial-packet overhead.
+	m.PerEvent[RowShipBatch] = 150 * time.Microsecond
 	return m
 }
+
+// ArrayFetchRows is the packet granularity of the array interface: one
+// RowShipBatch event covers up to this many rows. Partial packets cost a
+// full charge — the buffer is copied regardless of fill.
+const ArrayFetchRows = 100
 
 // UniformIO returns a copy of m in which random reads cost the same as
 // sequential reads. Used by the cost-model ablation (DESIGN.md §4) to show

@@ -140,6 +140,7 @@ func (s *Session) ExplainAnalyze(sql string, params ...val.Value) (*Analyzed, er
 	// the same as a plain one.
 	opt := root.Child("parse+optimize")
 	prev := s.Meter.SetSpan(opt)
+	s.db.ifaceCalls.Add(1)
 	s.Meter.Charge(cost.Interface, 1)
 	s.Meter.ChargeDuration(cost.Interface, optimizeCharge)
 	plan, err := s.db.planSelect(sel, nil, nil)
@@ -152,18 +153,28 @@ func (s *Session) ExplainAnalyze(sql string, params ...val.Value) (*Analyzed, er
 	prof.planFor(plan) // create operator spans ahead of row-ship, in plan order
 	ship := root.Child("row-ship")
 
+	arrayFetch := s.db.ArrayFetchEnabled()
 	rt := &runtime{sess: s, params: params, subCache: make(map[*selectPlan][][]val.Value), prof: prof}
 	res := &Result{Cols: plan.outCols}
 	err = plan.run(rt, nil, func(row []val.Value) error {
-		p := s.Meter.SetSpan(ship)
-		s.Meter.Charge(cost.RowShip, 1)
-		s.Meter.SetSpan(p)
+		if !arrayFetch {
+			p := s.Meter.SetSpan(ship)
+			s.Meter.Charge(cost.RowShip, 1)
+			s.Meter.SetSpan(p)
+		}
 		ship.AddRows(1)
 		res.Rows = append(res.Rows, append([]val.Value(nil), row...))
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	s.db.ifaceRows.Add(int64(len(res.Rows)))
+	if arrayFetch {
+		p := s.Meter.SetSpan(ship)
+		packets := chargeArrayShip(s.Meter, int64(len(res.Rows)))
+		s.Meter.SetSpan(p)
+		s.db.ifacePackets.Add(packets)
 	}
 	s.db.noteSelect(plan)
 	return &Analyzed{Result: res, Root: root}, nil

@@ -102,6 +102,15 @@ type DB struct {
 	peekBinds bool
 	adaptive  bool
 
+	// vectorized runs eligible SELECT pipelines batch-at-a-time (default
+	// on; byte-identical output and meter totals either way — the toggle
+	// exists for the determinism suite and wall-clock ablations).
+	vectorized bool
+	// arrayFetch ships result rows in packets (cost.RowShipBatch) instead
+	// of one RowShip per row. Default off: the paper's Tables 4/5/7 hinge
+	// on tuple-at-a-time shipping (guarded by mu).
+	arrayFetch bool
+
 	// opt holds the optimizer observability counters shared with every
 	// table's statistics.
 	opt optCounters
@@ -113,6 +122,9 @@ type DB struct {
 	selects         atomic.Int64 // SELECT executions
 	parallelSelects atomic.Int64 // of those, plans compiled with degree >= 2
 	parallelRuns    atomic.Int64 // executions that engaged parallel workers
+	ifaceCalls      atomic.Int64 // client/server interface round trips
+	ifaceRows       atomic.Int64 // result rows shipped to clients
+	ifacePackets    atomic.Int64 // array-fetch packets shipped (0 unless array fetch on)
 }
 
 // WriteHook observes one row mutation: oldRow is nil on insert, newRow
@@ -149,6 +161,9 @@ type EngineStats struct {
 	Replans          int64 // feedback-driven re-optimizations of cached plans
 	HistEstimates    int64 // selectivity estimates served from gathered statistics
 	DefaultEstimates int64 // selectivity estimates that fell back to blind defaults
+	InterfaceCalls   int64 // client/server interface round trips
+	RowsShipped      int64 // result rows shipped to clients
+	Packets          int64 // array-fetch packets shipped (0 unless array fetch on)
 }
 
 // Stats snapshots the execution counters.
@@ -161,6 +176,9 @@ func (db *DB) Stats() EngineStats {
 		Replans:          db.opt.replans.Load(),
 		HistEstimates:    db.opt.histEst.Load(),
 		DefaultEstimates: db.opt.defEst.Load(),
+		InterfaceCalls:   db.ifaceCalls.Load(),
+		RowsShipped:      db.ifaceRows.Load(),
+		Packets:          db.ifacePackets.Load(),
 	}
 }
 
@@ -182,6 +200,39 @@ func (db *DB) SetAdaptive(on bool) {
 	db.mu.Lock()
 	db.adaptive = on
 	db.mu.Unlock()
+}
+
+// SetVectorized toggles batch-at-a-time execution of eligible SELECT
+// pipelines (default on). Output and simulated meter totals are
+// byte-identical either way; the row-at-a-time path remains as the
+// reference implementation and wall-clock baseline.
+func (db *DB) SetVectorized(on bool) {
+	db.mu.Lock()
+	db.vectorized = on
+	db.mu.Unlock()
+}
+
+// SetArrayFetch toggles the array interface: when on, result rows ship to
+// the client in packets of up to cost.ArrayFetchRows, one RowShipBatch
+// charge per packet, instead of one RowShip charge per row. Off (the
+// default) reproduces the paper's tuple-at-a-time interface.
+func (db *DB) SetArrayFetch(on bool) {
+	db.mu.Lock()
+	db.arrayFetch = on
+	db.mu.Unlock()
+}
+
+func (db *DB) vectorizedEnabled() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.vectorized
+}
+
+// ArrayFetchEnabled reports whether the array interface is on.
+func (db *DB) ArrayFetchEnabled() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.arrayFetch
 }
 
 func (db *DB) peekEnabled() bool {
@@ -221,6 +272,11 @@ type Config struct {
 	// large tables split across up to this many workers. 0 or 1 disables
 	// parallel execution.
 	Parallel int
+	// ArrayFetch enables the array interface: result rows ship in packets
+	// (one cost.RowShipBatch charge per packet) instead of one RowShip
+	// charge per row. Default off — the paper's interface is
+	// tuple-at-a-time.
+	ArrayFetch bool
 }
 
 // DefaultBufferBytes mirrors the paper's default RDBMS buffer (10 MB).
@@ -248,13 +304,15 @@ func Open(cfg Config) *DB {
 	}
 	disk := storage.NewDisk()
 	return &DB{
-		disk:     disk,
-		pool:     storage.NewBufferPool(disk, cfg.BufferBytes),
-		ixCache:  ixCache,
-		model:    cfg.CostModel,
-		tables:   make(map[string]*Table),
-		views:    make(map[string]*sqlparse.SelectStmt),
-		parallel: cfg.Parallel,
+		disk:       disk,
+		pool:       storage.NewBufferPool(disk, cfg.BufferBytes),
+		ixCache:    ixCache,
+		model:      cfg.CostModel,
+		tables:     make(map[string]*Table),
+		views:      make(map[string]*sqlparse.SelectStmt),
+		parallel:   cfg.Parallel,
+		vectorized: true,
+		arrayFetch: cfg.ArrayFetch,
 	}
 }
 

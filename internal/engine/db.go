@@ -55,6 +55,7 @@ func (s *Session) Exec(sql string, params ...val.Value) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.db.ifaceCalls.Add(1)
 	s.Meter.Charge(cost.Interface, 1)
 	s.Meter.ChargeDuration(cost.Interface, optimizeCharge)
 	return s.execParsed(stmt, params)
@@ -124,15 +125,35 @@ func (s *Session) runSelectFB(plan *selectPlan, params []val.Value, fb *execFeed
 		rt.fb, rt.fbPlan = fb, plan
 	}
 	res := &Result{Cols: plan.outCols}
+	arrayFetch := s.db.ArrayFetchEnabled()
 	err := plan.run(rt, nil, func(row []val.Value) error {
-		s.Meter.Charge(cost.RowShip, 1)
+		if !arrayFetch {
+			s.Meter.Charge(cost.RowShip, 1)
+		}
 		res.Rows = append(res.Rows, append([]val.Value(nil), row...))
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	s.db.ifaceRows.Add(int64(len(res.Rows)))
+	if arrayFetch {
+		packets := chargeArrayShip(s.Meter, int64(len(res.Rows)))
+		s.db.ifacePackets.Add(packets)
+	}
 	return res, nil
+}
+
+// chargeArrayShip charges packet-granular row shipping for n result rows
+// and returns the packet count: one RowShipBatch event per started packet
+// of cost.ArrayFetchRows rows. Zero rows ship zero packets.
+func chargeArrayShip(m *cost.Meter, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	packets := (n + cost.ArrayFetchRows - 1) / cost.ArrayFetchRows
+	m.Charge(cost.RowShipBatch, packets)
+	return packets
 }
 
 // Stmt is a prepared statement: parsed and optimized once, re-executable
@@ -170,6 +191,7 @@ func (s *Session) Prepare(sql string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.db.ifaceCalls.Add(1)
 	s.Meter.Charge(cost.Interface, 1)
 	st := &Stmt{sess: s, ast: ast}
 	if sel, ok := ast.(*sqlparse.SelectStmt); ok {
@@ -192,6 +214,7 @@ func (s *Session) Prepare(sql string) (*Stmt, error) {
 // (peeking) or invalidated (adaptive) statement replans first.
 func (st *Stmt) Query(params ...val.Value) (*Result, error) {
 	s := st.sess
+	s.db.ifaceCalls.Add(1)
 	s.Meter.Charge(cost.Interface, 1)
 	if st.sel == nil {
 		return s.execParsed(st.ast, params)

@@ -466,6 +466,18 @@ func (s *exactSum) add(x float64) {
 	s.acc.Add(s.acc, new(big.Float).SetPrec(53).SetFloat64(x))
 }
 
+// addTmp is add with a caller-owned scratch operand: tmp must be a
+// big.Float of precision 53, so tmp.SetFloat64(x) represents exactly the
+// value the allocating path would build. The accumulated sum is
+// bit-identical; only the per-addition allocation disappears (the
+// vectorized pipeline reuses one scratch across a whole run).
+func (s *exactSum) addTmp(x float64, tmp *big.Float) {
+	if s.acc == nil {
+		s.acc = new(big.Float).SetPrec(exactSumPrec)
+	}
+	s.acc.Add(s.acc, tmp.SetFloat64(x))
+}
+
 func (s *exactSum) merge(o *exactSum) {
 	if o.acc == nil {
 		return
@@ -488,6 +500,7 @@ func (s *exactSum) value() float64 {
 type aggState struct {
 	count   int64
 	sum     exactSum
+	exp     floatExp // vectorized path: pending exact-sum inputs
 	sumInt  int64
 	allInt  bool
 	min     val.Value
@@ -505,6 +518,14 @@ func newAggState(spec aggSpec) aggState {
 }
 
 func (st *aggState) add(spec aggSpec, v val.Value) {
+	st.addWith(spec, v, nil)
+}
+
+// addWith is add with an optional reused big.Float scratch for the exact
+// sum (nil falls back to the allocating path). One body serves both the
+// row pipeline and the vectorized one, so the accumulator transitions
+// cannot diverge.
+func (st *aggState) addWith(spec aggSpec, v val.Value, tmp *big.Float) {
 	if spec.arg != nil && v.IsNull() {
 		return
 	}
@@ -524,7 +545,13 @@ func (st *aggState) add(spec aggSpec, v val.Value) {
 		} else {
 			st.allInt = false
 		}
-		st.sum.add(v.AsFloat())
+		switch {
+		case tmp == nil:
+			st.sum.add(v.AsFloat())
+		case !st.exp.add(v.AsFloat()):
+			st.flushExp(tmp)
+			st.sum.addTmp(v.AsFloat(), tmp)
+		}
 	case "MIN":
 		if st.min.IsNull() || val.Compare(v, st.min) < 0 {
 			st.min = v
@@ -766,11 +793,14 @@ func (p *selectPlan) runSerial(rt *runtime, outer rowStack, emit func([]val.Valu
 	}
 
 	var err error
-	if p.agg == nil {
+	switch {
+	case rt.sess.db.vectorizedEnabled() && p.vecEligible(be):
+		err = p.runVec(be, sink, produce, outer)
+	case p.agg == nil:
 		err = runSteps(p.steps, 0, be, func() error {
 			return produce(be.stack)
 		})
-	} else {
+	default:
 		err = p.runAggregated(be, produce, outer)
 	}
 	if err != nil && err != errStopIteration {

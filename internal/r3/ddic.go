@@ -60,6 +60,11 @@ type Config struct {
 	// thrashes (35k misses, 34k evictions, nothing resident);
 	// SetBufferedFixed reproduces that pathology on demand.
 	TableBufferBytes int64
+	// ArrayInterface enables the back-end RDBMS's array-fetch interface:
+	// result rows ship in packets of cost.ArrayFetchRows instead of one
+	// network round trip per row. Off by default — the paper's Table 7
+	// measures the per-row interface the 1996 systems actually had.
+	ArrayInterface bool
 }
 
 // System is one installed SAP R/3 instance plus its back-end RDBMS.
@@ -97,7 +102,7 @@ func Install(cfg Config) (*System, error) {
 		cfg.Client = DefaultClient
 	}
 	sys := &System{
-		DB:            engine.Open(engine.Config{BufferBytes: cfg.BufferBytes, CostModel: cfg.CostModel, Parallel: cfg.Parallel}),
+		DB:            engine.Open(engine.Config{BufferBytes: cfg.BufferBytes, CostModel: cfg.CostModel, Parallel: cfg.Parallel, ArrayFetch: cfg.ArrayInterface}),
 		Client:        cfg.Client,
 		version:       cfg.Release,
 		ddic:          make(map[string]*LogicalTable),
@@ -187,6 +192,11 @@ func (sys *System) SetPeekBinds(on bool) { sys.DB.SetPeekBinds(on) }
 // RDBMS: cached plans whose cardinality estimate proves off by an order
 // of magnitude are invalidated and replanned with observed row counts.
 func (sys *System) SetAdaptive(on bool) { sys.DB.SetAdaptive(on) }
+
+// SetArrayFetch toggles the back-end RDBMS's array-fetch interface (see
+// Config.ArrayInterface) on a running system; experiments use it to
+// ablate the per-row interface cost of Table 7.
+func (sys *System) SetArrayFetch(on bool) { sys.DB.SetArrayFetch(on) }
 
 // Version returns the installed release.
 func (sys *System) Version() Release {

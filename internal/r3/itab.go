@@ -3,6 +3,8 @@ package r3
 import (
 	"math"
 	"sort"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"r3bench/internal/cost"
@@ -25,11 +27,27 @@ type ITab struct {
 	cols  map[string]int
 	names []string
 	rows  [][]val.Value
+	// singlePass selects streaming hash grouping for GroupBy instead of
+	// the two-phase sort-materialize-rescan strategy; see SetSinglePass.
+	singlePass bool
 }
+
+// itabSinglePassDefault seeds the GroupBy strategy of newly declared
+// internal tables (see SetITabSinglePass). Off = the paper's two-phase
+// strategy.
+var itabSinglePassDefault atomic.Bool
+
+// SetITabSinglePass sets the default GroupBy strategy for internal
+// tables declared afterwards: true = single-pass streaming hash
+// grouping, false = the paper's two-phase sort-materialize-rescan.
+// Reports declare their work tables internally, so the Table 7 ablation
+// flips this around a run instead of reaching each ITab.
+func SetITabSinglePass(on bool) { itabSinglePassDefault.Store(on) }
 
 // NewITab declares an internal table with the given field names.
 func NewITab(m *cost.Meter, fields ...string) *ITab {
-	t := &ITab{meter: m, cols: make(map[string]int, len(fields)), names: fields}
+	t := &ITab{meter: m, cols: make(map[string]int, len(fields)), names: fields,
+		singlePass: itabSinglePassDefault.Load()}
 	for i, f := range fields {
 		t.cols[f] = i
 	}
@@ -101,11 +119,28 @@ type Agg struct {
 	Of func(row []val.Value) val.Value
 }
 
+// SetSinglePass selects GroupBy's strategy. Off (the default) is the
+// two-phase sort + materialize + rescan the paper measures. On is a
+// modern single-pass streaming hash grouping: one scan hashes each row
+// into its group accumulator and only the final groups are sorted for
+// emission — no secondary-storage round trip, no full-table sort. The
+// emitted groups, their order and every aggregate value are identical
+// (Go's stable sort keeps within-group rows in append order, so both
+// strategies accumulate each group's floats in the same sequence); only
+// the charged work changes. The EXPERIMENTS Table 7 ablation uses this
+// to ask how much of the client-side grouping penalty is strategy
+// rather than interface.
+func (t *ITab) SetSinglePass(on bool) { t.singlePass = on }
+
 // GroupBy performs SAP-style two-phase grouping: sort by the key fields,
 // write the sorted table to secondary storage, re-read it, and emit one
 // row of key values + aggregate results per group. The materialization
 // I/O is what makes this >3× the RDBMS's pipelined grouping (Table 7).
+// With SetSinglePass(true) it instead hash-groups in one streaming pass.
 func (t *ITab) GroupBy(keys []string, aggs []Agg, emit func(keyVals []val.Value, aggVals []val.Value) error) error {
+	if t.singlePass {
+		return t.groupBySinglePass(keys, aggs, emit)
+	}
 	t.Sort(keys...)
 	// Phase 1.5: materialize the sorted table to secondary storage and
 	// re-read it (EXTRACT ... SORT ... LOOP in ABAP terms).
@@ -184,6 +219,121 @@ func (t *ITab) GroupBy(keys []string, aggs []Agg, emit func(keyVals []val.Value,
 				return err
 			}
 			start = i
+		}
+	}
+	return nil
+}
+
+// groupBySinglePass is GroupBy's streaming strategy: one pass hashes
+// every row into its group's running accumulators (charging a hash probe
+// plus the same per-row aggregate evaluation the two-phase loop
+// charges), then only the G result groups sort for key-ordered emission.
+// The full-table sort and the secondary-storage materialization of the
+// two-phase strategy disappear entirely.
+//
+// Groups form by the key fields' val.Compare equality, matching the
+// two-phase sameKey test: CHAR values right-trim before hashing because
+// val.Compare treats trailing spaces as insignificant.
+func (t *ITab) groupBySinglePass(keys []string, aggs []Agg, emit func(keyVals []val.Value, aggVals []val.Value) error) error {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		idx[i] = t.cols[k]
+	}
+	type group struct {
+		keyVals []val.Value
+		sums    []float64
+		counts  []int64
+		mins    []val.Value
+		maxs    []val.Value
+	}
+	groups := make(map[string]*group)
+	var order []*group
+	keyBuf := make([]byte, 0, 64)
+	for _, row := range t.rows {
+		t.meter.Charge(cost.TupleCPU, 1) // hash the grouping key, probe the table
+		keyBuf = keyBuf[:0]
+		for _, ci := range idx {
+			v := row[ci]
+			if v.K == val.KStr {
+				v = val.Str(strings.TrimRight(v.S, " "))
+			}
+			keyBuf = val.AppendKey(keyBuf, v)
+		}
+		g := groups[string(keyBuf)]
+		if g == nil {
+			g = &group{
+				keyVals: make([]val.Value, len(idx)),
+				sums:    make([]float64, len(aggs)),
+				counts:  make([]int64, len(aggs)),
+				mins:    make([]val.Value, len(aggs)),
+				maxs:    make([]val.Value, len(aggs)),
+			}
+			for i, ci := range idx {
+				g.keyVals[i] = row[ci]
+			}
+			for ai := range aggs {
+				g.mins[ai], g.maxs[ai] = val.Null, val.Null
+			}
+			groups[string(keyBuf)] = g
+			order = append(order, g)
+		}
+		for ai := range aggs {
+			t.meter.Charge(cost.TupleCPU, 1)
+			v := aggs[ai].Of(row)
+			if v.IsNull() {
+				continue
+			}
+			g.counts[ai]++
+			g.sums[ai] += v.AsFloat()
+			if g.mins[ai].IsNull() || val.Compare(v, g.mins[ai]) < 0 {
+				g.mins[ai] = v
+			}
+			if g.maxs[ai].IsNull() || val.Compare(v, g.maxs[ai]) > 0 {
+				g.maxs[ai] = v
+			}
+		}
+	}
+	// Sort only the groups so emission order matches the two-phase
+	// strategy's sorted output.
+	if n := int64(len(order)); n > 1 {
+		per := t.meter.Model().PerEvent[cost.SortCPU]
+		t.meter.ChargeDuration(cost.SortCPU, time.Duration(float64(n)*math.Log2(float64(n)))*per)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		for i := range idx {
+			c := val.Compare(order[a].keyVals[i], order[b].keyVals[i])
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	for _, g := range order {
+		aggVals := make([]val.Value, len(aggs))
+		for ai, a := range aggs {
+			switch a.Fn {
+			case "SUM":
+				if g.counts[ai] == 0 {
+					aggVals[ai] = val.Null
+				} else {
+					aggVals[ai] = val.Float(g.sums[ai])
+				}
+			case "AVG":
+				if g.counts[ai] == 0 {
+					aggVals[ai] = val.Null
+				} else {
+					aggVals[ai] = val.Float(g.sums[ai] / float64(g.counts[ai]))
+				}
+			case "COUNT":
+				aggVals[ai] = val.Int(g.counts[ai])
+			case "MIN":
+				aggVals[ai] = g.mins[ai]
+			case "MAX":
+				aggVals[ai] = g.maxs[ai]
+			}
+		}
+		if err := emit(g.keyVals, aggVals); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,7 +1,10 @@
 #!/bin/sh
 # Compare two benchmark snapshots on the simulated clock, failing on a
 # >10% regression, a pool hit ratio below MIN_HIT_RATIO (default 0.92),
-# or a hit-ratio drop of more than 2 percentage points. Usage:
+# a hit-ratio drop of more than 2 percentage points, or a real
+# allocations-per-op increase beyond MAX_ALLOCS_INCREASE percent
+# (default 25; the vectorized executor's wall-clock win lives in
+# allocs/op, which the simulated clock cannot see). Usage:
 #
 #   ./scripts/bench_diff.sh OLD.json [NEW.json]
 #
@@ -20,4 +23,5 @@ if [ -z "$new" ]; then
 	BENCH_OUT="$new" ./scripts/bench_snapshot.sh >/dev/null
 fi
 
-exec go run ./cmd/benchdiff -min-hit-ratio "${MIN_HIT_RATIO:-0.92}" "$old" "$new"
+exec go run ./cmd/benchdiff -min-hit-ratio "${MIN_HIT_RATIO:-0.92}" \
+	-max-allocs-increase "${MAX_ALLOCS_INCREASE:-25}" "$old" "$new"

@@ -5,8 +5,10 @@
 #   ./scripts/bench_snapshot.sh [bench-regex]
 #
 # The default regex covers the power test per strategy plus the parallel
-# degrees, per-query parallel pairs (DESIGN.md §5) and the ORDER BY-heavy
-# serial queries. Set BENCH_OUT to redirect the output file
+# degrees, per-query parallel pairs (DESIGN.md §5), the ORDER BY-heavy
+# serial queries, and the vectorized-vs-row aggregation pair (DESIGN.md
+# §10), whose real allocs/op land in the snapshot for the benchdiff
+# -max-allocs-increase gate. Set BENCH_OUT to redirect the output file
 # (bench_diff.sh uses this for throwaway snapshots). The snapshot also
 # embeds a metrics-registry dump from a small harness run (table8
 # exercises the table buffer, readahead and admission control) under
@@ -15,10 +17,10 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-regex="${1:-BenchmarkPower22_RDBMS$|BenchmarkPowerParallel|BenchmarkParallelQ|BenchmarkJoinQ|BenchmarkOrderQ}"
+regex="${1:-BenchmarkPower22_RDBMS$|BenchmarkPowerParallel|BenchmarkParallelQ|BenchmarkJoinQ|BenchmarkOrderQ|BenchmarkAggQ|BenchmarkTable7_}"
 out="${BENCH_OUT:-BENCH_$(date +%F).json}"
 
-raw=$(go test -run xxx -bench "$regex" -benchtime 1x . 2>&1) || {
+raw=$(go test -run xxx -bench "$regex" -benchtime 1x -benchmem . 2>&1) || {
 	printf '%s\n' "$raw" >&2
 	exit 1
 }
@@ -32,10 +34,16 @@ printf '%s\n' "$raw" | awk -v date="$(date +%F)" -v metrics="$metrics" '
 /^Benchmark/ {
 	name = $1
 	sim = ""
-	for (i = 2; i <= NF; i++) if ($(i+1) == "sim-ms/op") sim = $i
+	allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($(i+1) == "sim-ms/op") sim = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
 	if (sim == "") next
 	if (n++) printf ",\n"
-	printf "    {\"name\": \"%s\", \"sim_ms\": %s}", name, sim
+	printf "    {\"name\": \"%s\", \"sim_ms\": %s", name, sim
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	printf "}"
 	if (name ~ /Parallel1_RDBMS/) serial = sim
 	if (name ~ /Parallel4_RDBMS/) deg4 = sim
 }
