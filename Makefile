@@ -3,7 +3,7 @@ GO ?= go
 # Newest committed snapshot is the regression baseline for bench-diff.
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: all fmt-check vet build test race bench-smoke bench-snapshot bench-diff ci check
+.PHONY: all fmt-check vet build test race fuzz-smoke bench-smoke bench-snapshot bench-diff ci check
 
 all: check
 
@@ -25,6 +25,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Five-second native-fuzz smoke of the SQL front end: FuzzParse asserts
+# no panics, old/new parser validity agreement and AST stability under
+# arena reuse (the corpus seeds cover every statement shape).
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime=5s ./internal/sqlparse
+
 # One pass over the headline benchmark plus the vectorized-vs-row
 # aggregation pair (allocs/op shows the batch executor's real win) to
 # catch bench-path regressions fast.
@@ -40,6 +46,6 @@ bench-snapshot:
 bench-diff:
 	./scripts/bench_diff.sh $(BENCH_BASELINE)
 
-ci: fmt-check vet race bench-diff
+ci: fmt-check vet race fuzz-smoke bench-diff
 
 check: vet build race bench-smoke

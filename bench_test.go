@@ -18,6 +18,7 @@ import (
 	"r3bench/internal/engine"
 	"r3bench/internal/r3"
 	"r3bench/internal/r3/reports"
+	"r3bench/internal/sqlparse"
 	"r3bench/internal/tpcd"
 	"r3bench/internal/val"
 	"r3bench/internal/warehouse"
@@ -289,6 +290,52 @@ func BenchmarkJoinQ9_Serial(b *testing.B) { benchQueryParallel(b, 9, 1) }
 
 func BenchmarkOrderQ1_Serial(b *testing.B) { benchQueryParallel(b, 1, 1) }
 func BenchmarkOrderQ3_Serial(b *testing.B) { benchQueryParallel(b, 3, 1) }
+
+// --- SQL front end (DESIGN.md §11): real parse cost, no simulated time ---
+
+// The parse benchmarks mirror internal/sqlparse's so bench_snapshot.sh
+// lands their allocs/op in BENCH_<date>.json for the benchdiff
+// -max-parse-allocs ceiling. A warm-up parse runs before the timer: the
+// snapshot uses -benchtime 1x, and the pooled parser's one-time
+// construction would otherwise dominate the single measured iteration.
+
+// BenchmarkParseSelect drives a TPC-D Q1-class statement through the
+// public pooled Parse — the path Exec/Prepare take on a fingerprint
+// cache miss.
+func BenchmarkParseSelect(b *testing.B) {
+	src := tpcd.Queries(1.0)[0].SQL[0]
+	if _, err := sqlparse.Parse(src); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparse.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseSelectReused recycles one Parser's arena — the
+// per-session reuse pattern; steady state allocates nothing.
+func BenchmarkParseSelectReused(b *testing.B) {
+	src := tpcd.Queries(1.0)[0].SQL[0]
+	p := sqlparse.NewParser()
+	if _, err := p.Parse(src); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// (BenchmarkParseSelectOld — the pre-rewrite contrast at 131 allocs/op —
+// lives in internal/sqlparse, next to the preserved old parser; test-only
+// symbols cannot be mirrored here.)
 
 // --- Table 6: parameterized access-path choice (Figure 3) ---
 

@@ -3,17 +3,21 @@
 // regressed. It is the CI gate against accidental cost regressions:
 //
 //	benchdiff [-threshold 10] [-min-hit-ratio 0.92] [-max-hit-drop 2]
-//	          [-max-allocs-increase 25] OLD.json NEW.json
+//	          [-max-allocs-increase 10] [-max-parse-allocs 16] OLD.json NEW.json
 //
 // Exit status 1 means at least one benchmark's sim_ms grew by more than
 // the threshold percentage, a benchmark's real allocations per operation
 // grew by more than -max-allocs-increase percent (the vectorized
 // executor's win is measured in allocs/op; a regression there is a real
-// wall-clock regression even when the simulated clock is unchanged), or
-// a buffer-pool hit-ratio metric in the new snapshot fell below
-// -min-hit-ratio, or dropped by more than -max-hit-drop percentage
-// points against the old snapshot. Benchmarks present in only one file
-// are reported as ADDED/REMOVED but do not fail the gate.
+// wall-clock regression even when the simulated clock is unchanged), a
+// front-end benchmark (BenchmarkParse*) in the new snapshot allocates
+// more than the -max-parse-allocs absolute ceiling per op (the
+// zero-allocation parser's guarantee is absolute, not relative —
+// "BenchmarkParseSelectOld", the preserved pre-rewrite contrast, is
+// exempt), or a buffer-pool hit-ratio metric in the new snapshot fell
+// below -min-hit-ratio, or dropped by more than -max-hit-drop
+// percentage points against the old snapshot. Benchmarks present in
+// only one file are reported as ADDED/REMOVED but do not fail the gate.
 package main
 
 import (
@@ -170,11 +174,45 @@ func diffAllocs(oldS, newS *snapshot, maxIncreasePct float64) (rows []allocRow, 
 	return rows, failed
 }
 
+// parseAllocRow is one front-end benchmark's absolute allocs/op check.
+type parseAllocRow struct {
+	Name   string
+	New    float64
+	Status string // "" passes, "PARSE-ALLOCS" above the ceiling
+}
+
+// diffParseAllocs holds every BenchmarkParse* benchmark of the new
+// snapshot to an absolute allocs/op ceiling — the zero-allocation front
+// end's budget, independent of any baseline. Names containing "Old"
+// (the preserved pre-rewrite parser kept for contrast) are exempt;
+// maxAllocs <= 0 disables the gate.
+func diffParseAllocs(newS *snapshot, maxAllocs float64) (rows []parseAllocRow, failed bool) {
+	if maxAllocs <= 0 {
+		return nil, false
+	}
+	for _, b := range newS.Benchmarks {
+		if !strings.HasPrefix(b.Name, "BenchmarkParse") || strings.Contains(b.Name, "Old") {
+			continue
+		}
+		if b.AllocsPerOp <= 0 {
+			continue
+		}
+		r := parseAllocRow{Name: b.Name, New: b.AllocsPerOp}
+		if b.AllocsPerOp > maxAllocs {
+			r.Status = "PARSE-ALLOCS"
+			failed = true
+		}
+		rows = append(rows, r)
+	}
+	return rows, failed
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 10, "fail when sim_ms grows by more than this percentage")
 	minHitRatio := flag.Float64("min-hit-ratio", 0, "fail when any *.pool.hit_ratio metric in NEW is below this (0 disables the floor)")
 	maxHitDrop := flag.Float64("max-hit-drop", 2, "fail when a *.pool.hit_ratio metric drops by more than this many percentage points vs OLD")
-	maxAllocsIncrease := flag.Float64("max-allocs-increase", 25, "fail when a benchmark's allocs/op grows by more than this percentage vs OLD (0 disables)")
+	maxAllocsIncrease := flag.Float64("max-allocs-increase", 10, "fail when a benchmark's allocs/op grows by more than this percentage vs OLD (0 disables)")
+	maxParseAllocs := flag.Float64("max-parse-allocs", 16, "fail when a BenchmarkParse* benchmark in NEW exceeds this many allocs/op outright (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json")
@@ -218,6 +256,13 @@ func main() {
 			fmt.Printf("%-36s %12.4g %12.4g %+8.1f%%%s\n", r.Name, r.Old, r.New, r.Delta, mark)
 		}
 	}
+	parseRows, parseFailed := diffParseAllocs(newS, *maxParseAllocs)
+	if len(parseRows) > 0 {
+		fmt.Printf("\n%-36s %12s %12s\n", "parse allocs/op (ceiling)", "new", "")
+		for _, r := range parseRows {
+			fmt.Printf("%-36s %12.4g %12s\n", r.Name, r.New, r.Status)
+		}
+	}
 	hitRows, hitFailed := diffHitRatios(oldS, newS, *minHitRatio, *maxHitDrop)
 	if len(hitRows) > 0 {
 		fmt.Printf("\n%-36s %12s %12s %9s\n", "hit-ratio metric", "old", "new", "")
@@ -236,6 +281,10 @@ func main() {
 	}
 	if allocsFailed {
 		fmt.Printf("\nFAIL: a benchmark's allocs/op grew by more than %.4g%%\n", *maxAllocsIncrease)
+		os.Exit(1)
+	}
+	if parseFailed {
+		fmt.Printf("\nFAIL: a parse benchmark exceeds the %.4g allocs/op ceiling\n", *maxParseAllocs)
 		os.Exit(1)
 	}
 	if hitFailed {

@@ -81,6 +81,51 @@ func TestDiffZeroOldBaseline(t *testing.T) {
 	}
 }
 
+func allocSnap(pairs ...any) *snapshot {
+	s := &snapshot{}
+	for i := 0; i < len(pairs); i += 2 {
+		s.Benchmarks = append(s.Benchmarks, benchmark{
+			Name:        pairs[i].(string),
+			AllocsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return s
+}
+
+func TestParseAllocsCeiling(t *testing.T) {
+	newS := allocSnap(
+		"BenchmarkParseSelect", 11.0,
+		"BenchmarkParseDML", 20.0,
+		"BenchmarkParseSelectOld", 131.0, // preserved pre-rewrite parser: exempt
+		"BenchmarkPower22_RDBMS", 5000.0, // not a parse benchmark: ignored
+	)
+	rows, failed := diffParseAllocs(newS, 16)
+	if !failed {
+		t.Fatal("20 allocs/op over a 16 ceiling must fail")
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (Old and non-parse benchmarks excluded): %+v", len(rows), rows)
+	}
+	if rows[0].Name != "BenchmarkParseSelect" || rows[0].Status != "" {
+		t.Errorf("select row wrong: %+v", rows[0])
+	}
+	if rows[1].Name != "BenchmarkParseDML" || rows[1].Status != "PARSE-ALLOCS" {
+		t.Errorf("dml row wrong: %+v", rows[1])
+	}
+	if _, failed := diffParseAllocs(newS, 0); failed {
+		t.Error("max-parse-allocs 0 must disable the gate")
+	}
+}
+
+func TestParseAllocsSkipsUnmeasured(t *testing.T) {
+	// Snapshots whose parse benchmarks carry no allocs/op (or predate
+	// them entirely) contribute no rows and cannot fail.
+	rows, failed := diffParseAllocs(allocSnap("BenchmarkParseSelect", 0.0), 16)
+	if failed || len(rows) != 0 {
+		t.Fatalf("unmeasured benchmark produced rows=%v failed=%v", rows, failed)
+	}
+}
+
 func metricSnap(pairs ...any) *snapshot {
 	s := &snapshot{Metrics: map[string]float64{}}
 	for i := 0; i < len(pairs); i += 2 {

@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,8 +21,21 @@ import (
 	"r3bench/internal/cost"
 	"r3bench/internal/dbgen"
 	"r3bench/internal/engine"
+	"r3bench/internal/sqlparse"
 	"r3bench/internal/tpcd"
 )
+
+// printErr reports a statement failure; parse errors additionally show
+// the offending source line with a caret under the bad token.
+func printErr(err error) {
+	fmt.Println("error:", err)
+	var pe *sqlparse.Error
+	if errors.As(err, &pe) {
+		if c := pe.Caret(); c != "" {
+			fmt.Println(c)
+		}
+	}
+}
 
 func main() {
 	load := flag.Float64("load", 0, "preload a TPC-D population at this scale factor (0 = empty)")
@@ -49,7 +63,7 @@ func main() {
 			sql := strings.TrimSuffix(line[len("EXPLAIN ANALYZE "):], ";")
 			ap, err := sess.ExplainAnalyze(sql)
 			if err != nil {
-				fmt.Println("error:", err)
+				printErr(err)
 			} else {
 				fmt.Print(ap)
 				fmt.Printf("%d row(s)\n", len(ap.Result.Rows))
@@ -57,7 +71,7 @@ func main() {
 		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN "):
 			plan, err := sess.Explain(line[len("EXPLAIN "):])
 			if err != nil {
-				fmt.Println("error:", err)
+				printErr(err)
 			} else {
 				fmt.Print(plan)
 			}
@@ -65,7 +79,7 @@ func main() {
 			before := sess.Meter.Elapsed()
 			res, err := sess.Exec(strings.TrimSuffix(line, ";"))
 			if err != nil {
-				fmt.Println("error:", err)
+				printErr(err)
 				break
 			}
 			if res.Cols != nil {

@@ -38,6 +38,9 @@ func addEngineMetrics(reg *metrics.Registry, prefix string, db *engine.DB) {
 	reg.SetInt(prefix+".interface.calls", st.InterfaceCalls)
 	reg.SetInt(prefix+".interface.rows_shipped", st.RowsShipped)
 	reg.SetInt(prefix+".interface.packets", st.Packets)
+	reg.SetInt(prefix+".parser.statements", st.ParseStatements)
+	reg.SetInt(prefix+".parser.cache_hits", st.ParseHits)
+	reg.SetInt(prefix+".parser.cache_misses", st.ParseMisses)
 	reg.SetInt(prefix+".optimizer.peeks", st.Peeks)
 	reg.SetInt(prefix+".optimizer.replans", st.Replans)
 	reg.SetInt(prefix+".optimizer.hist_estimates", st.HistEstimates)

@@ -123,7 +123,7 @@ func (a *Analyzed) String() string { return a.Root.Render() }
 // every pipeline step, the output phase, parse+optimize and row shipping
 // each run against their own child span of the session meter.
 func (s *Session) ExplainAnalyze(sql string, params ...val.Value) (*Analyzed, error) {
-	ast, err := sqlparse.Parse(sql)
+	ast, entry, err := s.db.parse(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +143,7 @@ func (s *Session) ExplainAnalyze(sql string, params ...val.Value) (*Analyzed, er
 	s.db.ifaceCalls.Add(1)
 	s.Meter.Charge(cost.Interface, 1)
 	s.Meter.ChargeDuration(cost.Interface, optimizeCharge)
-	plan, err := s.db.planSelect(sel, nil, nil)
+	plan, err := s.db.planFor(entry, sel)
 	s.Meter.SetSpan(prev)
 	if err != nil {
 		return nil, err

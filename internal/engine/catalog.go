@@ -115,6 +115,12 @@ type DB struct {
 	// table's statistics.
 	opt optCounters
 
+	// pcache is the statement-fingerprint cache (see parsecache.go);
+	// planEpoch versions its cached plans — every write, DDL, ANALYZE
+	// and parallel-degree change moves it forward.
+	pcache    parseCache
+	planEpoch atomic.Int64
+
 	// writeHook observes every committed row mutation (guarded by mu).
 	writeHook WriteHook
 
@@ -125,6 +131,9 @@ type DB struct {
 	ifaceCalls      atomic.Int64 // client/server interface round trips
 	ifaceRows       atomic.Int64 // result rows shipped to clients
 	ifacePackets    atomic.Int64 // array-fetch packets shipped (0 unless array fetch on)
+	parseStatements atomic.Int64 // statement texts through the front end
+	parseHits       atomic.Int64 // served from the fingerprint cache
+	parseMisses     atomic.Int64 // ran the lexer/parser
 }
 
 // WriteHook observes one row mutation: oldRow is nil on insert, newRow
@@ -141,8 +150,11 @@ func (db *DB) SetWriteHook(h WriteHook) {
 	db.mu.Unlock()
 }
 
-// noteWrite invokes the write hook, if any.
+// noteWrite invokes the write hook, if any, and retires cached plans:
+// row counts feed the optimizer's estimates, so any mutation makes a
+// cached plan potentially stale.
 func (db *DB) noteWrite(table string, oldRow, newRow []val.Value) {
+	db.bumpPlanEpoch()
 	db.mu.RLock()
 	h := db.writeHook
 	db.mu.RUnlock()
@@ -159,6 +171,9 @@ type EngineStats struct {
 	ParallelRuns     int64 // executions that actually engaged parallel workers
 	Peeks            int64 // prepared-statement plans built with peeked bind values
 	Replans          int64 // feedback-driven re-optimizations of cached plans
+	ParseStatements  int64 // statement texts through the front end
+	ParseHits        int64 // statements served from the fingerprint cache
+	ParseMisses      int64 // statements that ran the lexer/parser
 	HistEstimates    int64 // selectivity estimates served from gathered statistics
 	DefaultEstimates int64 // selectivity estimates that fell back to blind defaults
 	InterfaceCalls   int64 // client/server interface round trips
@@ -174,6 +189,9 @@ func (db *DB) Stats() EngineStats {
 		ParallelRuns:     db.parallelRuns.Load(),
 		Peeks:            db.opt.peeks.Load(),
 		Replans:          db.opt.replans.Load(),
+		ParseStatements:  db.parseStatements.Load(),
+		ParseHits:        db.parseHits.Load(),
+		ParseMisses:      db.parseMisses.Load(),
 		HistEstimates:    db.opt.histEst.Load(),
 		DefaultEstimates: db.opt.defEst.Load(),
 		InterfaceCalls:   db.ifaceCalls.Load(),
@@ -337,6 +355,7 @@ func (db *DB) SetParallel(n int) {
 	db.mu.Lock()
 	db.parallel = n
 	db.mu.Unlock()
+	db.bumpPlanEpoch() // cached fingerprint plans carry the old degree
 }
 
 // parallelDegree returns the requested intra-query parallel degree.
@@ -413,6 +432,7 @@ func (db *DB) createTable(ct *sqlparse.CreateTable) (*Table, error) {
 		t.Indexes = append(t.Indexes, pkIdx)
 	}
 	db.tables[name] = t
+	db.bumpPlanEpoch()
 	return t, nil
 }
 
@@ -447,6 +467,7 @@ func (db *DB) createIndex(ci *sqlparse.CreateIndex, m *cost.Meter) (*Index, erro
 	db.mu.Lock()
 	t.Indexes = append(t.Indexes, ix)
 	db.mu.Unlock()
+	db.bumpPlanEpoch()
 	return ix, nil
 }
 
@@ -459,6 +480,7 @@ func (db *DB) dropIndex(name string) error {
 		for i, ix := range t.Indexes {
 			if ix.Name == name {
 				t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+				db.bumpPlanEpoch()
 				return nil
 			}
 		}
@@ -477,6 +499,7 @@ func (db *DB) dropTable(name string) error {
 	}
 	t.Heap.Drop()
 	delete(db.tables, name)
+	db.bumpPlanEpoch()
 	return nil
 }
 
@@ -492,6 +515,7 @@ func (db *DB) createView(cv *sqlparse.CreateView) error {
 		return fmt.Errorf("engine: %s already names a table", name)
 	}
 	db.views[name] = cv.Query
+	db.bumpPlanEpoch()
 	return nil
 }
 
@@ -504,6 +528,7 @@ func (db *DB) dropView(name string) error {
 		return fmt.Errorf("engine: no view %s", name)
 	}
 	delete(db.views, name)
+	db.bumpPlanEpoch()
 	return nil
 }
 

@@ -49,16 +49,20 @@ type Result struct {
 // caching (prepared statements) avoids it on reopen.
 const optimizeCharge = 4 * time.Millisecond
 
-// Exec parses, plans and executes one SQL statement.
+// Exec parses, plans and executes one SQL statement. Repeated statement
+// texts hit the fingerprint cache (see parsecache.go), skipping the real
+// lexer and — when the cached plan is epoch-valid — the optimizer; the
+// modelled parse+optimize charge is made either way, so the simulated
+// clock cannot tell the difference.
 func (s *Session) Exec(sql string, params ...val.Value) (*Result, error) {
-	stmt, err := sqlparse.Parse(sql)
+	stmt, entry, err := s.db.parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	s.db.ifaceCalls.Add(1)
 	s.Meter.Charge(cost.Interface, 1)
 	s.Meter.ChargeDuration(cost.Interface, optimizeCharge)
-	return s.execParsed(stmt, params)
+	return s.execParsed(stmt, entry, params)
 }
 
 // Query is Exec restricted to SELECT statements.
@@ -73,10 +77,10 @@ func (s *Session) Query(sql string, params ...val.Value) (*Result, error) {
 	return res, nil
 }
 
-func (s *Session) execParsed(stmt sqlparse.Statement, params []val.Value) (*Result, error) {
+func (s *Session) execParsed(stmt sqlparse.Statement, entry *parseEntry, params []val.Value) (*Result, error) {
 	switch st := stmt.(type) {
 	case *sqlparse.SelectStmt:
-		plan, err := s.db.planSelect(st, nil, nil)
+		plan, err := s.db.planFor(entry, st)
 		if err != nil {
 			return nil, err
 		}
@@ -161,10 +165,11 @@ func chargeArrayShip(m *cost.Meter, n int64) int64 {
 // caching — and, because the plan is chosen before the parameter values
 // exist, the vehicle for the paper's Section 4.1 access-path experiment.
 type Stmt struct {
-	sess *Session
-	plan *selectPlan
-	ast  sqlparse.Statement
-	sel  *sqlparse.SelectStmt // non-nil for SELECT statements
+	sess  *Session
+	plan  *selectPlan
+	ast   sqlparse.Statement
+	sel   *sqlparse.SelectStmt // non-nil for SELECT statements
+	entry *parseEntry          // fingerprint-cache entry, nil when uncached
 
 	// Adaptive-replanning state: observed cardinalities by relation
 	// alias, and how many replans this statement has spent.
@@ -187,13 +192,13 @@ const (
 // peeking enabled, SELECT optimization is deferred to the first Query,
 // when the actual parameter values are available.
 func (s *Session) Prepare(sql string) (*Stmt, error) {
-	ast, err := sqlparse.Parse(sql)
+	ast, entry, err := s.db.parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	s.db.ifaceCalls.Add(1)
 	s.Meter.Charge(cost.Interface, 1)
-	st := &Stmt{sess: s, ast: ast}
+	st := &Stmt{sess: s, ast: ast, entry: entry}
 	if sel, ok := ast.(*sqlparse.SelectStmt); ok {
 		st.sel = sel
 		if s.db.peekEnabled() {
@@ -202,7 +207,7 @@ func (s *Session) Prepare(sql string) (*Stmt, error) {
 	}
 	s.Meter.ChargeDuration(cost.Interface, optimizeCharge)
 	if st.sel != nil {
-		if st.plan, err = s.db.planSelect(st.sel, nil, nil); err != nil {
+		if st.plan, err = s.db.planFor(entry, st.sel); err != nil {
 			return nil, err
 		}
 	}
@@ -217,7 +222,7 @@ func (st *Stmt) Query(params ...val.Value) (*Result, error) {
 	s.db.ifaceCalls.Add(1)
 	s.Meter.Charge(cost.Interface, 1)
 	if st.sel == nil {
-		return s.execParsed(st.ast, params)
+		return s.execParsed(st.ast, st.entry, params)
 	}
 	if st.plan == nil {
 		if err := st.replan(params); err != nil {
@@ -275,6 +280,10 @@ func (st *Stmt) noteFeedback(fb *execFeedback) {
 	}
 	st.feedback[lead.rel.alias] = actual
 	st.plan = nil
+	// The shared fingerprint entry cached the same blind plan this
+	// statement just measured as badly estimated — drop it too, so other
+	// sessions stop inheriting it.
+	st.entry.invalidatePlan()
 	st.replans++
 	st.sess.db.opt.replans.Add(1)
 }
@@ -295,7 +304,7 @@ func (st *Stmt) Explain() string {
 // a SELECT — the observability hook the Table 6 experiment uses to show
 // *why* the parameterized query misbehaves.
 func (s *Session) Explain(sql string, params ...val.Value) (string, error) {
-	ast, err := sqlparse.Parse(sql)
+	ast, entry, err := s.db.parse(sql)
 	if err != nil {
 		return "", err
 	}
@@ -303,7 +312,7 @@ func (s *Session) Explain(sql string, params ...val.Value) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("engine: EXPLAIN supports only SELECT")
 	}
-	plan, err := s.db.planSelect(sel, nil, nil)
+	plan, err := s.db.planFor(entry, sel)
 	if err != nil {
 		return "", err
 	}

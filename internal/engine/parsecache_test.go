@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"r3bench/internal/val"
+)
+
+func parseStats(db *DB) (stmts, hits, misses int64) {
+	st := db.Stats()
+	return st.ParseStatements, st.ParseHits, st.ParseMisses
+}
+
+func TestParseCacheHitsAndMisses(t *testing.T) {
+	db, s := testDB(t)
+	base, _, _ := parseStats(db)
+	const q = `SELECT e_id FROM emp WHERE e_id = 7`
+	want := mustExec(t, s, q)
+	for i := 0; i < 4; i++ {
+		res := mustExec(t, s, q)
+		if !reflect.DeepEqual(res.Rows, want.Rows) {
+			t.Fatalf("run %d: rows diverged", i)
+		}
+	}
+	stmts, hits, misses := parseStats(db)
+	if got := stmts - base; got != 5 {
+		t.Fatalf("statements = %d, want 5", got)
+	}
+	if hits != 4 {
+		t.Fatalf("cache_hits = %d, want 4", hits)
+	}
+	if stmts != hits+misses {
+		t.Fatalf("statements %d != hits %d + misses %d", stmts, hits, misses)
+	}
+}
+
+func TestParseCacheSharedAcrossSessions(t *testing.T) {
+	db, s1 := testDB(t)
+	s2 := db.NewSession()
+	const q = `SELECT COUNT(*) FROM emp`
+	mustExec(t, s1, q)
+	_, hitsBefore, _ := parseStats(db)
+	if _, err := s2.Exec(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, hits, _ := parseStats(db); hits != hitsBefore+1 {
+		t.Fatalf("second session did not hit the cache: hits %d -> %d", hitsBefore, hits)
+	}
+}
+
+func TestParseCacheOff(t *testing.T) {
+	db, s := testDB(t)
+	db.SetParseCache(false)
+	const q = `SELECT e_id FROM emp WHERE e_id = 7`
+	mustExec(t, s, q)
+	mustExec(t, s, q)
+	_, hits, _ := parseStats(db)
+	if hits != 0 {
+		t.Fatalf("cache_hits = %d with cache off, want 0", hits)
+	}
+	db.SetParseCache(true)
+	mustExec(t, s, q) // repopulates
+	mustExec(t, s, q)
+	if _, hits, _ := parseStats(db); hits != 1 {
+		t.Fatalf("cache_hits = %d after re-enable, want 1", hits)
+	}
+}
+
+// TestParseCacheMeterEquality runs the same mixed statement sequence on
+// two identical databases, cache on vs off, and requires bit-identical
+// simulated meters: the fingerprint cache must be invisible to the
+// virtual clock.
+func TestParseCacheMeterEquality(t *testing.T) {
+	run := func(cache bool) (int64, [][]val.Value) {
+		db, s := testDB(t)
+		db.SetParseCache(cache)
+		start := int64(s.Meter.Elapsed())
+		var last [][]val.Value
+		for i := 0; i < 3; i++ {
+			mustExec(t, s, `SELECT d_name, COUNT(*) FROM emp, dept WHERE e_dept = d_id GROUP BY d_name ORDER BY d_name`)
+			mustExec(t, s, `UPDATE emp SET e_salary = e_salary + 1 WHERE e_id = 3`)
+			res := mustExec(t, s, `SELECT e_id, e_salary FROM emp WHERE e_id <= 5 ORDER BY e_id`)
+			last = res.Rows
+		}
+		return int64(s.Meter.Elapsed()) - start, last
+	}
+	onTime, onRows := run(true)
+	offTime, offRows := run(false)
+	if onTime != offTime {
+		t.Fatalf("simulated time diverged: cache on %d, off %d", onTime, offTime)
+	}
+	if !reflect.DeepEqual(onRows, offRows) {
+		t.Fatal("results diverged between cache on and off")
+	}
+}
+
+// TestParseCachePlanInvalidation verifies the epoch machinery: a cached
+// plan must not survive DDL or ANALYZE, which can change what the
+// optimizer would choose.
+func TestParseCachePlanInvalidation(t *testing.T) {
+	db, s := testDB(t)
+	const q = `SELECT e_salary FROM emp WHERE e_salary > 1990`
+	mustExec(t, s, q) // plan now cached under the current epoch
+	entry := db.pcache.lookup(fingerprint(q), q)
+	if entry == nil {
+		t.Fatal("statement not in the fingerprint cache")
+	}
+	epoch := db.planEpoch.Load()
+	if entry.cachedPlan(epoch) == nil {
+		t.Fatal("no plan cached at the current epoch")
+	}
+	mustExec(t, s, `CREATE INDEX emp_sal ON emp (e_salary)`)
+	if entry.cachedPlan(db.planEpoch.Load()) != nil {
+		t.Fatal("cached plan survived CREATE INDEX")
+	}
+	mustExec(t, s, q) // replans and re-caches
+	if err := db.Analyze("emp"); err != nil {
+		t.Fatal(err)
+	}
+	if entry.cachedPlan(db.planEpoch.Load()) != nil {
+		t.Fatal("cached plan survived ANALYZE")
+	}
+	mustExec(t, s, q)
+	if entry.cachedPlan(db.planEpoch.Load()) == nil {
+		t.Fatal("re-execution did not re-cache the plan")
+	}
+}
+
+// TestParseCacheWriteInvalidation: pre-ANALYZE plans read live heap
+// counts, so a cached plan must be retired by row writes.
+func TestParseCacheWriteInvalidation(t *testing.T) {
+	db := Open(Config{})
+	s := db.NewSession()
+	mustExec(t, s, `CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER)`)
+	const q = `SELECT COUNT(*) FROM t`
+	res := mustExec(t, s, q)
+	if res.Rows[0][0].AsInt() != 0 {
+		t.Fatalf("want 0, got %v", res.Rows[0][0])
+	}
+	epoch := db.planEpoch.Load()
+	mustExec(t, s, `INSERT INTO t VALUES (1, 10)`)
+	if db.planEpoch.Load() <= epoch {
+		t.Fatal("insert did not bump the plan epoch")
+	}
+	res = mustExec(t, s, q)
+	if res.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("want 1 after insert, got %v", res.Rows[0][0])
+	}
+}
+
+func TestParseCacheCap(t *testing.T) {
+	db := Open(Config{})
+	s := db.NewSession()
+	mustExec(t, s, `CREATE TABLE t (a INTEGER PRIMARY KEY)`)
+	for i := 0; i < parseCacheCap+50; i++ {
+		mustExec(t, s, fmt.Sprintf(`SELECT a FROM t WHERE a = %d`, i))
+	}
+	db.pcache.mu.RLock()
+	n := db.pcache.n
+	db.pcache.mu.RUnlock()
+	if n > parseCacheCap {
+		t.Fatalf("cache grew past cap: %d > %d", n, parseCacheCap)
+	}
+	// Statements past the cap still execute, uncached.
+	res := mustExec(t, s, `SELECT COUNT(*) FROM t`)
+	if res.Rows[0][0].AsInt() != 0 {
+		t.Fatalf("want 0, got %v", res.Rows[0][0])
+	}
+}
+
+// TestParseCacheErrorsUncached: a failing parse is never cached and the
+// error text matches the direct parser's.
+func TestParseCacheErrorsUncached(t *testing.T) {
+	db := Open(Config{})
+	const bad = `SELECT FROM t`
+	_, err1 := db.Parse(bad)
+	_, err2 := db.Parse(bad)
+	if err1 == nil || err2 == nil || err1.Error() != err2.Error() {
+		t.Fatalf("errors: %v / %v", err1, err2)
+	}
+	_, hits, _ := parseStats(db)
+	if hits != 0 {
+		t.Fatalf("a failing statement hit the cache: hits = %d", hits)
+	}
+}
+
+func TestParseEntryPlanLifecycle(t *testing.T) {
+	e := &parseEntry{sql: "x"}
+	if e.cachedPlan(0) != nil {
+		t.Fatal("empty entry returned a plan")
+	}
+	p := &selectPlan{}
+	e.storePlan(p, 3)
+	if e.cachedPlan(3) != p {
+		t.Fatal("stored plan not served at its epoch")
+	}
+	if e.cachedPlan(4) != nil {
+		t.Fatal("stale plan served past its epoch")
+	}
+	e.storePlan(p, 4)
+	e.invalidatePlan()
+	if e.cachedPlan(4) != nil {
+		t.Fatal("invalidated plan still served")
+	}
+	// nil receiver safety (uncached statements).
+	var nilE *parseEntry
+	if nilE.cachedPlan(0) != nil {
+		t.Fatal("nil entry returned a plan")
+	}
+	nilE.storePlan(p, 0)
+	nilE.invalidatePlan()
+}

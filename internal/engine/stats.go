@@ -111,7 +111,11 @@ func (db *DB) Analyze(tableName string) error {
 	if t == nil {
 		return errNoTable(tableName)
 	}
-	return analyzeTable(t)
+	if err := analyzeTable(t); err != nil {
+		return err
+	}
+	db.bumpPlanEpoch() // fresh statistics obsolete cached fingerprint plans
+	return nil
 }
 
 // AnalyzeAll rebuilds statistics for every table.

@@ -62,8 +62,11 @@ func (n *NativeSQL) Prepare(sql string) (*engine.Stmt, error) {
 	return n.sc.get(sql)
 }
 
+// checkEncapsulation parses through the DB's fingerprint cache: the
+// immediately following Exec/Prepare of the same text is then a cache
+// hit, so the encapsulation gate does not double the real parse cost.
 func (n *NativeSQL) checkEncapsulation(sql string) error {
-	stmt, err := sqlparse.Parse(sql)
+	stmt, err := n.sys.DB.Parse(sql)
 	if err != nil {
 		return err
 	}

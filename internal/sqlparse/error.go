@@ -1,0 +1,98 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a lex or parse failure with its source position. The
+// rendered message formats are unchanged from the pre-arena parser
+// ("sqlparse: <msg> (line L, col C)" for parse errors, "sqlparse:
+// <msg> at line L, col C" for lex errors); the structured fields are
+// for callers like cmd/sqlshell that point a caret at the offence.
+type Error struct {
+	msg  string // fully rendered, including position
+	Src  string // the statement text
+	Pos  int    // byte offset of the offending token
+	Line int    // 1-based
+	Col  int    // 0-based byte offset from the start of Line
+}
+
+func (e *Error) Error() string { return e.msg }
+
+// computeLineCol mirrors the historical position arithmetic: lines are
+// 1-based, columns count bytes from the most recent newline (0-based).
+func computeLineCol(src string, pos int) (line, col int) {
+	line, col = 1, pos
+	for i := 0; i < pos && i < len(src); i++ {
+		if src[i] == '\n' {
+			line++
+			col = pos - i - 1
+		}
+	}
+	return line, col
+}
+
+// parseErrorf builds a parser-style Error: "sqlparse: msg (line L, col C)".
+func parseErrorf(src string, pos int, format string, args ...any) *Error {
+	line, col := computeLineCol(src, pos)
+	return &Error{
+		msg: fmt.Sprintf("sqlparse: %s (line %d, col %d)", fmt.Sprintf(format, args...), line, col),
+		Src: src, Pos: pos, Line: line, Col: col,
+	}
+}
+
+// lexErrorf builds a lexer-style Error: "sqlparse: msg at line L, col C".
+func lexErrorf(src string, pos int, format string, args ...any) *Error {
+	line, col := computeLineCol(src, pos)
+	return &Error{
+		msg: fmt.Sprintf("sqlparse: %s at %s", fmt.Sprintf(format, args...), lineCol(src, pos)),
+		Src: src, Pos: pos, Line: line, Col: col,
+	}
+}
+
+// lineCol renders a byte offset as "line L, col C" for error messages.
+func lineCol(src string, pos int) string {
+	line, col := computeLineCol(src, pos)
+	return fmt.Sprintf("line %d, col %d", line, col)
+}
+
+// Caret returns the source line containing the error followed by a
+// second line carrying a ^ under the offending column, e.g.
+//
+//	WHERE x ^^ 1
+//	        ^
+//
+// Tabs in the prefix are preserved so the caret stays aligned however
+// the terminal expands them. The result is "" when the position is out
+// of range (an EOF error past the last line still resolves to the
+// final line).
+func (e *Error) Caret() string {
+	lineStart := 0
+	for i := 0; i < e.Pos && i < len(e.Src); i++ {
+		if e.Src[i] == '\n' {
+			lineStart = i + 1
+		}
+	}
+	lineEnd := len(e.Src)
+	if i := strings.IndexByte(e.Src[lineStart:], '\n'); i >= 0 {
+		lineEnd = lineStart + i
+	}
+	srcLine := e.Src[lineStart:lineEnd]
+	col := e.Pos - lineStart
+	if col < 0 {
+		return ""
+	}
+	if col > len(srcLine) {
+		col = len(srcLine)
+	}
+	pad := make([]byte, col)
+	for i := range pad {
+		if srcLine[i] == '\t' {
+			pad[i] = '\t'
+		} else {
+			pad[i] = ' '
+		}
+	}
+	return srcLine + "\n" + string(pad) + "^"
+}

@@ -1,0 +1,49 @@
+package sqlparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse drives the zero-allocation front end with arbitrary bytes
+// and asserts the structural invariants the engine relies on:
+//
+//  1. no panics (the parser must reject, never crash);
+//  2. old/new validity agreement — the lazy lexer accepts exactly the
+//     statements the eager one did (error TEXT may differ on inputs
+//     that are doubly invalid: a parse error can preempt a later lex
+//     error the old whole-input lexer saw first);
+//  3. round-trip stability — a reused Parser (arena recycling) and a
+//     second pooled Parse both reproduce the first AST exactly.
+func FuzzParse(f *testing.F) {
+	for _, src := range corpus {
+		f.Add(src)
+	}
+	f.Add("SELECT 1.2.3 FROM t")
+	f.Add("SELECT 'a''b' FROM t -- comment\n")
+	f.Add("select x from t where y <= ? and z <> 'q;' limit 3;")
+	f.Add("CREATE TABLE \x00weird (a INTEGER)")
+	reused := NewParser()
+	f.Fuzz(func(t *testing.T, src string) {
+		ast1, err1 := Parse(src)
+		_, oldErr := OldParse(src)
+		if (err1 == nil) != (oldErr == nil) {
+			t.Fatalf("validity diverged on %q: new=%v old=%v", src, err1, oldErr)
+		}
+		ast2, err2 := Parse(src)
+		astR, errR := reused.Parse(src)
+		if (err1 == nil) != (err2 == nil) || (err1 == nil) != (errR == nil) {
+			t.Fatalf("instability on %q: %v / %v / %v", src, err1, err2, errR)
+		}
+		if err1 != nil {
+			if err1.Error() != err2.Error() || err1.Error() != errR.Error() {
+				t.Fatalf("error text unstable on %q: %q / %q / %q",
+					src, err1, err2, errR)
+			}
+			return
+		}
+		if !reflect.DeepEqual(ast1, ast2) || !reflect.DeepEqual(ast1, astR) {
+			t.Fatalf("AST unstable on %q", src)
+		}
+	})
+}

@@ -1,9 +1,18 @@
 package sqlparse
 
-import (
-	"fmt"
-	"strings"
-)
+import "strings"
+
+// The lexer tokenizes on demand from the Parser's cursor — there is no
+// eager []token pass and, on the hot path, no per-token allocation:
+//
+//   - keywords are recognized case-insensitively against a
+//     length-bucketed table and carry the canonical constant spelling;
+//   - identifiers are upper-cased into a reused scratch buffer and
+//     interned, so each distinct ident is allocated once per Parser
+//     lifetime (the intern map survives Reset and the Parse pool);
+//   - numbers and escape-free strings are views into the source text
+//     (substringing a Go string shares its bytes);
+//   - punctuation carries canonical constant spellings from a table.
 
 // tokKind classifies lexer tokens.
 type tokKind int
@@ -16,6 +25,7 @@ const (
 	tkString
 	tkPunct // single/double-char operators and separators
 	tkParam // ?
+	tkErr   // lexing failed; the error is sticky in Parser.lexErr
 )
 
 type token struct {
@@ -24,42 +34,71 @@ type token struct {
 	pos  int
 }
 
-// keywords is the reserved-word set; identifiers matching these lex as
-// tkKeyword.
-var keywords = map[string]bool{
-	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
-	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true,
-	"DESC": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
-	"NOT": true, "BETWEEN": true, "IN": true, "EXISTS": true, "IS": true,
-	"NULL": true, "LIKE": true, "CASE": true, "WHEN": true, "THEN": true,
-	"ELSE": true, "END": true, "JOIN": true, "INNER": true, "LEFT": true,
-	"OUTER": true, "ON": true, "CREATE": true, "TABLE": true, "INDEX": true,
-	"UNIQUE": true, "VIEW": true, "DROP": true, "INSERT": true, "INTO": true,
-	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
-	"PRIMARY": true, "KEY": true, "DATE": true, "INTEGER": true, "INT": true,
-	"BIGINT": true, "DECIMAL": true, "CHAR": true, "VARCHAR": true,
+// keywordList is the reserved-word set; identifiers matching these
+// case-insensitively lex as tkKeyword with the canonical spelling.
+var keywordList = []string{
+	"SELECT", "DISTINCT", "FROM", "WHERE",
+	"GROUP", "BY", "HAVING", "ORDER", "ASC",
+	"DESC", "LIMIT", "AS", "AND", "OR",
+	"NOT", "BETWEEN", "IN", "EXISTS", "IS",
+	"NULL", "LIKE", "CASE", "WHEN", "THEN",
+	"ELSE", "END", "JOIN", "INNER", "LEFT",
+	"OUTER", "ON", "CREATE", "TABLE", "INDEX",
+	"UNIQUE", "VIEW", "DROP", "INSERT", "INTO",
+	"VALUES", "UPDATE", "SET", "DELETE",
+	"PRIMARY", "KEY", "DATE", "INTEGER", "INT",
+	"BIGINT", "DECIMAL", "CHAR", "VARCHAR",
 }
 
-// lexer splits SQL text into tokens.
-type lexer struct {
-	src  string
-	pos  int
-	toks []token
+// kwBuckets groups keywords by byte length so a lookup fold-compares
+// only the handful of candidates that could possibly match.
+var kwBuckets [16][]string
+
+// upperTab folds ASCII to upper case; all other bytes map to
+// themselves.
+var upperTab [256]byte
+
+// punctText maps single punctuation bytes to canonical one-character
+// strings (string(c) would allocate).
+var punctText [256]string
+
+func init() {
+	for i := range upperTab {
+		upperTab[i] = byte(i)
+	}
+	for c := byte('a'); c <= 'z'; c++ {
+		upperTab[c] = c - 'a' + 'A'
+	}
+	for _, kw := range keywordList {
+		kwBuckets[len(kw)] = append(kwBuckets[len(kw)], kw)
+	}
+	for _, c := range []byte{'(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>', ';'} {
+		punctText[c] = string([]byte{c})
+	}
 }
 
-// lex tokenises the whole input eagerly.
-func lex(src string) ([]token, error) {
-	l := &lexer{src: src}
-	for {
-		tok, err := l.next()
-		if err != nil {
-			return nil, err
-		}
-		l.toks = append(l.toks, tok)
-		if tok.kind == tkEOF {
-			return l.toks, nil
+// keywordLookup returns the canonical spelling of w if it is a keyword.
+func keywordLookup(w string) (string, bool) {
+	if len(w) >= len(kwBuckets) {
+		return "", false
+	}
+	for _, kw := range kwBuckets[len(w)] {
+		if foldEq(w, kw) {
+			return kw, true
 		}
 	}
+	return "", false
+}
+
+// foldEq reports whether w equals upper case-insensitively; upper must
+// already be upper-cased and the same length as w.
+func foldEq(w, upper string) bool {
+	for i := 0; i < len(w); i++ {
+		if upperTab[w[i]] != upper[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func isIdentStart(c byte) bool {
@@ -72,97 +111,149 @@ func isIdentChar(c byte) bool {
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
-func (l *lexer) next() (token, error) {
+// scan produces the next token. After a lex failure it keeps returning
+// tkErr at the failure position (the parse surfaces Parser.lexErr), so
+// lookahead past a bad byte is harmless.
+func (p *Parser) scan() token {
+	if p.lexErr != nil {
+		return token{kind: tkErr, pos: p.lexErr.Pos}
+	}
+	src := p.src
+	i := p.lpos
 	// Skip whitespace and -- comments.
-	for l.pos < len(l.src) {
-		c := l.src[l.pos]
+	for i < len(src) {
+		c := src[i]
 		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
-			l.pos++
+			i++
 			continue
 		}
-		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
-			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
-				l.pos++
+		if c == '-' && i+1 < len(src) && src[i+1] == '-' {
+			for i < len(src) && src[i] != '\n' {
+				i++
 			}
 			continue
 		}
 		break
 	}
-	if l.pos >= len(l.src) {
-		return token{kind: tkEOF, pos: l.pos}, nil
+	if i >= len(src) {
+		p.lpos = i
+		return token{kind: tkEOF, pos: i}
 	}
-	start := l.pos
-	c := l.src[l.pos]
+	start := i
+	c := src[i]
 	switch {
 	case isIdentStart(c):
-		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
-			l.pos++
+		i++
+		for i < len(src) && isIdentChar(src[i]) {
+			i++
 		}
-		text := strings.ToUpper(l.src[start:l.pos])
-		kind := tkIdent
-		if keywords[text] {
-			kind = tkKeyword
+		p.lpos = i
+		word := src[start:i]
+		if kw, ok := keywordLookup(word); ok {
+			return token{kind: tkKeyword, text: kw, pos: start}
 		}
-		return token{kind: kind, text: text, pos: start}, nil
-	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
-		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
-			l.pos++
+		return token{kind: tkIdent, text: p.internUpper(word), pos: start}
+	case isDigit(c) || (c == '.' && i+1 < len(src) && isDigit(src[i+1])):
+		i++
+		for i < len(src) && (isDigit(src[i]) || src[i] == '.') {
+			i++
 		}
-		return token{kind: tkNumber, text: l.src[start:l.pos], pos: start}, nil
+		p.lpos = i
+		return token{kind: tkNumber, text: src[start:i], pos: start}
 	case c == '\'':
-		l.pos++
-		var sb strings.Builder
+		i++
+		escaped := false
 		for {
-			if l.pos >= len(l.src) {
-				return token{}, fmt.Errorf("sqlparse: unterminated string at %s", lineCol(l.src, start))
+			if i >= len(src) {
+				return p.lexFail(lexErrorf(src, start, "unterminated string"))
 			}
-			ch := l.src[l.pos]
-			if ch == '\'' {
-				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
-					sb.WriteByte('\'')
-					l.pos += 2
+			if src[i] == '\'' {
+				if i+1 < len(src) && src[i+1] == '\'' {
+					escaped = true
+					i += 2
 					continue
 				}
-				l.pos++
+				i++
 				break
 			}
-			sb.WriteByte(ch)
-			l.pos++
+			i++
 		}
-		return token{kind: tkString, text: sb.String(), pos: start}, nil
+		p.lpos = i
+		text := src[start+1 : i-1]
+		if escaped {
+			text = strings.ReplaceAll(text, "''", "'")
+		}
+		return token{kind: tkString, text: text, pos: start}
 	case c == '?':
-		l.pos++
-		return token{kind: tkParam, text: "?", pos: start}, nil
+		p.lpos = i + 1
+		return token{kind: tkParam, text: "?", pos: start}
 	default:
-		two := ""
-		if l.pos+1 < len(l.src) {
-			two = l.src[l.pos : l.pos+2]
-		}
-		switch two {
-		case "<=", ">=", "<>", "!=":
-			l.pos += 2
-			if two == "!=" {
-				two = "<>"
+		if i+1 < len(src) {
+			switch src[i : i+2] {
+			case "<=":
+				p.lpos = i + 2
+				return token{kind: tkPunct, text: "<=", pos: start}
+			case ">=":
+				p.lpos = i + 2
+				return token{kind: tkPunct, text: ">=", pos: start}
+			case "<>", "!=":
+				p.lpos = i + 2
+				return token{kind: tkPunct, text: "<>", pos: start}
 			}
-			return token{kind: tkPunct, text: two, pos: start}, nil
 		}
-		switch c {
-		case '(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>', ';':
-			l.pos++
-			return token{kind: tkPunct, text: string(c), pos: start}, nil
+		if t := punctText[c]; t != "" {
+			p.lpos = i + 1
+			return token{kind: tkPunct, text: t, pos: start}
 		}
-		return token{}, fmt.Errorf("sqlparse: unexpected character %q at %s", c, lineCol(l.src, start))
+		return p.lexFail(lexErrorf(src, start, "unexpected character %q", c))
 	}
 }
 
-// lineCol renders a byte offset as "line L, col C" for error messages.
-func lineCol(src string, pos int) string {
-	line, col := 1, pos
-	for i := 0; i < pos && i < len(src); i++ {
-		if src[i] == '\n' {
-			line++
-			col = pos - i - 1
+// lexFail records the sticky lex error and returns its tkErr token.
+func (p *Parser) lexFail(e *Error) token {
+	p.lexErr = e
+	return token{kind: tkErr, pos: e.Pos}
+}
+
+// internMax caps the ident intern map so hostile or fuzzed input cannot
+// grow a pooled Parser without bound; idents past the cap are allocated
+// per token, which only costs speed.
+const internMax = 4096
+
+// internUpper returns the canonical upper-cased allocation of word,
+// folding through a reused scratch buffer so a warm parse allocates
+// nothing.
+func (p *Parser) internUpper(word string) string {
+	buf := p.upperBuf[:0]
+	for i := 0; i < len(word); i++ {
+		buf = append(buf, upperTab[word[i]])
+	}
+	p.upperBuf = buf
+	if s, ok := p.intern[string(buf)]; ok {
+		return s
+	}
+	s := string(buf)
+	if len(p.intern) < internMax {
+		p.intern[s] = s
+	}
+	return s
+}
+
+// lex eagerly tokenizes src. It exists for tests and debugging; the
+// parse path scans on demand and never materializes a token slice.
+func lex(src string) ([]token, error) {
+	p := NewParser()
+	p.Reset()
+	p.src = src
+	var toks []token
+	for {
+		t := p.scan()
+		if t.kind == tkErr {
+			return nil, p.lexErr
+		}
+		toks = append(toks, t)
+		if t.kind == tkEOF {
+			return toks, nil
 		}
 	}
-	return fmt.Sprintf("line %d, col %d", line, col)
 }

@@ -1,0 +1,1114 @@
+package sqlparse
+
+// This file preserves the pre-rewrite eager-lexing, string-copying
+// parser verbatim (modulo renames) as the reference implementation for
+// the differential suite: the zero-allocation front end must produce
+// byte-for-byte identical ASTs and errors for the whole statement
+// corpus. It is test-only code and compiles only into the test binary.
+// OldParse is exported so the external sqlparse_test package (which may
+// import other repo packages for corpus extraction without creating an
+// import cycle) can reach it.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"r3bench/internal/val"
+)
+
+type oldTokKind int
+
+const (
+	otkEOF oldTokKind = iota
+	otkIdent
+	otkKeyword
+	otkNumber
+	otkString
+	otkPunct
+	otkParam
+)
+
+type oldToken struct {
+	kind oldTokKind
+	text string
+	pos  int
+}
+
+var oldKeywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "BETWEEN": true, "IN": true, "EXISTS": true, "IS": true,
+	"NULL": true, "LIKE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"OUTER": true, "ON": true, "CREATE": true, "TABLE": true, "INDEX": true,
+	"UNIQUE": true, "VIEW": true, "DROP": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"PRIMARY": true, "KEY": true, "DATE": true, "INTEGER": true, "INT": true,
+	"BIGINT": true, "DECIMAL": true, "CHAR": true, "VARCHAR": true,
+}
+
+type oldLexer struct {
+	src  string
+	pos  int
+	toks []oldToken
+}
+
+func oldLex(src string) ([]oldToken, error) {
+	l := &oldLexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == otkEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *oldLexer) next() (oldToken, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return oldToken{kind: otkEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		text := strings.ToUpper(l.src[start:l.pos])
+		kind := otkIdent
+		if oldKeywords[text] {
+			kind = otkKeyword
+		}
+		return oldToken{kind: kind, text: text, pos: start}, nil
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return oldToken{kind: otkNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return oldToken{}, fmt.Errorf("sqlparse: unterminated string at %s", oldLineCol(l.src, start))
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return oldToken{kind: otkString, text: sb.String(), pos: start}, nil
+	case c == '?':
+		l.pos++
+		return oldToken{kind: otkParam, text: "?", pos: start}, nil
+	default:
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			return oldToken{kind: otkPunct, text: two, pos: start}, nil
+		}
+		switch c {
+		case '(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>', ';':
+			l.pos++
+			return oldToken{kind: otkPunct, text: string(c), pos: start}, nil
+		}
+		return oldToken{}, fmt.Errorf("sqlparse: unexpected character %q at %s", c, oldLineCol(l.src, start))
+	}
+}
+
+func oldLineCol(src string, pos int) string {
+	line, col := 1, pos
+	for i := 0; i < pos && i < len(src); i++ {
+		if src[i] == '\n' {
+			line++
+			col = pos - i - 1
+		}
+	}
+	return fmt.Sprintf("line %d, col %d", line, col)
+}
+
+// OldParse parses one SQL statement with the pre-rewrite parser.
+func OldParse(src string) (Statement, error) {
+	toks, err := oldLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &oldParser{src: src, toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(otkPunct, ";")
+	if !p.at(otkEOF, "") {
+		return nil, p.errf("trailing input after statement")
+	}
+	return stmt, nil
+}
+
+type oldParser struct {
+	src    string
+	toks   []oldToken
+	pos    int
+	params int
+}
+
+func (p *oldParser) cur() oldToken { return p.toks[p.pos] }
+
+func (p *oldParser) peek() oldToken {
+	if p.pos+1 >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+1]
+}
+
+func (p *oldParser) at(kind oldTokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *oldParser) atKw(kw string) bool { return p.at(otkKeyword, kw) }
+
+func (p *oldParser) accept(kind oldTokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *oldParser) acceptKw(kw string) bool { return p.accept(otkKeyword, kw) }
+
+func (p *oldParser) expect(kind oldTokKind, text string) (oldToken, error) {
+	if !p.at(kind, text) {
+		return oldToken{}, p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	t := p.cur()
+	p.pos++
+	return t, nil
+}
+
+func (p *oldParser) expectKw(kw string) error {
+	_, err := p.expect(otkKeyword, kw)
+	return err
+}
+
+func (p *oldParser) ident() (string, error) {
+	if p.cur().kind != otkIdent {
+		return "", p.errf("expected identifier, found %q", p.cur().text)
+	}
+	name := p.cur().text
+	p.pos++
+	return name, nil
+}
+
+func (p *oldParser) errf(format string, args ...any) error {
+	line := 1
+	col := p.cur().pos
+	for i := 0; i < p.cur().pos && i < len(p.src); i++ {
+		if p.src[i] == '\n' {
+			line++
+			col = p.cur().pos - i - 1
+		}
+	}
+	return fmt.Errorf("sqlparse: %s (line %d, col %d)", fmt.Sprintf(format, args...), line, col)
+}
+
+func (p *oldParser) parseStatement() (Statement, error) {
+	switch {
+	case p.atKw("SELECT"):
+		return p.parseSelect()
+	case p.atKw("CREATE"):
+		return p.parseCreate()
+	case p.atKw("DROP"):
+		return p.parseDrop()
+	case p.atKw("INSERT"):
+		return p.parseInsert()
+	case p.atKw("UPDATE"):
+		return p.parseUpdate()
+	case p.atKw("DELETE"):
+		return p.parseDelete()
+	default:
+		return nil, p.errf("expected a statement, found %q", p.cur().text)
+	}
+}
+
+func (p *oldParser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{Limit: -1}
+	s.Distinct = p.acceptKw("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Select = append(s.Select, item)
+		if !p.accept(otkPunct, ",") {
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, ref)
+		if !p.accept(otkPunct, ",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.accept(otkPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = h
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.accept(otkPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		t, err := p.expect(otkNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *oldParser) parseSelectItem() (SelectItem, error) {
+	if p.accept(otkPunct, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	if p.cur().kind == otkIdent && p.peek().kind == otkPunct && p.peek().text == "." {
+		if p.pos+2 < len(p.toks) && p.toks[p.pos+2].kind == otkPunct && p.toks[p.pos+2].text == "*" {
+			name := p.cur().text
+			p.pos += 3
+			return SelectItem{TableStar: name}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.cur().kind == otkIdent {
+		item.Alias = p.cur().text
+		p.pos++
+	}
+	return item, nil
+}
+
+func (p *oldParser) parseTableRef() (TableRef, error) {
+	left, err := p.parseBaseTable()
+	if err != nil {
+		return nil, err
+	}
+	var ref TableRef = left
+	for {
+		kind := InnerJoin
+		switch {
+		case p.atKw("JOIN"):
+			p.pos++
+		case p.atKw("INNER"):
+			p.pos++
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+		case p.atKw("LEFT"):
+			p.pos++
+			p.acceptKw("OUTER")
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = LeftOuterJoin
+		default:
+			return ref, nil
+		}
+		right, err := p.parseBaseTable()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ref = &Join{Kind: kind, Left: ref, Right: right, On: on}
+	}
+}
+
+func (p *oldParser) parseBaseTable() (*BaseTable, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	bt := &BaseTable{Name: name, Alias: name}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		bt.Alias = a
+	} else if p.cur().kind == otkIdent {
+		bt.Alias = p.cur().text
+		p.pos++
+	}
+	return bt, nil
+}
+
+func (p *oldParser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *oldParser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *oldParser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *oldParser) parseNot() (Expr, error) {
+	if p.atKw("NOT") && !(p.peek().kind == otkKeyword && p.peek().text == "EXISTS") {
+		p.pos++
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *oldParser) parsePredicate() (Expr, error) {
+	if p.atKw("EXISTS") || (p.atKw("NOT") && p.peek().text == "EXISTS") {
+		not := p.acceptKw("NOT")
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(otkPunct, "("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(otkPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &Exists{Sub: sub, Not: not}, nil
+	}
+	x, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	not := false
+	if p.atKw("NOT") && (p.peek().text == "BETWEEN" || p.peek().text == "IN" || p.peek().text == "LIKE") {
+		p.pos++
+		not = true
+	}
+	switch {
+	case p.acceptKw("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: x, Lo: lo, Hi: hi, Not: not}, nil
+	case p.acceptKw("IN"):
+		if _, err := p.expect(otkPunct, "("); err != nil {
+			return nil, err
+		}
+		if p.atKw("SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(otkPunct, ")"); err != nil {
+				return nil, err
+			}
+			return &InSubquery{X: x, Sub: sub, Not: not}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(otkPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(otkPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &InList{X: x, List: list, Not: not}, nil
+	case p.acceptKw("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Like{X: x, Pattern: pat, Not: not}, nil
+	case p.acceptKw("IS"):
+		isNot := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: x, Not: isNot}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "=", "<", ">"} {
+		if p.accept(otkPunct, op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: x, R: r}, nil
+		}
+	}
+	return x, nil
+}
+
+func (p *oldParser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(otkPunct, "+"):
+			op = "+"
+		case p.accept(otkPunct, "-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *oldParser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(otkPunct, "*"):
+			op = "*"
+		case p.accept(otkPunct, "/"):
+			op = "/"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *oldParser) parseUnary() (Expr, error) {
+	if p.accept(otkPunct, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *oldParser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case otkNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Literal{Val: val.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Literal{Val: val.Int(n)}, nil
+	case otkString:
+		p.pos++
+		return &Literal{Val: val.Str(t.text)}, nil
+	case otkParam:
+		p.pos++
+		idx := p.params
+		p.params++
+		return &Param{Index: idx}, nil
+	case otkKeyword:
+		switch t.text {
+		case "NULL":
+			p.pos++
+			return &Literal{Val: val.Null}, nil
+		case "DATE":
+			p.pos++
+			lit, err := p.expect(otkString, "")
+			if err != nil {
+				return nil, err
+			}
+			d, err := val.ParseDate(lit.text)
+			if err != nil {
+				return nil, p.errf("bad date literal %q", lit.text)
+			}
+			return &Literal{Val: d}, nil
+		case "CASE":
+			return p.parseCase()
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.text)
+	case otkPunct:
+		if t.text == "(" {
+			p.pos++
+			if p.atKw("SELECT") {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(otkPunct, ")"); err != nil {
+					return nil, err
+				}
+				return &ScalarSubquery{Sub: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(otkPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected %q in expression", t.text)
+	case otkIdent:
+		if p.peek().kind == otkPunct && p.peek().text == "(" {
+			return p.parseFuncCall()
+		}
+		p.pos++
+		if p.accept(otkPunct, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.text, Column: col}, nil
+		}
+		return &ColumnRef{Column: t.text}, nil
+	default:
+		return nil, p.errf("unexpected token %q", t.text)
+	}
+}
+
+func (p *oldParser) parseFuncCall() (Expr, error) {
+	name := p.cur().text
+	p.pos += 2
+	fc := &FuncCall{Name: name}
+	if p.accept(otkPunct, "*") {
+		fc.Star = true
+		if _, err := p.expect(otkPunct, ")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	fc.Distinct = p.acceptKw("DISTINCT")
+	if !p.at(otkPunct, ")") {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, a)
+			if !p.accept(otkPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(otkPunct, ")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func (p *oldParser) parseCase() (Expr, error) {
+	if err := p.expectKw("CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	for p.acceptKw("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, When{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.acceptKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *oldParser) parseCreate() (Statement, error) {
+	p.pos++
+	unique := p.acceptKw("UNIQUE")
+	switch {
+	case p.acceptKw("TABLE"):
+		if unique {
+			return nil, p.errf("UNIQUE TABLE is not a thing")
+		}
+		return p.parseCreateTable()
+	case p.acceptKw("INDEX"):
+		return p.parseCreateIndex(unique)
+	case p.acceptKw("VIEW"):
+		if unique {
+			return nil, p.errf("UNIQUE VIEW is not a thing")
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AS"); err != nil {
+			return nil, err
+		}
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateView{Name: name, Query: q}, nil
+	default:
+		return nil, p.errf("expected TABLE, INDEX or VIEW after CREATE")
+	}
+}
+
+func (p *oldParser) parseColType() (val.ColType, error) {
+	t := p.cur()
+	if t.kind != otkKeyword {
+		return val.ColType{}, p.errf("expected a type, found %q", t.text)
+	}
+	p.pos++
+	switch t.text {
+	case "INTEGER", "INT":
+		return val.Int4, nil
+	case "BIGINT":
+		return val.Int8, nil
+	case "DATE":
+		return val.Date4, nil
+	case "DECIMAL":
+		if p.accept(otkPunct, "(") {
+			if _, err := p.expect(otkNumber, ""); err != nil {
+				return val.ColType{}, err
+			}
+			if p.accept(otkPunct, ",") {
+				if _, err := p.expect(otkNumber, ""); err != nil {
+					return val.ColType{}, err
+				}
+			}
+			if _, err := p.expect(otkPunct, ")"); err != nil {
+				return val.ColType{}, err
+			}
+		}
+		return val.Dec8, nil
+	case "CHAR", "VARCHAR":
+		if _, err := p.expect(otkPunct, "("); err != nil {
+			return val.ColType{}, err
+		}
+		n, err := p.expect(otkNumber, "")
+		if err != nil {
+			return val.ColType{}, err
+		}
+		w, err := strconv.Atoi(n.text)
+		if err != nil || w < 1 {
+			return val.ColType{}, p.errf("bad char width %q", n.text)
+		}
+		if _, err := p.expect(otkPunct, ")"); err != nil {
+			return val.ColType{}, err
+		}
+		return val.Char(w), nil
+	default:
+		return val.ColType{}, p.errf("unknown type %q", t.text)
+	}
+}
+
+func (p *oldParser) parseCreateTable() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(otkPunct, "("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		if p.atKw("PRIMARY") {
+			p.pos++
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(otkPunct, "("); err != nil {
+				return nil, err
+			}
+			for {
+				c, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, c)
+				if !p.accept(otkPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(otkPunct, ")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.parseColType()
+			if err != nil {
+				return nil, err
+			}
+			def := ColDef{Name: col, Type: typ}
+			if p.atKw("NOT") {
+				p.pos++
+				if err := p.expectKw("NULL"); err != nil {
+					return nil, err
+				}
+				def.NotNull = true
+			}
+			if p.atKw("PRIMARY") {
+				p.pos++
+				if err := p.expectKw("KEY"); err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, col)
+			}
+			ct.Cols = append(ct.Cols, def)
+		}
+		if !p.accept(otkPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(otkPunct, ")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *oldParser) parseCreateIndex(unique bool) (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(otkPunct, "("); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndex{Name: name, Table: table, Unique: unique}
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ci.Cols = append(ci.Cols, c)
+		if !p.accept(otkPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(otkPunct, ")"); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+func (p *oldParser) parseDrop() (Statement, error) {
+	p.pos++
+	switch {
+	case p.acceptKw("TABLE"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Name: name}, nil
+	case p.acceptKw("INDEX"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndex{Name: name}, nil
+	case p.acceptKw("VIEW"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropView{Name: name}, nil
+	default:
+		return nil, p.errf("expected TABLE, INDEX or VIEW after DROP")
+	}
+}
+
+func (p *oldParser) parseInsert() (Statement, error) {
+	p.pos++
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: table}
+	if p.accept(otkPunct, "(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Cols = append(ins.Cols, c)
+			if !p.accept(otkPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(otkPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(otkPunct, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(otkPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(otkPunct, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(otkPunct, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *oldParser) parseUpdate() (Statement, error) {
+	p.pos++
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	u := &UpdateStmt{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(otkPunct, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Set = append(u.Set, Assign{Column: col, Value: e})
+		if !p.accept(otkPunct, ",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = w
+	}
+	return u, nil
+}
+
+func (p *oldParser) parseDelete() (Statement, error) {
+	p.pos++
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeleteStmt{Table: table}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = w
+	}
+	return d, nil
+}

@@ -1,21 +1,85 @@
 package sqlparse
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"r3bench/internal/val"
 )
 
+// Parser is a reusable SQL front end. A Parser owns a slab arena that
+// backs the ASTs it produces, a three-token lookahead window over the
+// on-demand lexer, and an ident intern table. Reuse discipline:
+//
+//   - Parse resets the arena first, so the AST from the PREVIOUS Parse
+//     call is invalidated unless Detach was called;
+//   - Detach hands the arena chunks backing the most recent AST to the
+//     garbage collector, making that AST permanently valid;
+//   - the package-level Parse wrapper runs a pooled Parser and detaches
+//     for you, which is the right default for callers that retain ASTs
+//     (plan caches, views, prepared statements).
+//
+// A Parser is not safe for concurrent use.
+type Parser struct {
+	src    string
+	lpos   int // lexer cursor
+	win    [3]token
+	nwin   int
+	lexErr *Error
+	params int
+
+	a        arena
+	intern   map[string]string
+	upperBuf []byte
+
+	scItems   scratch[SelectItem]
+	scOrders  scratch[OrderItem]
+	scRefs    scratch[TableRef]
+	scExprs   scratch[Expr]
+	scWhens   scratch[When]
+	scStrs    scratch[string]
+	scAssigns scratch[Assign]
+	scRows    scratch[[]Expr]
+	scColdefs scratch[ColDef]
+}
+
+// NewParser returns an empty Parser ready for Parse.
+func NewParser() *Parser {
+	return &Parser{intern: make(map[string]string, 64)}
+}
+
+// Reset reclaims the arena (invalidating previously returned ASTs that
+// were not detached) and clears all parse state except the ident intern
+// table.
+func (p *Parser) Reset() {
+	p.src = ""
+	p.lpos = 0
+	p.nwin = 0
+	p.lexErr = nil
+	p.params = 0
+	p.a.reset()
+	p.scItems.reset()
+	p.scOrders.reset()
+	p.scRefs.reset()
+	p.scExprs.reset()
+	p.scWhens.reset()
+	p.scAssigns.reset()
+	p.scRows.reset()
+	p.scStrs.reset()
+	p.scColdefs.reset()
+}
+
+// Detach releases ownership of the arena chunks backing the most recent
+// AST so it survives future Parse/Reset calls on this Parser.
+func (p *Parser) Detach() { p.a.detach() }
+
 // Parse parses one SQL statement (an optional trailing semicolon is
-// allowed).
-func Parse(src string) (Statement, error) {
-	toks, err := lex(src)
-	if err != nil {
-		return nil, err
-	}
-	p := &parser{src: src, toks: toks}
+// allowed) into the Parser's arena. The AST is valid until the next
+// Parse or Reset unless Detach is called first.
+func (p *Parser) Parse(src string) (Statement, error) {
+	p.Reset()
+	p.src = src
 	stmt, err := p.parseStatement()
 	if err != nil {
 		return nil, err
@@ -27,6 +91,23 @@ func Parse(src string) (Statement, error) {
 	return stmt, nil
 }
 
+var parserPool = sync.Pool{New: func() any { return NewParser() }}
+
+// Parse parses one SQL statement (an optional trailing semicolon is
+// allowed). The AST is garbage-collector-owned and safe to retain
+// indefinitely. Internally this borrows a pooled Parser, so the
+// steady-state cost is one chunk allocation per node type the statement
+// uses rather than one per node.
+func Parse(src string) (Statement, error) {
+	p := parserPool.Get().(*Parser)
+	stmt, err := p.Parse(src)
+	if err == nil {
+		p.Detach()
+	}
+	parserPool.Put(p)
+	return stmt, err
+}
+
 // MustParse parses or panics; for statically-known query text.
 func MustParse(src string) Statement {
 	s, err := Parse(src)
@@ -36,76 +117,95 @@ func MustParse(src string) Statement {
 	return s
 }
 
-type parser struct {
-	src    string
-	toks   []token
-	pos    int
-	params int
-}
+// --- token window ---
 
-func (p *parser) cur() token { return p.toks[p.pos] }
-
-func (p *parser) peek() token {
-	if p.pos+1 >= len(p.toks) {
-		return p.toks[len(p.toks)-1] // EOF
+func (p *Parser) ensure(k int) {
+	for p.nwin < k {
+		p.win[p.nwin] = p.scan()
+		p.nwin++
 	}
-	return p.toks[p.pos+1]
 }
 
-func (p *parser) at(kind tokKind, text string) bool {
+func (p *Parser) cur() token {
+	p.ensure(1)
+	return p.win[0]
+}
+
+func (p *Parser) peek() token {
+	p.ensure(2)
+	return p.win[1]
+}
+
+func (p *Parser) peek2() token {
+	p.ensure(3)
+	return p.win[2]
+}
+
+// advance consumes the current token. EOF and lex-error tokens are
+// sticky so the parser can never run off the end.
+func (p *Parser) advance() {
+	p.ensure(1)
+	if k := p.win[0].kind; k == tkEOF || k == tkErr {
+		return
+	}
+	p.win[0] = p.win[1]
+	p.win[1] = p.win[2]
+	p.nwin--
+}
+
+func (p *Parser) at(kind tokKind, text string) bool {
 	t := p.cur()
 	return t.kind == kind && (text == "" || t.text == text)
 }
 
 // atKw reports whether the current token is the given keyword.
-func (p *parser) atKw(kw string) bool { return p.at(tkKeyword, kw) }
+func (p *Parser) atKw(kw string) bool { return p.at(tkKeyword, kw) }
 
-func (p *parser) accept(kind tokKind, text string) bool {
+func (p *Parser) accept(kind tokKind, text string) bool {
 	if p.at(kind, text) {
-		p.pos++
+		p.advance()
 		return true
 	}
 	return false
 }
 
-func (p *parser) acceptKw(kw string) bool { return p.accept(tkKeyword, kw) }
+func (p *Parser) acceptKw(kw string) bool { return p.accept(tkKeyword, kw) }
 
-func (p *parser) expect(kind tokKind, text string) (token, error) {
+func (p *Parser) expect(kind tokKind, text string) (token, error) {
 	if !p.at(kind, text) {
 		return token{}, p.errf("expected %q, found %q", text, p.cur().text)
 	}
 	t := p.cur()
-	p.pos++
+	p.advance()
 	return t, nil
 }
 
-func (p *parser) expectKw(kw string) error {
+func (p *Parser) expectKw(kw string) error {
 	_, err := p.expect(tkKeyword, kw)
 	return err
 }
 
-func (p *parser) ident() (string, error) {
+func (p *Parser) ident() (string, error) {
 	if p.cur().kind != tkIdent {
 		return "", p.errf("expected identifier, found %q", p.cur().text)
 	}
 	name := p.cur().text
-	p.pos++
+	p.advance()
 	return name, nil
 }
 
-func (p *parser) errf(format string, args ...any) error {
-	line := 1
-	col := p.cur().pos
-	for i := 0; i < p.cur().pos && i < len(p.src); i++ {
-		if p.src[i] == '\n' {
-			line++
-			col = p.cur().pos - i - 1
-		}
+// errf builds a positioned parse error. A sticky lex error takes
+// precedence: the old front end lexed the whole input before parsing,
+// so lex errors always won, and any failing parse that has looked at a
+// bad byte must keep reporting it.
+func (p *Parser) errf(format string, args ...any) error {
+	if p.lexErr != nil {
+		return p.lexErr
 	}
-	return fmt.Errorf("sqlparse: %s (line %d, col %d)", fmt.Sprintf(format, args...), line, col)
+	return parseErrorf(p.src, p.cur().pos, format, args...)
 }
 
-func (p *parser) parseStatement() (Statement, error) {
+func (p *Parser) parseStatement() (Statement, error) {
 	switch {
 	case p.atKw("SELECT"):
 		return p.parseSelect()
@@ -126,35 +226,39 @@ func (p *parser) parseStatement() (Statement, error) {
 
 // --- SELECT ---
 
-func (p *parser) parseSelect() (*SelectStmt, error) {
+func (p *Parser) parseSelect() (*SelectStmt, error) {
 	if err := p.expectKw("SELECT"); err != nil {
 		return nil, err
 	}
-	s := &SelectStmt{Limit: -1}
+	s := one(&p.a.selects, SelectStmt{Limit: -1})
 	s.Distinct = p.acceptKw("DISTINCT")
+	items := p.scItems.mark()
 	for {
 		item, err := p.parseSelectItem()
 		if err != nil {
 			return nil, err
 		}
-		s.Select = append(s.Select, item)
+		p.scItems.push(item)
 		if !p.accept(tkPunct, ",") {
 			break
 		}
 	}
+	s.Select = p.scItems.take(items, &p.a.items)
 	if err := p.expectKw("FROM"); err != nil {
 		return nil, err
 	}
+	refs := p.scRefs.mark()
 	for {
 		ref, err := p.parseTableRef()
 		if err != nil {
 			return nil, err
 		}
-		s.From = append(s.From, ref)
+		p.scRefs.push(ref)
 		if !p.accept(tkPunct, ",") {
 			break
 		}
 	}
+	s.From = p.scRefs.take(refs, &p.a.refs)
 	if p.acceptKw("WHERE") {
 		w, err := p.parseExpr()
 		if err != nil {
@@ -166,16 +270,18 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		if err := p.expectKw("BY"); err != nil {
 			return nil, err
 		}
+		group := p.scExprs.mark()
 		for {
 			e, err := p.parseExpr()
 			if err != nil {
 				return nil, err
 			}
-			s.GroupBy = append(s.GroupBy, e)
+			p.scExprs.push(e)
 			if !p.accept(tkPunct, ",") {
 				break
 			}
 		}
+		s.GroupBy = p.scExprs.take(group, &p.a.exprs)
 	}
 	if p.acceptKw("HAVING") {
 		h, err := p.parseExpr()
@@ -188,6 +294,7 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		if err := p.expectKw("BY"); err != nil {
 			return nil, err
 		}
+		order := p.scOrders.mark()
 		for {
 			e, err := p.parseExpr()
 			if err != nil {
@@ -199,11 +306,12 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			} else {
 				p.acceptKw("ASC")
 			}
-			s.OrderBy = append(s.OrderBy, item)
+			p.scOrders.push(item)
 			if !p.accept(tkPunct, ",") {
 				break
 			}
 		}
+		s.OrderBy = p.scOrders.take(order, &p.a.orders)
 	}
 	if p.acceptKw("LIMIT") {
 		t, err := p.expect(tkNumber, "")
@@ -219,15 +327,17 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 	return s, nil
 }
 
-func (p *parser) parseSelectItem() (SelectItem, error) {
+func (p *Parser) parseSelectItem() (SelectItem, error) {
 	if p.accept(tkPunct, "*") {
 		return SelectItem{Star: true}, nil
 	}
 	// t.* wildcard
 	if p.cur().kind == tkIdent && p.peek().kind == tkPunct && p.peek().text == "." {
-		if p.pos+2 < len(p.toks) && p.toks[p.pos+2].kind == tkPunct && p.toks[p.pos+2].text == "*" {
+		if t2 := p.peek2(); t2.kind == tkPunct && t2.text == "*" {
 			name := p.cur().text
-			p.pos += 3
+			p.advance()
+			p.advance()
+			p.advance()
 			return SelectItem{TableStar: name}, nil
 		}
 	}
@@ -244,12 +354,12 @@ func (p *parser) parseSelectItem() (SelectItem, error) {
 		item.Alias = a
 	} else if p.cur().kind == tkIdent {
 		item.Alias = p.cur().text
-		p.pos++
+		p.advance()
 	}
 	return item, nil
 }
 
-func (p *parser) parseTableRef() (TableRef, error) {
+func (p *Parser) parseTableRef() (TableRef, error) {
 	left, err := p.parseBaseTable()
 	if err != nil {
 		return nil, err
@@ -259,14 +369,14 @@ func (p *parser) parseTableRef() (TableRef, error) {
 		kind := InnerJoin
 		switch {
 		case p.atKw("JOIN"):
-			p.pos++
+			p.advance()
 		case p.atKw("INNER"):
-			p.pos++
+			p.advance()
 			if err := p.expectKw("JOIN"); err != nil {
 				return nil, err
 			}
 		case p.atKw("LEFT"):
-			p.pos++
+			p.advance()
 			p.acceptKw("OUTER")
 			if err := p.expectKw("JOIN"); err != nil {
 				return nil, err
@@ -286,16 +396,16 @@ func (p *parser) parseTableRef() (TableRef, error) {
 		if err != nil {
 			return nil, err
 		}
-		ref = &Join{Kind: kind, Left: ref, Right: right, On: on}
+		ref = one(&p.a.joins, Join{Kind: kind, Left: ref, Right: right, On: on})
 	}
 }
 
-func (p *parser) parseBaseTable() (*BaseTable, error) {
+func (p *Parser) parseBaseTable() (*BaseTable, error) {
 	name, err := p.ident()
 	if err != nil {
 		return nil, err
 	}
-	bt := &BaseTable{Name: name, Alias: name}
+	bt := one(&p.a.base, BaseTable{Name: name, Alias: name})
 	if p.acceptKw("AS") {
 		a, err := p.ident()
 		if err != nil {
@@ -304,16 +414,16 @@ func (p *parser) parseBaseTable() (*BaseTable, error) {
 		bt.Alias = a
 	} else if p.cur().kind == tkIdent {
 		bt.Alias = p.cur().text
-		p.pos++
+		p.advance()
 	}
 	return bt, nil
 }
 
 // --- expressions ---
 
-func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
 
-func (p *parser) parseOr() (Expr, error) {
+func (p *Parser) parseOr() (Expr, error) {
 	l, err := p.parseAnd()
 	if err != nil {
 		return nil, err
@@ -323,12 +433,12 @@ func (p *parser) parseOr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &Binary{Op: "OR", L: l, R: r}
+		l = one(&p.a.binaries, Binary{Op: "OR", L: l, R: r})
 	}
 	return l, nil
 }
 
-func (p *parser) parseAnd() (Expr, error) {
+func (p *Parser) parseAnd() (Expr, error) {
 	l, err := p.parseNot()
 	if err != nil {
 		return nil, err
@@ -338,24 +448,24 @@ func (p *parser) parseAnd() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &Binary{Op: "AND", L: l, R: r}
+		l = one(&p.a.binaries, Binary{Op: "AND", L: l, R: r})
 	}
 	return l, nil
 }
 
-func (p *parser) parseNot() (Expr, error) {
+func (p *Parser) parseNot() (Expr, error) {
 	if p.atKw("NOT") && !(p.peek().kind == tkKeyword && p.peek().text == "EXISTS") {
-		p.pos++
+		p.advance()
 		x, err := p.parseNot()
 		if err != nil {
 			return nil, err
 		}
-		return &Unary{Op: "NOT", X: x}, nil
+		return one(&p.a.unaries, Unary{Op: "NOT", X: x}), nil
 	}
 	return p.parsePredicate()
 }
 
-func (p *parser) parsePredicate() (Expr, error) {
+func (p *Parser) parsePredicate() (Expr, error) {
 	if p.atKw("EXISTS") || (p.atKw("NOT") && p.peek().text == "EXISTS") {
 		not := p.acceptKw("NOT")
 		if err := p.expectKw("EXISTS"); err != nil {
@@ -371,7 +481,7 @@ func (p *parser) parsePredicate() (Expr, error) {
 		if _, err := p.expect(tkPunct, ")"); err != nil {
 			return nil, err
 		}
-		return &Exists{Sub: sub, Not: not}, nil
+		return one(&p.a.exists, Exists{Sub: sub, Not: not}), nil
 	}
 	x, err := p.parseAdditive()
 	if err != nil {
@@ -379,7 +489,7 @@ func (p *parser) parsePredicate() (Expr, error) {
 	}
 	not := false
 	if p.atKw("NOT") && (p.peek().text == "BETWEEN" || p.peek().text == "IN" || p.peek().text == "LIKE") {
-		p.pos++
+		p.advance()
 		not = true
 	}
 	switch {
@@ -395,7 +505,7 @@ func (p *parser) parsePredicate() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Between{X: x, Lo: lo, Hi: hi, Not: not}, nil
+		return one(&p.a.betweens, Between{X: x, Lo: lo, Hi: hi, Not: not}), nil
 	case p.acceptKw("IN"):
 		if _, err := p.expect(tkPunct, "("); err != nil {
 			return nil, err
@@ -408,15 +518,15 @@ func (p *parser) parsePredicate() (Expr, error) {
 			if _, err := p.expect(tkPunct, ")"); err != nil {
 				return nil, err
 			}
-			return &InSubquery{X: x, Sub: sub, Not: not}, nil
+			return one(&p.a.insubs, InSubquery{X: x, Sub: sub, Not: not}), nil
 		}
-		var list []Expr
+		list := p.scExprs.mark()
 		for {
 			e, err := p.parseAdditive()
 			if err != nil {
 				return nil, err
 			}
-			list = append(list, e)
+			p.scExprs.push(e)
 			if !p.accept(tkPunct, ",") {
 				break
 			}
@@ -424,33 +534,37 @@ func (p *parser) parsePredicate() (Expr, error) {
 		if _, err := p.expect(tkPunct, ")"); err != nil {
 			return nil, err
 		}
-		return &InList{X: x, List: list, Not: not}, nil
+		return one(&p.a.inlists, InList{X: x, List: p.scExprs.take(list, &p.a.exprs), Not: not}), nil
 	case p.acceptKw("LIKE"):
 		pat, err := p.parseAdditive()
 		if err != nil {
 			return nil, err
 		}
-		return &Like{X: x, Pattern: pat, Not: not}, nil
+		return one(&p.a.likes, Like{X: x, Pattern: pat, Not: not}), nil
 	case p.acceptKw("IS"):
 		isNot := p.acceptKw("NOT")
 		if err := p.expectKw("NULL"); err != nil {
 			return nil, err
 		}
-		return &IsNull{X: x, Not: isNot}, nil
+		return one(&p.a.isnulls, IsNull{X: x, Not: isNot}), nil
 	}
-	for _, op := range []string{"<=", ">=", "<>", "=", "<", ">"} {
+	for _, op := range cmpOps {
 		if p.accept(tkPunct, op) {
 			r, err := p.parseAdditive()
 			if err != nil {
 				return nil, err
 			}
-			return &Binary{Op: op, L: x, R: r}, nil
+			return one(&p.a.binaries, Binary{Op: op, L: x, R: r}), nil
 		}
 	}
 	return x, nil
 }
 
-func (p *parser) parseAdditive() (Expr, error) {
+// cmpOps is package-level so parsePredicate does not rebuild the slice
+// per call (the old parser allocated it on every predicate).
+var cmpOps = [...]string{"<=", ">=", "<>", "=", "<", ">"}
+
+func (p *Parser) parseAdditive() (Expr, error) {
 	l, err := p.parseMultiplicative()
 	if err != nil {
 		return nil, err
@@ -469,11 +583,11 @@ func (p *parser) parseAdditive() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &Binary{Op: op, L: l, R: r}
+		l = one(&p.a.binaries, Binary{Op: op, L: l, R: r})
 	}
 }
 
-func (p *parser) parseMultiplicative() (Expr, error) {
+func (p *Parser) parseMultiplicative() (Expr, error) {
 	l, err := p.parseUnary()
 	if err != nil {
 		return nil, err
@@ -492,53 +606,53 @@ func (p *parser) parseMultiplicative() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &Binary{Op: op, L: l, R: r}
+		l = one(&p.a.binaries, Binary{Op: op, L: l, R: r})
 	}
 }
 
-func (p *parser) parseUnary() (Expr, error) {
+func (p *Parser) parseUnary() (Expr, error) {
 	if p.accept(tkPunct, "-") {
 		x, err := p.parseUnary()
 		if err != nil {
 			return nil, err
 		}
-		return &Unary{Op: "-", X: x}, nil
+		return one(&p.a.unaries, Unary{Op: "-", X: x}), nil
 	}
 	return p.parsePrimary()
 }
 
-func (p *parser) parsePrimary() (Expr, error) {
+func (p *Parser) parsePrimary() (Expr, error) {
 	t := p.cur()
 	switch t.kind {
 	case tkNumber:
-		p.pos++
+		p.advance()
 		if strings.Contains(t.text, ".") {
 			f, err := strconv.ParseFloat(t.text, 64)
 			if err != nil {
 				return nil, p.errf("bad number %q", t.text)
 			}
-			return &Literal{Val: val.Float(f)}, nil
+			return one(&p.a.literals, Literal{Val: val.Float(f)}), nil
 		}
 		n, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
 			return nil, p.errf("bad number %q", t.text)
 		}
-		return &Literal{Val: val.Int(n)}, nil
+		return one(&p.a.literals, Literal{Val: val.Int(n)}), nil
 	case tkString:
-		p.pos++
-		return &Literal{Val: val.Str(t.text)}, nil
+		p.advance()
+		return one(&p.a.literals, Literal{Val: val.Str(t.text)}), nil
 	case tkParam:
-		p.pos++
+		p.advance()
 		idx := p.params
 		p.params++
-		return &Param{Index: idx}, nil
+		return one(&p.a.params, Param{Index: idx}), nil
 	case tkKeyword:
 		switch t.text {
 		case "NULL":
-			p.pos++
-			return &Literal{Val: val.Null}, nil
+			p.advance()
+			return one(&p.a.literals, Literal{Val: val.Null}), nil
 		case "DATE":
-			p.pos++
+			p.advance()
 			lit, err := p.expect(tkString, "")
 			if err != nil {
 				return nil, err
@@ -547,14 +661,14 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if err != nil {
 				return nil, p.errf("bad date literal %q", lit.text)
 			}
-			return &Literal{Val: d}, nil
+			return one(&p.a.literals, Literal{Val: d}), nil
 		case "CASE":
 			return p.parseCase()
 		}
 		return nil, p.errf("unexpected keyword %q in expression", t.text)
 	case tkPunct:
 		if t.text == "(" {
-			p.pos++
+			p.advance()
 			if p.atKw("SELECT") {
 				sub, err := p.parseSelect()
 				if err != nil {
@@ -563,7 +677,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 				if _, err := p.expect(tkPunct, ")"); err != nil {
 					return nil, err
 				}
-				return &ScalarSubquery{Sub: sub}, nil
+				return one(&p.a.scalars, ScalarSubquery{Sub: sub}), nil
 			}
 			e, err := p.parseExpr()
 			if err != nil {
@@ -580,24 +694,25 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if p.peek().kind == tkPunct && p.peek().text == "(" {
 			return p.parseFuncCall()
 		}
-		p.pos++
+		p.advance()
 		if p.accept(tkPunct, ".") {
 			col, err := p.ident()
 			if err != nil {
 				return nil, err
 			}
-			return &ColumnRef{Table: t.text, Column: col}, nil
+			return one(&p.a.colrefs, ColumnRef{Table: t.text, Column: col}), nil
 		}
-		return &ColumnRef{Column: t.text}, nil
+		return one(&p.a.colrefs, ColumnRef{Column: t.text}), nil
 	default:
 		return nil, p.errf("unexpected token %q", t.text)
 	}
 }
 
-func (p *parser) parseFuncCall() (Expr, error) {
+func (p *Parser) parseFuncCall() (Expr, error) {
 	name := p.cur().text
-	p.pos += 2 // ident and "("
-	fc := &FuncCall{Name: name}
+	p.advance() // ident
+	p.advance() // "("
+	fc := one(&p.a.funcs, FuncCall{Name: name})
 	if p.accept(tkPunct, "*") {
 		fc.Star = true
 		if _, err := p.expect(tkPunct, ")"); err != nil {
@@ -607,16 +722,18 @@ func (p *parser) parseFuncCall() (Expr, error) {
 	}
 	fc.Distinct = p.acceptKw("DISTINCT")
 	if !p.at(tkPunct, ")") {
+		args := p.scExprs.mark()
 		for {
 			a, err := p.parseExpr()
 			if err != nil {
 				return nil, err
 			}
-			fc.Args = append(fc.Args, a)
+			p.scExprs.push(a)
 			if !p.accept(tkPunct, ",") {
 				break
 			}
 		}
+		fc.Args = p.scExprs.take(args, &p.a.exprs)
 	}
 	if _, err := p.expect(tkPunct, ")"); err != nil {
 		return nil, err
@@ -624,11 +741,12 @@ func (p *parser) parseFuncCall() (Expr, error) {
 	return fc, nil
 }
 
-func (p *parser) parseCase() (Expr, error) {
+func (p *Parser) parseCase() (Expr, error) {
 	if err := p.expectKw("CASE"); err != nil {
 		return nil, err
 	}
-	c := &CaseExpr{}
+	c := one(&p.a.cases, CaseExpr{})
+	whens := p.scWhens.mark()
 	for p.acceptKw("WHEN") {
 		cond, err := p.parseExpr()
 		if err != nil {
@@ -641,8 +759,9 @@ func (p *parser) parseCase() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.Whens = append(c.Whens, When{Cond: cond, Then: then})
+		p.scWhens.push(When{Cond: cond, Then: then})
 	}
+	c.Whens = p.scWhens.take(whens, &p.a.whens)
 	if len(c.Whens) == 0 {
 		return nil, p.errf("CASE requires at least one WHEN")
 	}
@@ -660,9 +779,13 @@ func (p *parser) parseCase() (Expr, error) {
 }
 
 // --- DDL / DML ---
+//
+// Statement shells below are plain heap allocations (one object each on
+// a cold path); their expression trees and slices still come from the
+// arena via the shared parse functions, so Detach covers them too.
 
-func (p *parser) parseCreate() (Statement, error) {
-	p.pos++ // CREATE
+func (p *Parser) parseCreate() (Statement, error) {
+	p.advance() // CREATE
 	unique := p.acceptKw("UNIQUE")
 	switch {
 	case p.acceptKw("TABLE"):
@@ -693,12 +816,12 @@ func (p *parser) parseCreate() (Statement, error) {
 	}
 }
 
-func (p *parser) parseColType() (val.ColType, error) {
+func (p *Parser) parseColType() (val.ColType, error) {
 	t := p.cur()
 	if t.kind != tkKeyword {
 		return val.ColType{}, p.errf("expected a type, found %q", t.text)
 	}
-	p.pos++
+	p.advance()
 	switch t.text {
 	case "INTEGER", "INT":
 		return val.Int4, nil
@@ -742,7 +865,7 @@ func (p *parser) parseColType() (val.ColType, error) {
 	}
 }
 
-func (p *parser) parseCreateTable() (Statement, error) {
+func (p *Parser) parseCreateTable() (Statement, error) {
 	name, err := p.ident()
 	if err != nil {
 		return nil, err
@@ -751,9 +874,11 @@ func (p *parser) parseCreateTable() (Statement, error) {
 		return nil, err
 	}
 	ct := &CreateTable{Name: name}
+	cols := p.scColdefs.mark()
+	pk := p.scStrs.mark()
 	for {
 		if p.atKw("PRIMARY") {
-			p.pos++
+			p.advance()
 			if err := p.expectKw("KEY"); err != nil {
 				return nil, err
 			}
@@ -765,7 +890,7 @@ func (p *parser) parseCreateTable() (Statement, error) {
 				if err != nil {
 					return nil, err
 				}
-				ct.PrimaryKey = append(ct.PrimaryKey, c)
+				p.scStrs.push(c)
 				if !p.accept(tkPunct, ",") {
 					break
 				}
@@ -784,20 +909,20 @@ func (p *parser) parseCreateTable() (Statement, error) {
 			}
 			def := ColDef{Name: col, Type: typ}
 			if p.atKw("NOT") {
-				p.pos++
+				p.advance()
 				if err := p.expectKw("NULL"); err != nil {
 					return nil, err
 				}
 				def.NotNull = true
 			}
 			if p.atKw("PRIMARY") {
-				p.pos++
+				p.advance()
 				if err := p.expectKw("KEY"); err != nil {
 					return nil, err
 				}
-				ct.PrimaryKey = append(ct.PrimaryKey, col)
+				p.scStrs.push(col)
 			}
-			ct.Cols = append(ct.Cols, def)
+			p.scColdefs.push(def)
 		}
 		if !p.accept(tkPunct, ",") {
 			break
@@ -806,10 +931,12 @@ func (p *parser) parseCreateTable() (Statement, error) {
 	if _, err := p.expect(tkPunct, ")"); err != nil {
 		return nil, err
 	}
+	ct.Cols = p.scColdefs.take(cols, &p.a.coldefs)
+	ct.PrimaryKey = p.scStrs.take(pk, &p.a.strs)
 	return ct, nil
 }
 
-func (p *parser) parseCreateIndex(unique bool) (Statement, error) {
+func (p *Parser) parseCreateIndex(unique bool) (Statement, error) {
 	name, err := p.ident()
 	if err != nil {
 		return nil, err
@@ -825,12 +952,13 @@ func (p *parser) parseCreateIndex(unique bool) (Statement, error) {
 		return nil, err
 	}
 	ci := &CreateIndex{Name: name, Table: table, Unique: unique}
+	cols := p.scStrs.mark()
 	for {
 		c, err := p.ident()
 		if err != nil {
 			return nil, err
 		}
-		ci.Cols = append(ci.Cols, c)
+		p.scStrs.push(c)
 		if !p.accept(tkPunct, ",") {
 			break
 		}
@@ -838,11 +966,12 @@ func (p *parser) parseCreateIndex(unique bool) (Statement, error) {
 	if _, err := p.expect(tkPunct, ")"); err != nil {
 		return nil, err
 	}
+	ci.Cols = p.scStrs.take(cols, &p.a.strs)
 	return ci, nil
 }
 
-func (p *parser) parseDrop() (Statement, error) {
-	p.pos++ // DROP
+func (p *Parser) parseDrop() (Statement, error) {
+	p.advance() // DROP
 	switch {
 	case p.acceptKw("TABLE"):
 		name, err := p.ident()
@@ -867,8 +996,8 @@ func (p *parser) parseDrop() (Statement, error) {
 	}
 }
 
-func (p *parser) parseInsert() (Statement, error) {
-	p.pos++ // INSERT
+func (p *Parser) parseInsert() (Statement, error) {
+	p.advance() // INSERT
 	if err := p.expectKw("INTO"); err != nil {
 		return nil, err
 	}
@@ -878,12 +1007,13 @@ func (p *parser) parseInsert() (Statement, error) {
 	}
 	ins := &InsertStmt{Table: table}
 	if p.accept(tkPunct, "(") {
+		cols := p.scStrs.mark()
 		for {
 			c, err := p.ident()
 			if err != nil {
 				return nil, err
 			}
-			ins.Cols = append(ins.Cols, c)
+			p.scStrs.push(c)
 			if !p.accept(tkPunct, ",") {
 				break
 			}
@@ -891,21 +1021,23 @@ func (p *parser) parseInsert() (Statement, error) {
 		if _, err := p.expect(tkPunct, ")"); err != nil {
 			return nil, err
 		}
+		ins.Cols = p.scStrs.take(cols, &p.a.strs)
 	}
 	if err := p.expectKw("VALUES"); err != nil {
 		return nil, err
 	}
+	rows := p.scRows.mark()
 	for {
 		if _, err := p.expect(tkPunct, "("); err != nil {
 			return nil, err
 		}
-		var row []Expr
+		row := p.scExprs.mark()
 		for {
 			e, err := p.parseExpr()
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, e)
+			p.scExprs.push(e)
 			if !p.accept(tkPunct, ",") {
 				break
 			}
@@ -913,16 +1045,17 @@ func (p *parser) parseInsert() (Statement, error) {
 		if _, err := p.expect(tkPunct, ")"); err != nil {
 			return nil, err
 		}
-		ins.Rows = append(ins.Rows, row)
+		p.scRows.push(p.scExprs.take(row, &p.a.exprs))
 		if !p.accept(tkPunct, ",") {
 			break
 		}
 	}
+	ins.Rows = p.scRows.take(rows, &p.a.rows)
 	return ins, nil
 }
 
-func (p *parser) parseUpdate() (Statement, error) {
-	p.pos++ // UPDATE
+func (p *Parser) parseUpdate() (Statement, error) {
+	p.advance() // UPDATE
 	table, err := p.ident()
 	if err != nil {
 		return nil, err
@@ -931,6 +1064,7 @@ func (p *parser) parseUpdate() (Statement, error) {
 		return nil, err
 	}
 	u := &UpdateStmt{Table: table}
+	set := p.scAssigns.mark()
 	for {
 		col, err := p.ident()
 		if err != nil {
@@ -943,11 +1077,12 @@ func (p *parser) parseUpdate() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		u.Set = append(u.Set, Assign{Column: col, Value: e})
+		p.scAssigns.push(Assign{Column: col, Value: e})
 		if !p.accept(tkPunct, ",") {
 			break
 		}
 	}
+	u.Set = p.scAssigns.take(set, &p.a.assigns)
 	if p.acceptKw("WHERE") {
 		w, err := p.parseExpr()
 		if err != nil {
@@ -958,8 +1093,8 @@ func (p *parser) parseUpdate() (Statement, error) {
 	return u, nil
 }
 
-func (p *parser) parseDelete() (Statement, error) {
-	p.pos++ // DELETE
+func (p *Parser) parseDelete() (Statement, error) {
+	p.advance() // DELETE
 	if err := p.expectKw("FROM"); err != nil {
 		return nil, err
 	}

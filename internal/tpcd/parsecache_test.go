@@ -1,0 +1,63 @@
+package tpcd
+
+import (
+	"testing"
+)
+
+// TestParseCacheByteIdenticalAcrossDegrees asserts the fingerprint
+// cache's end-to-end guarantee on the real workload: every TPC-D query
+// returns byte-identical results with the statement cache on (the
+// default) and off, at serial and parallel degrees, and each query
+// charges the two meters identically — the cache saves only real CPU,
+// never simulated time. The suite runs twice per degree, so the second
+// pass exercises warm AST and plan hits on the cached side (Q15's view
+// DDL bumps the plan epoch in both passes, exercising invalidation on
+// the way).
+func TestParseCacheByteIdenticalAcrossDegrees(t *testing.T) {
+	dbHot, g := loadedDB(t)
+	dbCold, _ := loadedDB(t)
+	dbCold.SetParseCache(false)
+	hot := NewRDBMS(dbHot, g)
+	cold := NewRDBMS(dbCold, g)
+
+	for _, deg := range []int{1, 2, 8} {
+		dbHot.SetParallel(deg)
+		dbCold.SetParallel(deg)
+		for pass := 1; pass <= 2; pass++ {
+			for q := 1; q <= 17; q++ {
+				hStart, cStart := hot.Meter().Elapsed(), cold.Meter().Elapsed()
+				hRows, err := hot.RunQuery(q)
+				if err != nil {
+					t.Fatalf("deg=%d pass=%d cached Q%d: %v", deg, pass, q, err)
+				}
+				cRows, err := cold.RunQuery(q)
+				if err != nil {
+					t.Fatalf("deg=%d pass=%d uncached Q%d: %v", deg, pass, q, err)
+				}
+				if encodeResult(hRows) != encodeResult(cRows) {
+					t.Errorf("deg=%d pass=%d Q%d: cached result differs from uncached", deg, pass, q)
+				}
+				hLap := hot.Meter().Elapsed() - hStart
+				cLap := cold.Meter().Elapsed() - cStart
+				if hLap != cLap {
+					t.Errorf("deg=%d pass=%d Q%d: cached cost %v != uncached cost %v",
+						deg, pass, q, hLap, cLap)
+				}
+			}
+		}
+	}
+	dbHot.SetParallel(0)
+	dbCold.SetParallel(0)
+
+	st := dbHot.Stats()
+	if st.ParseHits == 0 {
+		t.Error("cached run recorded no fingerprint hits")
+	}
+	if st.ParseStatements != st.ParseHits+st.ParseMisses {
+		t.Errorf("statements %d != hits %d + misses %d",
+			st.ParseStatements, st.ParseHits, st.ParseMisses)
+	}
+	if cs := dbCold.Stats(); cs.ParseHits != 0 {
+		t.Errorf("uncached run recorded %d fingerprint hits", cs.ParseHits)
+	}
+}

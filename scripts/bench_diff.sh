@@ -1,10 +1,13 @@
 #!/bin/sh
 # Compare two benchmark snapshots on the simulated clock, failing on a
 # >10% regression, a pool hit ratio below MIN_HIT_RATIO (default 0.92),
-# a hit-ratio drop of more than 2 percentage points, or a real
+# a hit-ratio drop of more than 2 percentage points, a real
 # allocations-per-op increase beyond MAX_ALLOCS_INCREASE percent
-# (default 25; the vectorized executor's wall-clock win lives in
-# allocs/op, which the simulated clock cannot see). Usage:
+# (default 10; the vectorized executor's and zero-allocation parser's
+# wall-clock wins live in allocs/op, which the simulated clock cannot
+# see), or a BenchmarkParse* benchmark over the MAX_PARSE_ALLOCS
+# absolute allocs/op ceiling (default 16; the pooled front end measures
+# 11 on a TPC-D Q1-class statement). Usage:
 #
 #   ./scripts/bench_diff.sh OLD.json [NEW.json]
 #
@@ -24,4 +27,5 @@ if [ -z "$new" ]; then
 fi
 
 exec go run ./cmd/benchdiff -min-hit-ratio "${MIN_HIT_RATIO:-0.92}" \
-	-max-allocs-increase "${MAX_ALLOCS_INCREASE:-25}" "$old" "$new"
+	-max-allocs-increase "${MAX_ALLOCS_INCREASE:-10}" \
+	-max-parse-allocs "${MAX_PARSE_ALLOCS:-16}" "$old" "$new"

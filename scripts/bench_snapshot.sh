@@ -6,9 +6,11 @@
 #
 # The default regex covers the power test per strategy plus the parallel
 # degrees, per-query parallel pairs (DESIGN.md §5), the ORDER BY-heavy
-# serial queries, and the vectorized-vs-row aggregation pair (DESIGN.md
+# serial queries, the vectorized-vs-row aggregation pair (DESIGN.md
 # §10), whose real allocs/op land in the snapshot for the benchdiff
-# -max-allocs-increase gate. Set BENCH_OUT to redirect the output file
+# -max-allocs-increase gate, and the SQL front-end parse benchmarks
+# (DESIGN.md §11) — wall-clock only, no simulated time — whose allocs/op
+# feed the -max-parse-allocs ceiling. Set BENCH_OUT to redirect the output file
 # (bench_diff.sh uses this for throwaway snapshots). The snapshot also
 # embeds a metrics-registry dump from a small harness run (table8
 # exercises the table buffer, readahead and admission control) under
@@ -17,7 +19,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-regex="${1:-BenchmarkPower22_RDBMS$|BenchmarkPowerParallel|BenchmarkParallelQ|BenchmarkJoinQ|BenchmarkOrderQ|BenchmarkAggQ|BenchmarkTable7_}"
+regex="${1:-BenchmarkPower22_RDBMS$|BenchmarkPowerParallel|BenchmarkParallelQ|BenchmarkJoinQ|BenchmarkOrderQ|BenchmarkAggQ|BenchmarkTable7_|BenchmarkParse}"
 out="${BENCH_OUT:-BENCH_$(date +%F).json}"
 
 raw=$(go test -run xxx -bench "$regex" -benchtime 1x -benchmem . 2>&1) || {
@@ -39,9 +41,12 @@ printf '%s\n' "$raw" | awk -v date="$(date +%F)" -v metrics="$metrics" '
 		if ($(i+1) == "sim-ms/op") sim = $i
 		if ($(i+1) == "allocs/op") allocs = $i
 	}
-	if (sim == "") next
+	# Parse benchmarks measure only the real machine: they carry
+	# allocs/op but no simulated time. Emit them without sim_ms.
+	if (sim == "" && allocs == "") next
 	if (n++) printf ",\n"
-	printf "    {\"name\": \"%s\", \"sim_ms\": %s", name, sim
+	printf "    {\"name\": \"%s\"", name
+	if (sim != "") printf ", \"sim_ms\": %s", sim
 	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
 	printf "}"
 	if (name ~ /Parallel1_RDBMS/) serial = sim
