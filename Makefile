@@ -3,7 +3,7 @@ GO ?= go
 # Newest committed snapshot is the regression baseline for bench-diff.
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: all fmt-check vet build test race fuzz-smoke bench-smoke bench-snapshot bench-diff ci check
+.PHONY: all fmt-check vet build test race race-streams fuzz-smoke bench-smoke bench-snapshot bench-diff ci check
 
 all: check
 
@@ -24,6 +24,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Multi-stream concurrency smoke under the race detector: 2/4/8 TPC-D
+# query streams byte-identical vs solo, concurrent dialog streams
+# against the R/3 table buffer, and concurrent wire-protocol clients.
+race-streams:
+	$(GO) test -race -count=1 -run 'TestThroughputStreamsByteIdentical|TestRunThroughputReportsQPH' ./internal/tpcd
+	$(GO) test -race -count=1 -run 'TestConcurrentDialogStreams|TestConcurrentSetBufferedChurn' ./internal/r3
+	$(GO) test -race -count=1 -run 'TestConcurrentClients' ./internal/server
 
 # Five-second native-fuzz smoke of the SQL front end: FuzzParse asserts
 # no panics, old/new parser validity agreement and AST stability under
@@ -46,6 +54,6 @@ bench-snapshot:
 bench-diff:
 	./scripts/bench_diff.sh $(BENCH_BASELINE)
 
-ci: fmt-check vet race fuzz-smoke bench-diff
+ci: fmt-check vet race race-streams fuzz-smoke bench-diff
 
 check: vet build race bench-smoke

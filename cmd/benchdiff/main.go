@@ -3,7 +3,8 @@
 // regressed. It is the CI gate against accidental cost regressions:
 //
 //	benchdiff [-threshold 10] [-min-hit-ratio 0.92] [-max-hit-drop 2]
-//	          [-max-allocs-increase 10] [-max-parse-allocs 16] OLD.json NEW.json
+//	          [-max-allocs-increase 10] [-max-parse-allocs 16]
+//	          [-min-qph-ratio 0.5] OLD.json NEW.json
 //
 // Exit status 1 means at least one benchmark's sim_ms grew by more than
 // the threshold percentage, a benchmark's real allocations per operation
@@ -16,8 +17,12 @@
 // "BenchmarkParseSelectOld", the preserved pre-rewrite contrast, is
 // exempt), or a buffer-pool hit-ratio metric in the new snapshot fell
 // below -min-hit-ratio, or dropped by more than -max-hit-drop
-// percentage points against the old snapshot. Benchmarks present in
-// only one file are reported as ADDED/REMOVED but do not fail the gate.
+// percentage points against the old snapshot, or a multi-stream
+// throughput metric (throughput.qph.*) fell below -min-qph-ratio times
+// its old value (loose by design: qph shifts with every cost-model
+// change, and the gate exists to catch streams serializing against each
+// other, not tuning drift). Benchmarks present in only one file are
+// reported as ADDED/REMOVED but do not fail the gate.
 package main
 
 import (
@@ -174,6 +179,44 @@ func diffAllocs(oldS, newS *snapshot, maxIncreasePct float64) (rows []allocRow, 
 	return rows, failed
 }
 
+// qphRow is one throughput metric's gate outcome.
+type qphRow struct {
+	Name     string
+	Old, New float64
+	HasOld   bool
+	Ratio    float64 // new/old, meaningful only when HasOld
+	Status   string  // "" passes, "QPH" fell below the ratio floor
+}
+
+// diffQPH gates every `throughput.qph.*` metric of the new snapshot
+// against the old one: a stream count whose queries-per-hour fell below
+// minRatio times its old value fails. The floor is deliberately loose —
+// qph moves with every cost-model change — so only a collapse (a stream
+// serializing against another) trips it. Metrics absent from the old
+// snapshot only report; minRatio <= 0 disables the gate.
+func diffQPH(oldS, newS *snapshot, minRatio float64) (rows []qphRow, failed bool) {
+	if minRatio <= 0 {
+		return nil, false
+	}
+	for name, cur := range newS.Metrics {
+		if !strings.HasPrefix(name, "throughput.qph.") {
+			continue
+		}
+		r := qphRow{Name: name, New: cur}
+		if old, ok := oldS.Metrics[name]; ok && old > 0 {
+			r.Old, r.HasOld = old, true
+			r.Ratio = cur / old
+			if r.Ratio < minRatio {
+				r.Status = "QPH"
+				failed = true
+			}
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows, failed
+}
+
 // parseAllocRow is one front-end benchmark's absolute allocs/op check.
 type parseAllocRow struct {
 	Name   string
@@ -213,6 +256,7 @@ func main() {
 	maxHitDrop := flag.Float64("max-hit-drop", 2, "fail when a *.pool.hit_ratio metric drops by more than this many percentage points vs OLD")
 	maxAllocsIncrease := flag.Float64("max-allocs-increase", 10, "fail when a benchmark's allocs/op grows by more than this percentage vs OLD (0 disables)")
 	maxParseAllocs := flag.Float64("max-parse-allocs", 16, "fail when a BenchmarkParse* benchmark in NEW exceeds this many allocs/op outright (0 disables)")
+	minQPHRatio := flag.Float64("min-qph-ratio", 0.5, "fail when a throughput.qph.* metric falls below this fraction of its OLD value (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json")
@@ -263,6 +307,21 @@ func main() {
 			fmt.Printf("%-36s %12.4g %12s\n", r.Name, r.New, r.Status)
 		}
 	}
+	qphRows, qphFailed := diffQPH(oldS, newS, *minQPHRatio)
+	if len(qphRows) > 0 {
+		fmt.Printf("\n%-36s %12s %12s %9s\n", "queries/hour", "old", "new", "ratio")
+		for _, r := range qphRows {
+			if !r.HasOld {
+				fmt.Printf("%-36s %12s %12.4g %9s\n", r.Name, "-", r.New, "ADDED")
+				continue
+			}
+			mark := ""
+			if r.Status != "" {
+				mark = "  " + r.Status
+			}
+			fmt.Printf("%-36s %12.4g %12.4g %8.2fx%s\n", r.Name, r.Old, r.New, r.Ratio, mark)
+		}
+	}
 	hitRows, hitFailed := diffHitRatios(oldS, newS, *minHitRatio, *maxHitDrop)
 	if len(hitRows) > 0 {
 		fmt.Printf("\n%-36s %12s %12s %9s\n", "hit-ratio metric", "old", "new", "")
@@ -289,6 +348,10 @@ func main() {
 	}
 	if hitFailed {
 		fmt.Printf("\nFAIL: a pool hit ratio is below %.4g or dropped by more than %.4gpp\n", *minHitRatio, *maxHitDrop)
+		os.Exit(1)
+	}
+	if qphFailed {
+		fmt.Printf("\nFAIL: a throughput.qph metric fell below %.4gx its old value\n", *minQPHRatio)
 		os.Exit(1)
 	}
 	fmt.Printf("\nOK: no benchmark regressed by more than %.4g%% simulated time\n", *threshold)

@@ -45,8 +45,11 @@ func TestFind(t *testing.T) {
 	if Find("nope") != nil {
 		t.Fatal("unknown ID must return nil")
 	}
-	if len(Experiments()) != 9 {
-		t.Fatalf("expected 9 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 10 {
+		t.Fatalf("expected 10 experiments (table1..table9 + throughput), got %d", len(Experiments()))
+	}
+	if Find("throughput") == nil {
+		t.Fatal("throughput must exist")
 	}
 }
 

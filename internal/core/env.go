@@ -39,6 +39,9 @@ type Config struct {
 	// interface) on every engine the run builds. Default off — the
 	// paper's tables measure the per-row interface of the 1996 systems.
 	ArrayFetch bool
+	// Streams is the largest stream count the throughput experiment
+	// drives (it sweeps 1, 2, 4, ... up to this). 0 means the default 8.
+	Streams int
 
 	env *Env
 }
@@ -59,6 +62,7 @@ type Env struct {
 	rdb          *engine.DB
 	sys2         *r3.System
 	sys3         *r3.System
+	qph          map[int]float64 // throughput experiment: streams -> queries/hour
 }
 
 // envOf returns the config's lazily created environment.

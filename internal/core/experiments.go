@@ -35,6 +35,7 @@ func Experiments() []Experiment {
 		{"table7", "Grouping with complex aggregation: SAP vs RDBMS", "Table 7 / Fig 4", runTable7},
 		{"table8", "Application-server caching of MARA", "Table 8 / Fig 5", runTable8},
 		{"table9", "Constructing an SAP data warehouse", "Table 9", runTable9},
+		{"throughput", "TPC-D multi-stream throughput with dialog mix", "TPC-D §5 (not in paper)", runThroughput},
 	}
 }
 

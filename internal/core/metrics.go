@@ -25,6 +25,9 @@ func CollectMetrics(cfg *Config) *metrics.Registry {
 	if e.sys3 != nil {
 		addSystemMetrics(reg, "sap30", e.sys3)
 	}
+	for n, qph := range e.qph {
+		reg.Set(fmt.Sprintf("throughput.qph.streams%d", n), qph)
+	}
 	return reg
 }
 

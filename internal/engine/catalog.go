@@ -84,6 +84,54 @@ func (ix *Index) keyFor(row []val.Value) []byte {
 	return key
 }
 
+// catalog is one immutable published version of the schema. Readers load
+// the current version with a single atomic pointer read and then resolve
+// any number of names against a consistent snapshot; DDL clones the maps
+// (and the affected Table) and publishes a new version, so a reader's
+// pinned catalog — and every *Table it hands out — never changes under
+// it. The version number advances with db.planEpoch, whose bump
+// invalidates fingerprint-cached plans built against older versions.
+type catalog struct {
+	version int64 // planEpoch value at publication (observability)
+	tables  map[string]*Table
+	views   map[string]*sqlparse.SelectStmt
+}
+
+// table resolves a table name (already upper-cased callers pass through
+// strings.ToUpper) in this snapshot.
+func (c *catalog) table(name string) *Table { return c.tables[strings.ToUpper(name)] }
+
+// view resolves a view name in this snapshot.
+func (c *catalog) view(name string) *sqlparse.SelectStmt { return c.views[strings.ToUpper(name)] }
+
+// clone shallow-copies the snapshot's maps for a mutation. Caller holds
+// db.mu (DDL is serialized); the Tables themselves are shared until a
+// specific one must change, in which case the mutator clones that Table
+// too.
+func (c *catalog) clone() *catalog {
+	nc := &catalog{
+		tables: make(map[string]*Table, len(c.tables)+1),
+		views:  make(map[string]*sqlparse.SelectStmt, len(c.views)+1),
+	}
+	for k, v := range c.tables {
+		nc.tables[k] = v
+	}
+	for k, v := range c.views {
+		nc.views[k] = v
+	}
+	return nc
+}
+
+// clone copies the Table descriptor with its own Indexes slice, sharing
+// the heap, statistics and column layout. Index DDL publishes the clone
+// so readers iterating the old descriptor's index list never see it
+// change length.
+func (t *Table) clone() *Table {
+	nt := *t
+	nt.Indexes = append([]*Index(nil), t.Indexes...)
+	return &nt
+}
+
 // DB is an embedded relational database instance.
 type DB struct {
 	mu       sync.RWMutex
@@ -91,8 +139,7 @@ type DB struct {
 	pool     *storage.BufferPool
 	ixCache  *btree.PageCache // shared index-page residence model
 	model    cost.Model
-	tables   map[string]*Table
-	views    map[string]*sqlparse.SelectStmt
+	cat      atomic.Pointer[catalog]
 	parallel int // requested intra-query parallel degree (<=1 = serial)
 
 	// peekBinds plans a prepared statement's first execution with its
@@ -321,17 +368,33 @@ func Open(cfg Config) *DB {
 		ixCache = btree.NewPageCache(cfg.IndexCacheBytes)
 	}
 	disk := storage.NewDisk()
-	return &DB{
+	db := &DB{
 		disk:       disk,
 		pool:       storage.NewBufferPool(disk, cfg.BufferBytes),
 		ixCache:    ixCache,
 		model:      cfg.CostModel,
-		tables:     make(map[string]*Table),
-		views:      make(map[string]*sqlparse.SelectStmt),
 		parallel:   cfg.Parallel,
 		vectorized: true,
 		arrayFetch: cfg.ArrayFetch,
 	}
+	db.cat.Store(&catalog{
+		tables: make(map[string]*Table),
+		views:  make(map[string]*sqlparse.SelectStmt),
+	})
+	return db
+}
+
+// snap pins the current catalog snapshot: one atomic load, after which
+// every name resolution against the returned value is consistent no
+// matter what DDL publishes concurrently.
+func (db *DB) snap() *catalog { return db.cat.Load() }
+
+// publish installs a new catalog version and retires cached plans built
+// against older versions. Caller holds db.mu.
+func (db *DB) publish(c *catalog) {
+	db.bumpPlanEpoch()
+	c.version = db.planEpoch.Load()
+	db.cat.Store(c)
 }
 
 // IndexCache exposes the shared index-page residence model (nil when
@@ -371,19 +434,18 @@ func (db *DB) Pool() *storage.BufferPool { return db.pool }
 // Model returns the database's cost model.
 func (db *DB) Model() cost.Model { return db.model }
 
-// Table returns a table by name (case-insensitive), or nil.
+// Table returns a table by name (case-insensitive), or nil. The returned
+// descriptor belongs to the catalog version current at the call: index
+// DDL publishes a fresh descriptor rather than mutating this one.
 func (db *DB) Table(name string) *Table {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.tables[strings.ToUpper(name)]
+	return db.snap().table(name)
 }
 
 // TableNames returns all table names.
 func (db *DB) TableNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+	c := db.snap()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
 		names = append(names, n)
 	}
 	return names
@@ -393,11 +455,12 @@ func (db *DB) TableNames() []string {
 func (db *DB) createTable(ct *sqlparse.CreateTable) (*Table, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	cur := db.snap()
 	name := strings.ToUpper(ct.Name)
-	if _, dup := db.tables[name]; dup {
+	if _, dup := cur.tables[name]; dup {
 		return nil, fmt.Errorf("engine: table %s already exists", name)
 	}
-	if _, dup := db.views[name]; dup {
+	if _, dup := cur.views[name]; dup {
 		return nil, fmt.Errorf("engine: %s already names a view", name)
 	}
 	t := &Table{Name: name, colIdx: make(map[string]int)}
@@ -431,16 +494,21 @@ func (db *DB) createTable(ct *sqlparse.CreateTable) (*Table, error) {
 		}
 		t.Indexes = append(t.Indexes, pkIdx)
 	}
-	db.tables[name] = t
-	db.bumpPlanEpoch()
+	nc := cur.clone()
+	nc.tables[name] = t
+	db.publish(nc)
 	return t, nil
 }
 
-// createIndex builds a new index over existing rows.
+// createIndex builds a new index over existing rows. The whole operation
+// — including the heap scan that seeds the tree — runs under db.mu, so
+// DDL serializes; concurrent readers keep resolving against the old
+// catalog version until the clone with the new index publishes.
 func (db *DB) createIndex(ci *sqlparse.CreateIndex, m *cost.Meter) (*Index, error) {
 	db.mu.Lock()
-	t := db.tables[strings.ToUpper(ci.Table)]
-	db.mu.Unlock()
+	defer db.mu.Unlock()
+	cur := db.snap()
+	t := cur.table(ci.Table)
 	if t == nil {
 		return nil, fmt.Errorf("engine: no table %s", ci.Table)
 	}
@@ -450,7 +518,8 @@ func (db *DB) createIndex(ci *sqlparse.CreateIndex, m *cost.Meter) (*Index, erro
 			return nil, fmt.Errorf("engine: index %s already exists", name)
 		}
 	}
-	ix := &Index{Name: name, Table: t, Unique: ci.Unique, Tree: db.newTree(ci.Unique)}
+	nt := t.clone()
+	ix := &Index{Name: name, Table: nt, Unique: ci.Unique, Tree: db.newTree(ci.Unique)}
 	for _, cn := range ci.Cols {
 		pos := t.ColIndex(cn)
 		if pos < 0 {
@@ -464,10 +533,10 @@ func (db *DB) createIndex(ci *sqlparse.CreateIndex, m *cost.Meter) (*Index, erro
 	if err != nil {
 		return nil, err
 	}
-	db.mu.Lock()
-	t.Indexes = append(t.Indexes, ix)
-	db.mu.Unlock()
-	db.bumpPlanEpoch()
+	nt.Indexes = append(nt.Indexes, ix)
+	nc := cur.clone()
+	nc.tables[nt.Name] = nt
+	db.publish(nc)
 	return ix, nil
 }
 
@@ -475,12 +544,16 @@ func (db *DB) createIndex(ci *sqlparse.CreateIndex, m *cost.Meter) (*Index, erro
 func (db *DB) dropIndex(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	cur := db.snap()
 	name = strings.ToUpper(name)
-	for _, t := range db.tables {
+	for _, t := range cur.tables {
 		for i, ix := range t.Indexes {
 			if ix.Name == name {
-				t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
-				db.bumpPlanEpoch()
+				nt := t.clone()
+				nt.Indexes = append(nt.Indexes[:i:i], nt.Indexes[i+1:]...)
+				nc := cur.clone()
+				nc.tables[nt.Name] = nt
+				db.publish(nc)
 				return nil
 			}
 		}
@@ -488,18 +561,24 @@ func (db *DB) dropIndex(name string) error {
 	return fmt.Errorf("engine: no index %s", name)
 }
 
-// dropTable removes a table, its indexes and storage.
+// dropTable removes a table, its indexes and storage. The heap's pages
+// are released immediately: a reader still scanning the dropped table
+// under an older catalog version gets a "dropped file" error rather than
+// stale data (DDL is serialized against other DDL, not against in-flight
+// scans).
 func (db *DB) dropTable(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	cur := db.snap()
 	name = strings.ToUpper(name)
-	t, ok := db.tables[name]
+	t, ok := cur.tables[name]
 	if !ok {
 		return fmt.Errorf("engine: no table %s", name)
 	}
 	t.Heap.Drop()
-	delete(db.tables, name)
-	db.bumpPlanEpoch()
+	nc := cur.clone()
+	delete(nc.tables, name)
+	db.publish(nc)
 	return nil
 }
 
@@ -507,15 +586,17 @@ func (db *DB) dropTable(name string) error {
 func (db *DB) createView(cv *sqlparse.CreateView) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	cur := db.snap()
 	name := strings.ToUpper(cv.Name)
-	if _, dup := db.views[name]; dup {
+	if _, dup := cur.views[name]; dup {
 		return fmt.Errorf("engine: view %s already exists", name)
 	}
-	if _, dup := db.tables[name]; dup {
+	if _, dup := cur.tables[name]; dup {
 		return fmt.Errorf("engine: %s already names a table", name)
 	}
-	db.views[name] = cv.Query
-	db.bumpPlanEpoch()
+	nc := cur.clone()
+	nc.views[name] = cv.Query
+	db.publish(nc)
 	return nil
 }
 
@@ -523,18 +604,18 @@ func (db *DB) createView(cv *sqlparse.CreateView) error {
 func (db *DB) dropView(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	cur := db.snap()
 	name = strings.ToUpper(name)
-	if _, ok := db.views[name]; !ok {
+	if _, ok := cur.views[name]; !ok {
 		return fmt.Errorf("engine: no view %s", name)
 	}
-	delete(db.views, name)
-	db.bumpPlanEpoch()
+	nc := cur.clone()
+	delete(nc.views, name)
+	db.publish(nc)
 	return nil
 }
 
 // view returns the view query, or nil.
 func (db *DB) view(name string) *sqlparse.SelectStmt {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.views[strings.ToUpper(name)]
+	return db.snap().view(name)
 }

@@ -15,6 +15,13 @@ import (
 // Session is a client connection to the database. All work done through a
 // session charges its Meter; the Interface/RowShip charges model the
 // client/server boundary the paper's Section 4 experiments measure.
+//
+// A Session is safe for concurrent use from any number of goroutines:
+// it holds no mutable state beyond the internally locked Meter, catalog
+// resolution pins an immutable snapshot per statement, and page reads
+// are isolated from writers by the buffer pool's copy-on-write. A
+// prepared *Stmt, by contrast, carries plan/feedback state and belongs
+// to one goroutine at a time.
 type Session struct {
 	db    *DB
 	Meter *cost.Meter

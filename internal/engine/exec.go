@@ -235,6 +235,11 @@ func runIndexScan(be *blockExec, rel *relInfo, ap accessPath, emitRow func(stora
 		buf = buf[:0]
 		row, err := rel.table.Heap.Fetch(it.RID, m, buf)
 		if err != nil {
+			if errors.Is(err, storage.ErrDeadRID) {
+				// The row was deleted between the index probe and the heap
+				// fetch by a concurrent writer: read-committed skips it.
+				continue
+			}
 			return err
 		}
 		if err := emitRow(it.RID, row); err != nil {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"r3bench/internal/sqlparse"
 )
@@ -32,10 +33,18 @@ type parseEntry struct {
 	ast  sqlparse.Statement
 	next *parseEntry
 
-	// Cached blind plan (planSelect with nil opts), valid while epoch
-	// matches the DB's planEpoch. Peeked and feedback-driven plans are
-	// never stored — they are bind- or history-specific.
-	mu    sync.Mutex
+	// vp holds the cached blind plan (planSelect with nil opts) together
+	// with the epoch it was built under, behind one atomic pointer: plan
+	// and epoch publish in a single swap, so a reader can never pair a
+	// fresh epoch with a stale plan (or vice versa) no matter how a
+	// concurrent writer's planEpoch bump interleaves. Peeked and
+	// feedback-driven plans are never stored — they are bind- or
+	// history-specific.
+	vp atomic.Pointer[entryPlan]
+}
+
+// entryPlan is one immutable (plan, epoch) pair.
+type entryPlan struct {
 	plan  *selectPlan
 	epoch int64
 }
@@ -45,10 +54,8 @@ func (e *parseEntry) cachedPlan(epoch int64) *selectPlan {
 	if e == nil {
 		return nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.plan != nil && e.epoch == epoch {
-		return e.plan
+	if v := e.vp.Load(); v != nil && v.epoch == epoch {
+		return v.plan
 	}
 	return nil
 }
@@ -58,9 +65,7 @@ func (e *parseEntry) storePlan(p *selectPlan, epoch int64) {
 	if e == nil {
 		return
 	}
-	e.mu.Lock()
-	e.plan, e.epoch = p, epoch
-	e.mu.Unlock()
+	e.vp.Store(&entryPlan{plan: p, epoch: epoch})
 }
 
 // invalidatePlan drops the cached plan (adaptive feedback found its
@@ -69,9 +74,7 @@ func (e *parseEntry) invalidatePlan() {
 	if e == nil {
 		return
 	}
-	e.mu.Lock()
-	e.plan = nil
-	e.mu.Unlock()
+	e.vp.Store(nil)
 }
 
 // parseCache is the DB-level fingerprint table.

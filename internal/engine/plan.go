@@ -93,6 +93,11 @@ type planOpts struct {
 	// feedback maps relation aliases to observed output cardinalities
 	// from earlier executions of the same statement.
 	feedback map[string]float64
+	// cat is the catalog snapshot pinned for this planning pass: every
+	// name in the statement — across view expansion and subqueries —
+	// resolves against one consistent schema version even while
+	// concurrent DDL publishes new ones.
+	cat *catalog
 }
 
 // peekVal resolves a sarg value expression to a plan-time constant: a
@@ -168,6 +173,16 @@ func (db *DB) planConsts() planConsts {
 // scope chain of enclosing queries (nil at the top level); opts carries
 // peeked bind values and execution feedback (nil for blind planning).
 func (db *DB) planSelect(s *sqlparse.SelectStmt, outerScope *scope, opts *planOpts) (*selectPlan, error) {
+	if opts == nil || opts.cat == nil {
+		// Pin the catalog once at the top of the planning pass; nested
+		// planSelect calls (views, subqueries) inherit the pin via opts.
+		o := planOpts{}
+		if opts != nil {
+			o = *opts
+		}
+		o.cat = db.snap()
+		opts = &o
+	}
 	p := &selectPlan{db: db, limit: s.Limit}
 
 	// 1. Flatten FROM into relations; inner-join ON conjuncts merge into
@@ -349,7 +364,14 @@ func (p *selectPlan) planParallel() {
 func (db *DB) buildRelInfo(bt *sqlparse.BaseTable, outerScope *scope, opts *planOpts) (*relInfo, error) {
 	name := strings.ToUpper(bt.Name)
 	alias := strings.ToUpper(bt.Alias)
-	if t := db.Table(name); t != nil {
+	var cat *catalog
+	if opts != nil {
+		cat = opts.cat
+	}
+	if cat == nil {
+		cat = db.snap()
+	}
+	if t := cat.table(name); t != nil {
 		ri := &relInfo{alias: alias, table: t, nCols: len(t.Cols)}
 		ri.baseRows = float64(t.RowEstimate())
 		if ri.baseRows < 1 {
@@ -358,7 +380,7 @@ func (db *DB) buildRelInfo(bt *sqlparse.BaseTable, outerScope *scope, opts *plan
 		ri.rowBytes = float64(t.Heap.Codec().RowBytes())
 		return ri, nil
 	}
-	if vq := db.view(name); vq != nil {
+	if vq := cat.view(name); vq != nil {
 		sub, err := db.planSelect(vq, outerScope, opts)
 		if err != nil {
 			return nil, fmt.Errorf("engine: expanding view %s: %w", name, err)

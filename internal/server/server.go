@@ -1,0 +1,261 @@
+// Package server exposes an engine.DB over the wire protocol: each
+// accepted connection is one database session (the paper's work-process
+// connection), handled on its own goroutine against the shared engine —
+// the concurrency the snapshot catalog, copy-on-write pages and atomic
+// plan cache exist to make safe.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/engine"
+	"r3bench/internal/sqlparse"
+	"r3bench/internal/wire"
+)
+
+// Server serves one engine.DB to any number of connections.
+type Server struct {
+	db *engine.DB
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// New builds a server for db.
+func New(db *engine.DB) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until Close. Each connection runs on
+// its own goroutine with its own Session (and therefore its own
+// simulated-cost meter). Serve returns nil after Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.ln = l
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			done := s.done
+			s.mu.Unlock()
+			if done {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+// Close stops accepting and tears down every live connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.done = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = make(map[net.Conn]struct{})
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// conn is one connection's state: a dedicated session plus its prepared
+// statements. A Stmt carries adaptive-feedback state, so it belongs to
+// this connection alone — exactly the single-owner contract Session
+// documents.
+type conn struct {
+	srv    *Server
+	sess   *engine.Session
+	stmts  map[uint32]*engine.Stmt
+	nextID uint32
+	w      *bufio.Writer
+	out    []byte // reusable frame build buffer
+}
+
+func (s *Server) handle(nc net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		nc.Close()
+	}()
+	c := &conn{
+		srv:   s,
+		sess:  s.db.NewSessionWithMeter(cost.NewMeter(s.db.Model())),
+		stmts: make(map[uint32]*engine.Stmt),
+		w:     bufio.NewWriter(nc),
+	}
+	r := bufio.NewReader(nc)
+	var frame []byte
+	for {
+		var err error
+		frame, err = wire.ReadFrame(r, frame)
+		if err != nil {
+			return // EOF or broken peer: the session dies with the conn
+		}
+		if len(frame) == 0 {
+			return
+		}
+		if err := c.dispatch(frame); err != nil {
+			return
+		}
+		if err := c.w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch handles one request frame. Statement failures answer with a
+// MsgError frame and keep the connection alive; only transport errors
+// return non-nil.
+func (c *conn) dispatch(frame []byte) error {
+	body := frame[1:]
+	switch frame[0] {
+	case wire.MsgQuery:
+		r := wire.NewReader(body)
+		sql := r.String()
+		params := r.Values()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		res, err := c.sess.Exec(sql, params...)
+		if err != nil {
+			return c.sendError(err)
+		}
+		return c.sendResult(res)
+	case wire.MsgPrepare:
+		r := wire.NewReader(body)
+		sql := r.String()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		st, err := c.sess.Prepare(sql)
+		if err != nil {
+			return c.sendError(err)
+		}
+		c.nextID++
+		c.stmts[c.nextID] = st
+		c.out = append(c.out[:0], wire.MsgStmtID)
+		c.out = wire.AppendUint32(c.out, c.nextID)
+		return wire.WriteFrame(c.w, c.out)
+	case wire.MsgExecStmt:
+		r := wire.NewReader(body)
+		id := r.Uint32()
+		params := r.Values()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		st, ok := c.stmts[id]
+		if !ok {
+			return c.sendError(fmt.Errorf("server: unknown statement id %d", id))
+		}
+		res, err := st.Query(params...)
+		if err != nil {
+			return c.sendError(err)
+		}
+		return c.sendResult(res)
+	case wire.MsgCloseStmt:
+		r := wire.NewReader(body)
+		id := r.Uint32()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		delete(c.stmts, id)
+		return c.sendResult(&engine.Result{})
+	case wire.MsgQueryArray:
+		r := wire.NewReader(body)
+		sql := r.String()
+		params := r.Values()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		res, err := c.sess.Exec(sql, params...)
+		if err != nil {
+			return c.sendError(err)
+		}
+		return c.sendArray(res)
+	default:
+		return c.sendError(fmt.Errorf("server: unknown message type 0x%02x", frame[0]))
+	}
+}
+
+// sendError reports a failure, carrying the parse position when the
+// error is a sqlparse.Error so the client can point a caret at it.
+func (c *conn) sendError(err error) error {
+	line, col := 0, 0
+	var pe *sqlparse.Error
+	if errors.As(err, &pe) {
+		line, col = pe.Line, pe.Col
+	}
+	c.out = append(c.out[:0], wire.MsgError)
+	c.out = wire.AppendError(c.out, line, col, err.Error())
+	return wire.WriteFrame(c.w, c.out)
+}
+
+// sendResult ships a whole result in one frame.
+func (c *conn) sendResult(res *engine.Result) error {
+	c.out = append(c.out[:0], wire.MsgResult)
+	c.out = wire.AppendUint32(c.out, uint32(len(res.Cols)))
+	for _, col := range res.Cols {
+		c.out = wire.AppendString(c.out, col)
+	}
+	c.out = wire.AppendUint64(c.out, uint64(res.RowsAffected))
+	c.out = wire.AppendUint32(c.out, uint32(len(res.Rows)))
+	for _, row := range res.Rows {
+		c.out = wire.AppendValues(c.out, row)
+	}
+	return wire.WriteFrame(c.w, c.out)
+}
+
+// sendArray streams a result as header + row batches + trailer, one
+// batch per cost.ArrayFetchRows rows — the wire realization of the
+// engine's array interface (DESIGN.md §11): many rows per network
+// round trip instead of one.
+func (c *conn) sendArray(res *engine.Result) error {
+	c.out = append(c.out[:0], wire.MsgRowHeader)
+	c.out = wire.AppendUint32(c.out, uint32(len(res.Cols)))
+	for _, col := range res.Cols {
+		c.out = wire.AppendString(c.out, col)
+	}
+	if err := wire.WriteFrame(c.w, c.out); err != nil {
+		return err
+	}
+	rows := res.Rows
+	for len(rows) > 0 {
+		n := len(rows)
+		if n > cost.ArrayFetchRows {
+			n = cost.ArrayFetchRows
+		}
+		c.out = append(c.out[:0], wire.MsgRowBatch)
+		c.out = wire.AppendUint32(c.out, uint32(n))
+		for _, row := range rows[:n] {
+			c.out = wire.AppendValues(c.out, row)
+		}
+		if err := wire.WriteFrame(c.w, c.out); err != nil {
+			return err
+		}
+		rows = rows[n:]
+	}
+	c.out = append(c.out[:0], wire.MsgResultEnd)
+	c.out = wire.AppendUint64(c.out, uint64(res.RowsAffected))
+	return wire.WriteFrame(c.w, c.out)
+}

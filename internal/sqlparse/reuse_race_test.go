@@ -1,0 +1,119 @@
+package sqlparse
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// FuzzParseDetachReuse is the pooled-parser sharing exercise: the
+// package-level Parse pool hands arenas across goroutines, so a Detach
+// that failed to unlink a chunk would let a reused Parser's Reset rewind
+// memory a retained AST still points into. For every input, several
+// goroutines concurrently parse the input, retain the AST, then churn
+// the same pool with parse/detach/reset cycles of other statements, and
+// finally check the retained AST still deep-equals a fresh exclusive
+// parse.
+func FuzzParseDetachReuse(f *testing.F) {
+	for _, src := range corpus {
+		f.Add(src)
+	}
+	f.Add("SELECT x FROM t WHERE y IN (SELECT z FROM u WHERE w LIKE 'a%') ORDER BY x DESC")
+	churn := []string{
+		"SELECT a, SUM(b) FROM t GROUP BY a HAVING SUM(b) > 10",
+		"INSERT INTO t VALUES (1, 'x', 2.5)",
+		"UPDATE t SET a = a + 1 WHERE b BETWEEN 2 AND 9",
+		"DELETE FROM t WHERE c IS NOT NULL",
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Reference AST from a parser nothing else touches.
+		ref, err := NewParser().Parse(src)
+		if err != nil {
+			return // invalid input: nothing to retain
+		}
+		const workers = 4
+		var wg sync.WaitGroup
+		fail := make(chan string, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				retained, err := Parse(src) // pooled: parse + detach inside
+				if err != nil {
+					fail <- "pooled parse of a valid statement failed: " + err.Error()
+					return
+				}
+				// Churn the pool: every cycle grabs pooled parsers,
+				// resets their arenas and bump-allocates fresh nodes. If
+				// Detach left a chunk linked, these writes land in the
+				// retained AST.
+				for i := 0; i < 8; i++ {
+					for _, c := range churn {
+						_, _ = Parse(c)
+					}
+					p := parserPool.Get().(*Parser)
+					_, _ = p.Parse(churn[i%len(churn)])
+					p.Reset()
+					parserPool.Put(p)
+				}
+				if !reflect.DeepEqual(retained, ref) {
+					fail <- "retained AST mutated by pooled parser reuse"
+				}
+			}()
+		}
+		wg.Wait()
+		close(fail)
+		for msg := range fail {
+			t.Fatalf("%s (input %q)", msg, src)
+		}
+	})
+}
+
+// TestConcurrentPooledParse runs the detach-reuse scenario across the
+// statement corpus under the race detector (the always-on counterpart of
+// FuzzParseDetachReuse for make ci's -race run).
+func TestConcurrentPooledParse(t *testing.T) {
+	refs := make(map[string]Statement, len(corpus))
+	for _, src := range corpus {
+		ast, err := NewParser().Parse(src)
+		if err != nil {
+			continue
+		}
+		refs[src] = ast
+	}
+	var wg sync.WaitGroup
+	fail := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, src := range corpus {
+				ref, valid := refs[src]
+				ast, err := Parse(src)
+				if !valid {
+					if err == nil {
+						fail <- "invalid statement accepted: " + src
+						return
+					}
+					continue
+				}
+				if err != nil {
+					fail <- "valid statement rejected: " + src
+					return
+				}
+				// Interleave churn on a skewed stride per worker so
+				// goroutines keep exchanging pooled parsers.
+				_, _ = Parse(corpus[(i*7+w)%len(corpus)])
+				if !reflect.DeepEqual(ast, ref) {
+					fail <- "AST mutated under concurrent pool reuse: " + src
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+}

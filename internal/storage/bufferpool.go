@@ -15,12 +15,13 @@ type pageKey struct {
 }
 
 type frame struct {
-	key   pageKey
-	data  []byte
-	dirty bool
-	elem  *list.Element
-	young bool // resident in the young sublist (proven by a second touch)
-	ra    bool // admitted by readahead; first demand touch still pending
+	key    pageKey
+	data   []byte
+	dirty  bool
+	elem   *list.Element
+	young  bool // resident in the young sublist (proven by a second touch)
+	ra     bool // admitted by readahead; first demand touch still pending
+	shared bool // slice handed to a reader since the last exclusive version
 }
 
 // maxPoolShards bounds the number of lock shards; tiny pools collapse to
@@ -394,6 +395,16 @@ func (bp *BufferPool) touch(key pageKey) ([]byte, bool) {
 		sh.mu.Unlock()
 		return nil, false
 	}
+	sh.registerHit(f)
+	f.shared = true // the returned slice escapes the frame lock
+	data := f.data
+	sh.mu.Unlock()
+	return data, true
+}
+
+// registerHit applies the hit-path counter and recency bookkeeping for a
+// resident frame. Caller holds sh.mu.
+func (sh *poolShard) registerHit(f *frame) {
 	switch {
 	case f.ra:
 		f.ra = false
@@ -412,9 +423,6 @@ func (bp *BufferPool) touch(key pageKey) ([]byte, bool) {
 		sh.hits.Add(1)
 		sh.promote(f)
 	}
-	data := f.data
-	sh.mu.Unlock()
-	return data, true
 }
 
 // promote moves an old-sublist frame to the young sublist. Caller holds
@@ -452,7 +460,24 @@ func (bp *BufferPool) admit(key pageKey, data []byte, m *cost.Meter, ra bool) []
 				sh.old.MoveToFront(f.elem)
 			}
 		}
+		f.shared = true
 		return f.data
+	}
+	f := bp.admitLocked(sh, key, data, m, ra)
+	f.shared = true
+	return f.data
+}
+
+// admitLocked inserts a fresh frame, evicting as needed. Caller holds
+// sh.mu and has verified the key is absent.
+//
+// The disk slice is re-read under the shard lock: copy-on-write publishes
+// a page's new version while holding this same lock, so a slice read
+// before the frame was evicted could be stale by the time it is
+// re-admitted — the re-read always installs the current version.
+func (bp *BufferPool) admitLocked(sh *poolShard, key pageKey, data []byte, m *cost.Meter, ra bool) *frame {
+	if cur, err := bp.disk.readPage(key.file, key.page); err == nil {
+		data = cur
 	}
 	for sh.young.Len()+sh.old.Len() >= sh.capacity {
 		victim := sh.old.Back()
@@ -484,7 +509,79 @@ func (bp *BufferPool) admit(key pageKey, data []byte, m *cost.Meter, ra bool) []
 		sh.youngLen.Add(1)
 	}
 	sh.frames[key] = f
-	return data
+	return f
+}
+
+// Mutate runs fn on the page's current bytes under the frame lock, with
+// copy-on-write isolation from concurrent readers: a slice that was ever
+// handed to a reader (Get, ScanRun.Get) is never written in place —
+// the writer copies the page, mutates the copy, and publishes it as the
+// new current version in both the frame and the disk array. Readers that
+// already hold the old slice keep a consistent immutable snapshot of the
+// page as it was before the write.
+//
+// fn reports whether it modified the bytes (a probe of a full heap page
+// mutates nothing) and may return an error, which is passed through; the
+// page is marked dirty only after a reported mutation. Meter charges are
+// exactly those of Get: a resident page is a free hit, a fault charges
+// sequential or random read against the global per-file cursor.
+func (bp *BufferPool) Mutate(file FileID, page PageID, m *cost.Meter, fn func(data []byte) (bool, error)) error {
+	key := pageKey{file, page}
+	sh := bp.shard(key)
+	sh.mu.Lock()
+	if f, ok := sh.frames[key]; ok {
+		sh.registerHit(f)
+		err := sh.mutateLocked(bp, f, fn)
+		sh.mu.Unlock()
+		bp.seqMu.Lock()
+		bp.lastRead[file] = page
+		bp.seqMu.Unlock()
+		return err
+	}
+	sh.misses.Add(1)
+	sh.mu.Unlock()
+	// Fault the page in with Get's charging rules, then admit and mutate
+	// under one critical section (a racing admission just wins the frame).
+	bp.seqMu.Lock()
+	last, ok := bp.lastRead[file]
+	bp.lastRead[file] = page
+	bp.seqMu.Unlock()
+	data, err := bp.disk.readPage(file, page)
+	if err != nil {
+		return err
+	}
+	if m != nil {
+		if ok && page == last+1 {
+			m.Charge(cost.SeqRead, 1)
+		} else {
+			m.Charge(cost.RandRead, 1)
+		}
+	}
+	sh.mu.Lock()
+	f, resident := sh.frames[key]
+	if !resident {
+		f = bp.admitLocked(sh, key, data, m, false)
+	}
+	err = sh.mutateLocked(bp, f, fn)
+	sh.mu.Unlock()
+	return err
+}
+
+// mutateLocked applies fn to the frame with copy-on-write against shared
+// readers. Caller holds sh.mu.
+func (sh *poolShard) mutateLocked(bp *BufferPool, f *frame, fn func(data []byte) (bool, error)) error {
+	if f.shared {
+		cp := make([]byte, len(f.data))
+		copy(cp, f.data)
+		f.data = cp
+		f.shared = false
+		bp.disk.writePage(f.key.file, f.key.page, cp)
+	}
+	wrote, err := fn(f.data)
+	if wrote {
+		f.dirty = true
+	}
+	return err
 }
 
 // MarkDirty records that the page was modified; the write-back is charged

@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/val"
+)
+
+// TestCopyOnWriteIsolatesReaders pins a page slice through Get and checks
+// that a subsequent write publishes a new version instead of mutating the
+// bytes the reader holds.
+func TestCopyOnWriteIsolatesReaders(t *testing.T) {
+	h, pool, m := newTestHeap(t, 1<<20)
+	rid, err := h.Insert(row(1), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reader pins the current page version.
+	before, err := pool.Get(h.file, rid.Page, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := make([]byte, len(before))
+	copy(snap, before)
+
+	// Writer tombstones the row; the pinned slice must not change.
+	if err := h.Delete(rid, m); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != snap[i] {
+			t.Fatalf("pinned page byte %d changed under a concurrent write", i)
+		}
+	}
+	if deleted(before, int(rid.Slot)) {
+		t.Fatal("reader's pinned version sees the tombstone")
+	}
+	// A fresh read sees the new version.
+	after, err := pool.Get(h.file, rid.Page, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deleted(after, int(rid.Slot)) {
+		t.Fatal("fresh read missed the committed tombstone")
+	}
+}
+
+// TestCopyOnWriteSurvivesEviction forces the written page out of a
+// one-page pool and checks the re-faulted page carries the write (the
+// disk array holds the current version, not the pre-copy slice).
+func TestCopyOnWriteSurvivesEviction(t *testing.T) {
+	disk := NewDisk()
+	pool := NewBufferPool(disk, PageSize) // one frame: every access evicts
+	codec := val.NewRowCodec([]val.ColType{val.Int4, val.Char(16), val.Dec8})
+	h := NewHeapFile(disk, pool, codec)
+	m := cost.NewMeter(cost.Default1996())
+	var rids []RID
+	for i := 0; i < 400; i++ { // several pages
+		rid, err := h.Insert(row(i), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	// Touch page 0 so its slice is shared, then delete a row on it (COW),
+	// then churn the single frame away and re-read.
+	if _, err := pool.Get(h.file, 0, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(rids[0], m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Get(h.file, rids[len(rids)-1].Page, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Fetch(rids[0], nil, nil); err == nil {
+		t.Fatal("re-faulted page lost the tombstone")
+	}
+	if got, err := h.Fetch(rids[1], nil, nil); err != nil || got[0].AsInt() != 1 {
+		t.Fatalf("neighbor row damaged: %v %v", got, err)
+	}
+}
+
+// TestConcurrentScansAndWrites hammers one heap with scanners, point
+// readers and writers; under -race this proves readers never observe a
+// page mid-mutation. Scanners only assert structural sanity (decode
+// succeeds), since rows legitimately come and go.
+func TestConcurrentScansAndWrites(t *testing.T) {
+	h, _, _ := newTestHeap(t, 1<<19)
+	seedM := cost.NewMeter(cost.Default1996())
+	var rids []RID
+	var ridMu sync.Mutex
+	for i := 0; i < 2000; i++ {
+		rid, err := h.Insert(row(i), seedM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := cost.NewMeter(cost.Default1996())
+			for rep := 0; rep < 5; rep++ {
+				err := h.Scan(m, func(rid RID, r []val.Value) error { return nil })
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			m := cost.NewMeter(cost.Default1996())
+			for i := 0; i < 500; i++ {
+				if _, err := h.Insert(row(10000+seed*1000+i), m); err != nil {
+					errs <- err
+					return
+				}
+				if i%7 == 0 {
+					ridMu.Lock()
+					var victim RID
+					ok := len(rids) > 0
+					if ok {
+						victim = rids[len(rids)-1]
+						rids = rids[:len(rids)-1]
+					}
+					ridMu.Unlock()
+					if ok {
+						if err := h.Delete(victim, m); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -92,3 +92,16 @@ func (d *Disk) readPage(id FileID, p PageID) ([]byte, error) {
 	}
 	return pages[p], nil
 }
+
+// writePage publishes a new version of the page's storage. Internal: the
+// buffer pool calls it when a copy-on-write supersedes the slice the disk
+// array held, keeping the invariant that the disk and the resident frame
+// always point at the current version while readers may retain the old
+// immutable bytes.
+func (d *Disk) writePage(id FileID, p PageID, data []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if pages, ok := d.files[id]; ok && int(p) < len(pages) {
+		pages[p] = data
+	}
+}

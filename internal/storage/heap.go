@@ -2,6 +2,7 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -80,8 +81,14 @@ func (h *HeapFile) slotOffset(slot int) int { return 2 + h.bmBytes + slot*h.code
 func deleted(p []byte, slot int) bool { return p[2+slot/8]&(1<<(slot%8)) != 0 }
 func setDeleted(p []byte, slot int)   { p[2+slot/8] |= 1 << (slot % 8) }
 
+// errPageFull signals that the last heap page has no free slot and the
+// insert must extend the file.
+var errPageFull = fmt.Errorf("storage: page full")
+
 // Insert appends a row and returns its RID, charging m for the page access
-// and per-tuple CPU.
+// and per-tuple CPU. The page bytes are mutated through the pool's
+// copy-on-write path, so concurrent scanners holding the old version keep
+// reading a consistent page image.
 func (h *HeapFile) Insert(row []val.Value, m *cost.Meter) (RID, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -92,34 +99,44 @@ func (h *HeapFile) Insert(row []val.Value, m *cost.Meter) (RID, error) {
 	} else {
 		pid = PageID(n - 1)
 	}
-	page, err := h.pool.Get(h.file, pid, m)
-	if err != nil {
-		return RID{}, err
-	}
-	used := pageUsed(page)
-	if used >= h.perPage {
-		pid = h.disk.AllocPage(h.file)
-		if page, err = h.pool.Get(h.file, pid, m); err != nil {
-			return RID{}, err
+	var rid RID
+	ins := func(page []byte) (bool, error) {
+		used := pageUsed(page)
+		if used >= h.perPage {
+			return false, errPageFull
 		}
-		used = 0
+		off := h.slotOffset(used)
+		enc, err := h.codec.Encode(page[off:off], row)
+		if err != nil {
+			return false, err
+		}
+		if len(enc) != h.codec.RowBytes() {
+			return false, fmt.Errorf("storage: encoded row is %d bytes, want %d", len(enc), h.codec.RowBytes())
+		}
+		setPageUsed(page, used+1)
+		rid = RID{Page: pid, Slot: uint16(used)}
+		return true, nil
 	}
-	off := h.slotOffset(used)
-	enc, err := h.codec.Encode(page[off:off], row)
+	err := h.pool.Mutate(h.file, pid, m, ins)
+	if err == errPageFull {
+		pid = h.disk.AllocPage(h.file)
+		err = h.pool.Mutate(h.file, pid, m, ins)
+	}
 	if err != nil {
 		return RID{}, err
 	}
-	if len(enc) != h.codec.RowBytes() {
-		return RID{}, fmt.Errorf("storage: encoded row is %d bytes, want %d", len(enc), h.codec.RowBytes())
-	}
-	setPageUsed(page, used+1)
-	h.pool.MarkDirty(h.file, pid)
 	h.rows++
 	if m != nil {
 		m.Charge(cost.TupleCPU, 1)
 	}
-	return RID{Page: pid, Slot: uint16(used)}, nil
+	return rid, nil
 }
+
+// ErrDeadRID reports a fetch of a tombstoned (or never-used) slot. Under
+// concurrent sessions this is an expected read-committed outcome: a row
+// can be deleted between an index probe handing out its RID and the heap
+// fetch, in which case the reader simply skips it.
+var ErrDeadRID = errors.New("storage: fetch of dead rid")
 
 // Fetch decodes the row at rid (random page access) into out.
 func (h *HeapFile) Fetch(rid RID, m *cost.Meter, out []val.Value) ([]val.Value, error) {
@@ -128,7 +145,7 @@ func (h *HeapFile) Fetch(rid RID, m *cost.Meter, out []val.Value) ([]val.Value, 
 		return out, err
 	}
 	if int(rid.Slot) >= pageUsed(page) || deleted(page, int(rid.Slot)) {
-		return out, fmt.Errorf("storage: fetch of dead rid %v", rid)
+		return out, fmt.Errorf("%w %v", ErrDeadRID, rid)
 	}
 	off := h.slotOffset(int(rid.Slot))
 	if m != nil {
@@ -141,15 +158,16 @@ func (h *HeapFile) Fetch(rid RID, m *cost.Meter, out []val.Value) ([]val.Value, 
 func (h *HeapFile) Delete(rid RID, m *cost.Meter) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	page, err := h.pool.Get(h.file, rid.Page, m)
+	err := h.pool.Mutate(h.file, rid.Page, m, func(page []byte) (bool, error) {
+		if int(rid.Slot) >= pageUsed(page) || deleted(page, int(rid.Slot)) {
+			return false, fmt.Errorf("storage: delete of dead rid %v", rid)
+		}
+		setDeleted(page, int(rid.Slot))
+		return true, nil
+	})
 	if err != nil {
 		return err
 	}
-	if int(rid.Slot) >= pageUsed(page) || deleted(page, int(rid.Slot)) {
-		return fmt.Errorf("storage: delete of dead rid %v", rid)
-	}
-	setDeleted(page, int(rid.Slot))
-	h.pool.MarkDirty(h.file, rid.Page)
 	h.rows--
 	if m != nil {
 		m.Charge(cost.TupleCPU, 1)
@@ -161,20 +179,21 @@ func (h *HeapFile) Delete(rid RID, m *cost.Meter) error {
 func (h *HeapFile) Update(rid RID, row []val.Value, m *cost.Meter) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	page, err := h.pool.Get(h.file, rid.Page, m)
+	err := h.pool.Mutate(h.file, rid.Page, m, func(page []byte) (bool, error) {
+		if int(rid.Slot) >= pageUsed(page) || deleted(page, int(rid.Slot)) {
+			return false, fmt.Errorf("storage: update of dead rid %v", rid)
+		}
+		off := h.slotOffset(int(rid.Slot))
+		enc, err := h.codec.Encode(make([]byte, 0, h.codec.RowBytes()), row)
+		if err != nil {
+			return false, err
+		}
+		copy(page[off:off+h.codec.RowBytes()], enc)
+		return true, nil
+	})
 	if err != nil {
 		return err
 	}
-	if int(rid.Slot) >= pageUsed(page) || deleted(page, int(rid.Slot)) {
-		return fmt.Errorf("storage: update of dead rid %v", rid)
-	}
-	off := h.slotOffset(int(rid.Slot))
-	enc, err := h.codec.Encode(make([]byte, 0, h.codec.RowBytes()), row)
-	if err != nil {
-		return err
-	}
-	copy(page[off:off+h.codec.RowBytes()], enc)
-	h.pool.MarkDirty(h.file, rid.Page)
 	if m != nil {
 		m.Charge(cost.TupleCPU, 1)
 	}

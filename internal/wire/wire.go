@@ -1,0 +1,266 @@
+// Package wire is the client/server protocol of cmd/sqlserver: binary,
+// length-prefixed frames over any byte stream, carrying SQL text,
+// parameter values and result rows between an application server and
+// the database engine. The paper's configuration runs SAP R/3 work
+// processes against the RDBMS over exactly such a private wire; this
+// package keeps the encoding small and allocation-light so the
+// simulated Interface/RowShip charges — not Go marshalling — dominate
+// a benchmarked round trip.
+//
+// Frame layout:
+//
+//	uint32 big-endian payload length (the length field excluded)
+//	payload[0]: message type
+//	payload[1:]: message-specific body
+//
+// Values encode as one kind byte followed by the kind's payload: KInt
+// and KDate carry 8 big-endian bytes, KFloat its IEEE-754 bits, KStr a
+// uint32 length plus raw bytes, KNull nothing.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"r3bench/internal/val"
+)
+
+// Message types. Client-to-server types have the high bit clear,
+// server-to-client types have it set.
+const (
+	// MsgQuery executes one statement (any kind) and returns the whole
+	// result in a single Result frame: sql string, params.
+	MsgQuery = 0x01
+	// MsgPrepare readies a statement for repeated execution: sql string.
+	// The server answers with StmtID.
+	MsgPrepare = 0x02
+	// MsgExecStmt executes a prepared statement: uint32 stmt id, params.
+	MsgExecStmt = 0x03
+	// MsgQueryArray executes a statement with the array interface: the
+	// result streams back as RowHeader, RowBatch..., ResultEnd frames of
+	// up to cost.ArrayFetchRows rows each.
+	MsgQueryArray = 0x04
+	// MsgCloseStmt discards a prepared statement: uint32 stmt id. The
+	// server answers with an empty Result.
+	MsgCloseStmt = 0x05
+
+	// MsgResult is a complete query result: uint32 nCols, col names,
+	// int64 rowsAffected, uint32 nRows, rows.
+	MsgResult = 0x81
+	// MsgStmtID answers MsgPrepare: uint32 stmt id.
+	MsgStmtID = 0x82
+	// MsgRowHeader opens an array-fetch stream: uint32 nCols, col names.
+	MsgRowHeader = 0x83
+	// MsgRowBatch carries one array-fetch packet: uint32 nRows, rows.
+	MsgRowBatch = 0x84
+	// MsgResultEnd closes an array-fetch stream: int64 rowsAffected.
+	MsgResultEnd = 0x85
+	// MsgError reports a failure: uint32 line, uint32 col (both 0 when
+	// the error has no source position), message string.
+	MsgError = 0x86
+)
+
+// MaxFrame bounds a single frame; a peer announcing more is treated as
+// corrupt rather than trusted with the allocation.
+const MaxFrame = 64 << 20
+
+// WriteFrame sends one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame receives one frame, reusing buf when it is big enough.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// AppendUint32 encodes a big-endian uint32.
+func AppendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// AppendUint64 encodes a big-endian uint64.
+func AppendUint64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// AppendString encodes a uint32 length plus the raw bytes.
+func AppendString(b []byte, s string) []byte {
+	b = AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// AppendValue encodes one value.
+func AppendValue(b []byte, v val.Value) []byte {
+	b = append(b, byte(v.K))
+	switch v.K {
+	case val.KNull:
+	case val.KInt, val.KDate:
+		b = AppendUint64(b, uint64(v.I))
+	case val.KFloat:
+		b = AppendUint64(b, math.Float64bits(v.F))
+	case val.KStr:
+		b = AppendString(b, v.S)
+	}
+	return b
+}
+
+// AppendValues encodes a uint32 count plus each value.
+func AppendValues(b []byte, vs []val.Value) []byte {
+	b = AppendUint32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = AppendValue(b, v)
+	}
+	return b
+}
+
+// Reader decodes one frame's body sequentially.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a frame body (after the message-type byte).
+func NewReader(body []byte) *Reader { return &Reader{buf: body} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated frame (offset %d of %d)", r.off, len(r.buf))
+	}
+}
+
+// Uint32 decodes a big-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// Uint64 decodes a big-endian uint64.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.Uint32())
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Value decodes one value.
+func (r *Reader) Value() val.Value {
+	if r.err != nil || r.off >= len(r.buf) {
+		r.fail()
+		return val.Null
+	}
+	k := val.Kind(r.buf[r.off])
+	r.off++
+	switch k {
+	case val.KNull:
+		return val.Null
+	case val.KInt:
+		return val.Int(int64(r.Uint64()))
+	case val.KDate:
+		return val.Date(int64(r.Uint64()))
+	case val.KFloat:
+		return val.Float(math.Float64frombits(r.Uint64()))
+	case val.KStr:
+		return val.Str(r.String())
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("wire: unknown value kind %d", k)
+		}
+		return val.Null
+	}
+}
+
+// Values decodes a count-prefixed value list.
+func (r *Reader) Values() []val.Value {
+	n := int(r.Uint32())
+	if r.err != nil || n > len(r.buf)-r.off {
+		// Each value takes at least one byte; a count past the remaining
+		// bytes is corrupt, not a huge allocation request.
+		r.fail()
+		return nil
+	}
+	vs := make([]val.Value, 0, n)
+	for i := 0; i < n; i++ {
+		vs = append(vs, r.Value())
+	}
+	return vs
+}
+
+// Error is a server-reported failure with the parse position when the
+// statement failed to parse (Line 0 otherwise, matching
+// sqlparse.Error's 1-based lines).
+type Error struct {
+	Msg  string
+	Line int // 1-based; 0 when not a parse error
+	Col  int // 0-based byte offset within Line
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// AppendError encodes a MsgError frame body (after the type byte).
+func AppendError(b []byte, line, col int, msg string) []byte {
+	b = AppendUint32(b, uint32(line))
+	b = AppendUint32(b, uint32(col))
+	return AppendString(b, msg)
+}
+
+// DecodeError decodes a MsgError frame body.
+func DecodeError(body []byte) *Error {
+	r := NewReader(body)
+	line := int(r.Uint32())
+	col := int(r.Uint32())
+	msg := r.String()
+	if r.Err() != nil {
+		return &Error{Msg: "wire: malformed error frame"}
+	}
+	return &Error{Msg: msg, Line: line, Col: col}
+}

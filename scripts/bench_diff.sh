@@ -5,9 +5,11 @@
 # allocations-per-op increase beyond MAX_ALLOCS_INCREASE percent
 # (default 10; the vectorized executor's and zero-allocation parser's
 # wall-clock wins live in allocs/op, which the simulated clock cannot
-# see), or a BenchmarkParse* benchmark over the MAX_PARSE_ALLOCS
+# see), a BenchmarkParse* benchmark over the MAX_PARSE_ALLOCS
 # absolute allocs/op ceiling (default 16; the pooled front end measures
-# 11 on a TPC-D Q1-class statement). Usage:
+# 11 on a TPC-D Q1-class statement), or a multi-stream throughput
+# metric below MIN_QPH_RATIO times its old value (default 0.5 — loose,
+# to catch streams serializing, not tuning drift). Usage:
 #
 #   ./scripts/bench_diff.sh OLD.json [NEW.json]
 #
@@ -28,4 +30,5 @@ fi
 
 exec go run ./cmd/benchdiff -min-hit-ratio "${MIN_HIT_RATIO:-0.92}" \
 	-max-allocs-increase "${MAX_ALLOCS_INCREASE:-10}" \
-	-max-parse-allocs "${MAX_PARSE_ALLOCS:-16}" "$old" "$new"
+	-max-parse-allocs "${MAX_PARSE_ALLOCS:-16}" \
+	-min-qph-ratio "${MIN_QPH_RATIO:-0.5}" "$old" "$new"
