@@ -3,7 +3,7 @@ GO ?= go
 # Newest committed snapshot is the regression baseline for bench-diff.
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: all fmt-check vet build test race race-streams fuzz-smoke bench-smoke bench-snapshot bench-diff ci check
+.PHONY: all fmt-check vet build test race race-streams race-shards fuzz-smoke bench-smoke bench-snapshot bench-diff ci check
 
 all: check
 
@@ -33,6 +33,12 @@ race-streams:
 	$(GO) test -race -count=1 -run 'TestConcurrentDialogStreams|TestConcurrentSetBufferedChurn' ./internal/r3
 	$(GO) test -race -count=1 -run 'TestConcurrentClients' ./internal/server
 
+# Sharded scale-out smoke under the race detector: Q1–Q17 byte-identical
+# across 1/2/4/8 shards at parallel degrees 1/2, exact per-shard meter
+# reconciliation at the exchange boundaries, and distributed UF1/UF2.
+race-shards:
+	$(GO) test -race -count=1 -run 'TestClusterByteIdenticalAcrossShardCounts|TestClusterMeterReconciliation|TestClusterUpdateFunctions' ./internal/shard
+
 # Five-second native-fuzz smoke of the SQL front end: FuzzParse asserts
 # no panics, old/new parser validity agreement and AST stability under
 # arena reuse (the corpus seeds cover every statement shape).
@@ -54,6 +60,6 @@ bench-snapshot:
 bench-diff:
 	./scripts/bench_diff.sh $(BENCH_BASELINE)
 
-ci: fmt-check vet race race-streams fuzz-smoke bench-diff
+ci: fmt-check vet race race-streams race-shards fuzz-smoke bench-diff
 
 check: vet build race bench-smoke

@@ -4,7 +4,7 @@
 //
 //	benchdiff [-threshold 10] [-min-hit-ratio 0.92] [-max-hit-drop 2]
 //	          [-max-allocs-increase 10] [-max-parse-allocs 16]
-//	          [-min-qph-ratio 0.5] OLD.json NEW.json
+//	          [-min-qph-ratio 0.5] [-min-shard-scaling 1.5] OLD.json NEW.json
 //
 // Exit status 1 means at least one benchmark's sim_ms grew by more than
 // the threshold percentage, a benchmark's real allocations per operation
@@ -21,8 +21,10 @@
 // throughput metric (throughput.qph.*) fell below -min-qph-ratio times
 // its old value (loose by design: qph shifts with every cost-model
 // change, and the gate exists to catch streams serializing against each
-// other, not tuning drift). Benchmarks present in only one file are
-// reported as ADDED/REMOVED but do not fail the gate.
+// other, not tuning drift), or the sharded power test's 4-shard speedup
+// (shardscale.simms.shards1 / shardscale.simms.shards4) fell below
+// -min-shard-scaling. Benchmarks and gated metrics present in only one
+// file are reported as ADDED/REMOVED but do not fail the gate.
 package main
 
 import (
@@ -110,20 +112,22 @@ type hitRow struct {
 	Name     string
 	Old, New float64
 	HasOld   bool
-	Status   string // "" passes, "LOW" below floor, "DROP" fell > maxDropPP
+	HasNew   bool
+	Status   string // "" passes, "LOW"/"DROP" fail, "ADDED"/"REMOVED" one-sided
 }
 
 // diffHitRatios gates every `*.pool.hit_ratio` metric of the new snapshot:
 // below minRatio fails outright (minRatio <= 0 disables the floor); a drop
 // of more than maxDropPP percentage points against the same metric in the
-// old snapshot fails as a regression (metrics absent from the old snapshot
-// only face the floor). Rows come back sorted by name for stable output.
+// old snapshot fails as a regression. Metrics present in only one snapshot
+// are reported as ADDED (floor still applies) or REMOVED (never fails).
+// Rows come back sorted by name for stable output.
 func diffHitRatios(oldS, newS *snapshot, minRatio, maxDropPP float64) (rows []hitRow, failed bool) {
 	for name, cur := range newS.Metrics {
 		if !strings.HasSuffix(name, ".pool.hit_ratio") {
 			continue
 		}
-		r := hitRow{Name: name, New: cur}
+		r := hitRow{Name: name, New: cur, HasNew: true}
 		if old, ok := oldS.Metrics[name]; ok {
 			r.Old, r.HasOld = old, true
 		}
@@ -131,11 +135,22 @@ func diffHitRatios(oldS, newS *snapshot, minRatio, maxDropPP float64) (rows []hi
 		case minRatio > 0 && cur < minRatio:
 			r.Status = "LOW"
 			failed = true
-		case r.HasOld && (r.Old-cur)*100 > maxDropPP:
+		case !r.HasOld:
+			r.Status = "ADDED"
+		case (r.Old-cur)*100 > maxDropPP:
 			r.Status = "DROP"
 			failed = true
 		}
 		rows = append(rows, r)
+	}
+	for name, old := range oldS.Metrics {
+		if !strings.HasSuffix(name, ".pool.hit_ratio") {
+			continue
+		}
+		if _, ok := newS.Metrics[name]; ok {
+			continue
+		}
+		rows = append(rows, hitRow{Name: name, Old: old, HasOld: true, Status: "REMOVED"})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 	return rows, failed
@@ -184,16 +199,18 @@ type qphRow struct {
 	Name     string
 	Old, New float64
 	HasOld   bool
-	Ratio    float64 // new/old, meaningful only when HasOld
-	Status   string  // "" passes, "QPH" fell below the ratio floor
+	HasNew   bool
+	Ratio    float64 // new/old, meaningful only when both sides present
+	Status   string  // "" passes, "QPH" fails, "ADDED"/"REMOVED" one-sided
 }
 
 // diffQPH gates every `throughput.qph.*` metric of the new snapshot
 // against the old one: a stream count whose queries-per-hour fell below
 // minRatio times its old value fails. The floor is deliberately loose —
 // qph moves with every cost-model change — so only a collapse (a stream
-// serializing against another) trips it. Metrics absent from the old
-// snapshot only report; minRatio <= 0 disables the gate.
+// serializing against another) trips it. Metrics present in only one
+// snapshot are reported as ADDED/REMOVED and never fail; minRatio <= 0
+// disables the gate.
 func diffQPH(oldS, newS *snapshot, minRatio float64) (rows []qphRow, failed bool) {
 	if minRatio <= 0 {
 		return nil, false
@@ -202,7 +219,7 @@ func diffQPH(oldS, newS *snapshot, minRatio float64) (rows []qphRow, failed bool
 		if !strings.HasPrefix(name, "throughput.qph.") {
 			continue
 		}
-		r := qphRow{Name: name, New: cur}
+		r := qphRow{Name: name, New: cur, HasNew: true}
 		if old, ok := oldS.Metrics[name]; ok && old > 0 {
 			r.Old, r.HasOld = old, true
 			r.Ratio = cur / old
@@ -210,11 +227,78 @@ func diffQPH(oldS, newS *snapshot, minRatio float64) (rows []qphRow, failed bool
 				r.Status = "QPH"
 				failed = true
 			}
+		} else {
+			r.Status = "ADDED"
 		}
 		rows = append(rows, r)
 	}
+	for name, old := range oldS.Metrics {
+		if !strings.HasPrefix(name, "throughput.qph.") {
+			continue
+		}
+		if _, ok := newS.Metrics[name]; ok {
+			continue
+		}
+		rows = append(rows, qphRow{Name: name, Old: old, HasOld: true, Status: "REMOVED"})
+	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 	return rows, failed
+}
+
+// scaleRow is one shardscale metric's comparison outcome.
+type scaleRow struct {
+	Name     string
+	Old, New float64
+	HasOld   bool
+	HasNew   bool
+	Status   string // "" passes, "SCALING" fails, "ADDED"/"REMOVED" one-sided
+}
+
+// diffShardScaling reports every `shardscale.` metric of both snapshots
+// (one-sided entries as ADDED/REMOVED) and gates the sharded power
+// test's scale-out: the 4-shard speedup — shardscale.simms.shards1
+// divided by shardscale.simms.shards4, both from the NEW snapshot —
+// must reach minScaling or the shards4 row fails with SCALING.
+// minScaling <= 0 disables the gate (metrics still report); a NEW
+// snapshot without both sim-time metrics cannot fail it.
+func diffShardScaling(oldS, newS *snapshot, minScaling float64) (rows []scaleRow, speedup float64, failed bool) {
+	for name, cur := range newS.Metrics {
+		if !strings.HasPrefix(name, "shardscale.") {
+			continue
+		}
+		r := scaleRow{Name: name, New: cur, HasNew: true}
+		if old, ok := oldS.Metrics[name]; ok {
+			r.Old, r.HasOld = old, true
+		} else {
+			r.Status = "ADDED"
+		}
+		rows = append(rows, r)
+	}
+	for name, old := range oldS.Metrics {
+		if !strings.HasPrefix(name, "shardscale.") {
+			continue
+		}
+		if _, ok := newS.Metrics[name]; ok {
+			continue
+		}
+		rows = append(rows, scaleRow{Name: name, Old: old, HasOld: true, Status: "REMOVED"})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+
+	s1, ok1 := newS.Metrics["shardscale.simms.shards1"]
+	s4, ok4 := newS.Metrics["shardscale.simms.shards4"]
+	if ok1 && ok4 && s4 > 0 {
+		speedup = s1 / s4
+		if minScaling > 0 && speedup < minScaling {
+			failed = true
+			for i := range rows {
+				if rows[i].Name == "shardscale.simms.shards4" {
+					rows[i].Status = "SCALING"
+				}
+			}
+		}
+	}
+	return rows, speedup, failed
 }
 
 // parseAllocRow is one front-end benchmark's absolute allocs/op check.
@@ -257,6 +341,7 @@ func main() {
 	maxAllocsIncrease := flag.Float64("max-allocs-increase", 10, "fail when a benchmark's allocs/op grows by more than this percentage vs OLD (0 disables)")
 	maxParseAllocs := flag.Float64("max-parse-allocs", 16, "fail when a BenchmarkParse* benchmark in NEW exceeds this many allocs/op outright (0 disables)")
 	minQPHRatio := flag.Float64("min-qph-ratio", 0.5, "fail when a throughput.qph.* metric falls below this fraction of its OLD value (0 disables)")
+	minShardScaling := flag.Float64("min-shard-scaling", 0, "fail when NEW's 4-shard power-test speedup (shardscale.simms.shards1/shards4) is below this multiple (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json")
@@ -311,15 +396,35 @@ func main() {
 	if len(qphRows) > 0 {
 		fmt.Printf("\n%-36s %12s %12s %9s\n", "queries/hour", "old", "new", "ratio")
 		for _, r := range qphRows {
-			if !r.HasOld {
-				fmt.Printf("%-36s %12s %12.4g %9s\n", r.Name, "-", r.New, "ADDED")
-				continue
+			switch {
+			case !r.HasOld:
+				fmt.Printf("%-36s %12s %12.4g %9s\n", r.Name, "-", r.New, r.Status)
+			case !r.HasNew:
+				fmt.Printf("%-36s %12.4g %12s %9s\n", r.Name, r.Old, "-", r.Status)
+			default:
+				mark := ""
+				if r.Status != "" {
+					mark = "  " + r.Status
+				}
+				fmt.Printf("%-36s %12.4g %12.4g %8.2fx%s\n", r.Name, r.Old, r.New, r.Ratio, mark)
 			}
-			mark := ""
-			if r.Status != "" {
-				mark = "  " + r.Status
+		}
+	}
+	scaleRows, speedup, scaleFailed := diffShardScaling(oldS, newS, *minShardScaling)
+	if len(scaleRows) > 0 {
+		fmt.Printf("\n%-36s %12s %12s %9s\n", "shardscale metric", "old", "new", "")
+		for _, r := range scaleRows {
+			switch {
+			case !r.HasOld:
+				fmt.Printf("%-36s %12s %12.4g %9s\n", r.Name, "-", r.New, r.Status)
+			case !r.HasNew:
+				fmt.Printf("%-36s %12.4g %12s %9s\n", r.Name, r.Old, "-", r.Status)
+			default:
+				fmt.Printf("%-36s %12.4g %12.4g %9s\n", r.Name, r.Old, r.New, r.Status)
 			}
-			fmt.Printf("%-36s %12.4g %12.4g %8.2fx%s\n", r.Name, r.Old, r.New, r.Ratio, mark)
+		}
+		if speedup > 0 {
+			fmt.Printf("%-36s %35.2fx\n", "4-shard power-test speedup", speedup)
 		}
 	}
 	hitRows, hitFailed := diffHitRatios(oldS, newS, *minHitRatio, *maxHitDrop)
@@ -352,6 +457,10 @@ func main() {
 	}
 	if qphFailed {
 		fmt.Printf("\nFAIL: a throughput.qph metric fell below %.4gx its old value\n", *minQPHRatio)
+		os.Exit(1)
+	}
+	if scaleFailed {
+		fmt.Printf("\nFAIL: the 4-shard power-test speedup %.2fx is below %.4gx\n", speedup, *minShardScaling)
 		os.Exit(1)
 	}
 	fmt.Printf("\nOK: no benchmark regressed by more than %.4g%% simulated time\n", *threshold)

@@ -148,8 +148,9 @@ func TestHitRatioFloor(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("got %d hit-ratio rows, want 2 (non-ratio metrics must be ignored)", len(rows))
 	}
-	// Sorted by name: rdb first, sap22 second.
-	if rows[0].Name != "rdb.pool.hit_ratio" || rows[0].Status != "" {
+	// Sorted by name: rdb first, sap22 second. rdb clears the floor but
+	// is absent from the old snapshot, so it reports as ADDED.
+	if rows[0].Name != "rdb.pool.hit_ratio" || rows[0].Status != "ADDED" {
 		t.Errorf("rdb row wrong: %+v", rows[0])
 	}
 	if rows[1].Name != "sap22.pool.hit_ratio" || rows[1].Status != "LOW" {
@@ -158,6 +159,107 @@ func TestHitRatioFloor(t *testing.T) {
 
 	if _, failed := diffHitRatios(oldS, newS, 0, 2); failed {
 		t.Error("min-hit-ratio 0 must disable the floor for new-only metrics")
+	}
+}
+
+func TestHitRatioRemovedReported(t *testing.T) {
+	// A hit ratio present only in the old snapshot must surface as
+	// REMOVED instead of vanishing silently — a gated metric
+	// disappearing is exactly what the gate's reader needs to see.
+	oldS := metricSnap("sap22.pool.hit_ratio", 0.95, "sap22.pool.readahead.windows", 5.0)
+	newS := metricSnap("rdb.pool.hit_ratio", 0.99)
+	rows, failed := diffHitRatios(oldS, newS, 0.92, 2)
+	if failed {
+		t.Fatal("one-sided hit-ratio rows must not fail the gate")
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (ADDED + REMOVED): %+v", len(rows), rows)
+	}
+	if rows[0].Name != "rdb.pool.hit_ratio" || rows[0].Status != "ADDED" || rows[0].HasOld {
+		t.Errorf("added row wrong: %+v", rows[0])
+	}
+	if rows[1].Name != "sap22.pool.hit_ratio" || rows[1].Status != "REMOVED" || rows[1].HasNew {
+		t.Errorf("removed row wrong: %+v", rows[1])
+	}
+}
+
+func TestQPHAddedRemovedReported(t *testing.T) {
+	oldS := metricSnap("throughput.qph.streams8", 120.0, "throughput.qph.streams2", 80.0)
+	newS := metricSnap("throughput.qph.streams2", 79.0, "throughput.qph.streams4", 100.0)
+	rows, failed := diffQPH(oldS, newS, 0.5)
+	if failed {
+		t.Fatal("one-sided qph rows must not fail the gate")
+	}
+	want := map[string]string{
+		"throughput.qph.streams2": "",
+		"throughput.qph.streams4": "ADDED",
+		"throughput.qph.streams8": "REMOVED",
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(rows), len(want), rows)
+	}
+	for _, r := range rows {
+		if status, ok := want[r.Name]; !ok || r.Status != status {
+			t.Errorf("%s: status %q, want %q", r.Name, r.Status, status)
+		}
+	}
+}
+
+func TestShardScalingGate(t *testing.T) {
+	newS := metricSnap(
+		"shardscale.simms.shards1", 3600.0,
+		"shardscale.simms.shards4", 1800.0, // 2.0x speedup
+		"shardscale.net.rows_shipped", 14352.0,
+	)
+	rows, speedup, failed := diffShardScaling(metricSnap(), newS, 1.5)
+	if failed {
+		t.Fatalf("2.0x speedup under a 1.5x floor must pass: %+v", rows)
+	}
+	if speedup < 1.99 || speedup > 2.01 {
+		t.Errorf("speedup = %.2f, want 2.0", speedup)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3: %+v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if r.Status != "ADDED" {
+			t.Errorf("%s: status %q, want ADDED (old snapshot predates shardscale)", r.Name, r.Status)
+		}
+	}
+
+	// 1.2x speedup under a 1.5x floor fails on the shards4 row.
+	slow := metricSnap("shardscale.simms.shards1", 3600.0, "shardscale.simms.shards4", 3000.0)
+	rows, speedup, failed = diffShardScaling(metricSnap(), slow, 1.5)
+	if !failed {
+		t.Fatalf("1.2x speedup under a 1.5x floor must fail (speedup=%.2f)", speedup)
+	}
+	for _, r := range rows {
+		want := ""
+		switch r.Name {
+		case "shardscale.simms.shards1":
+			want = "ADDED"
+		case "shardscale.simms.shards4":
+			want = "SCALING"
+		}
+		if r.Status != want {
+			t.Errorf("%s: status %q, want %q", r.Name, r.Status, want)
+		}
+	}
+
+	// 0 disables the gate but the metrics still report.
+	if rows, _, failed := diffShardScaling(metricSnap(), slow, 0); failed || len(rows) != 2 {
+		t.Errorf("disabled gate: failed=%v rows=%+v", failed, rows)
+	}
+
+	// A NEW snapshot without the sim-time metrics cannot fail, and an
+	// old shardscale metric it dropped surfaces as REMOVED.
+	oldS := metricSnap("shardscale.simms.shards1", 3600.0)
+	rows, speedup, failed = diffShardScaling(oldS, metricSnap(), 1.5)
+	if failed || speedup != 0 {
+		t.Fatalf("missing metrics must not fail: failed=%v speedup=%.2f", failed, speedup)
+	}
+	if len(rows) != 1 || rows[0].Status != "REMOVED" || rows[0].HasNew {
+		t.Errorf("removed row wrong: %+v", rows)
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	r3bench [-sf 0.02] [-parallel 1] [-streams 8] [-table-buffer-bytes 0] [-table-buffer-fixed] [-array-fetch] [-exp all|table1,...,table9,throughput]
+//	r3bench [-sf 0.02] [-parallel 1] [-streams 8] [-shards 8] [-table-buffer-bytes 0] [-table-buffer-fixed] [-array-fetch] [-exp all|table1,...,table9,throughput,shardscale]
 //
 // The paper runs at SF=0.2; the default 0.02 keeps a full run to minutes
 // of wall time. Simulated times scale approximately linearly with SF.
@@ -28,6 +28,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "intra-query parallel degree (1 = serial, as in the paper)")
 	exp := flag.String("exp", "all", "experiments to run: all, or comma-separated table1..table9,throughput")
 	streams := flag.Int("streams", 0, "largest concurrent query-stream count the throughput experiment sweeps to (0 = default 8)")
+	shards := flag.Int("shards", 0, "widest engine-shard cluster the shardscale experiment sweeps to (0 = default 8)")
 	tableBuf := flag.Int64("table-buffer-bytes", 0, "override every R/3 table-buffer capacity in bytes (0 = each experiment's own budget)")
 	tableBufFixed := flag.Bool("table-buffer-fixed", false, "pin table-buffer budgets (no eviction-pressure auto-resize; reproduces the paper's undersized-cache sweeps literally)")
 	arrayFetch := flag.Bool("array-fetch", false, "ship result rows in array-fetch packets instead of one interface round trip per row (off = the paper's per-row interface)")
@@ -51,8 +52,8 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := &core.Config{SF: *sf, Parallel: *parallel, Streams: *streams, TableBufferBytes: *tableBuf,
-		TableBufferFixed: *tableBufFixed, ArrayFetch: *arrayFetch, Out: os.Stdout}
+	cfg := &core.Config{SF: *sf, Parallel: *parallel, Streams: *streams, Shards: *shards,
+		TableBufferBytes: *tableBuf, TableBufferFixed: *tableBufFixed, ArrayFetch: *arrayFetch, Out: os.Stdout}
 	start := time.Now()
 	var err error
 	if *exp == "all" {

@@ -28,6 +28,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		"Native SQL",              // Table 7
 		"hit ratio",               // Table 8
 		"LINEITEM",                // Table 9
+		"speedup",                 // shardscale
+		"Exchange rows shipped",   // shardscale traffic table
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
@@ -45,11 +47,14 @@ func TestFind(t *testing.T) {
 	if Find("nope") != nil {
 		t.Fatal("unknown ID must return nil")
 	}
-	if len(Experiments()) != 10 {
-		t.Fatalf("expected 10 experiments (table1..table9 + throughput), got %d", len(Experiments()))
+	if len(Experiments()) != 11 {
+		t.Fatalf("expected 11 experiments (table1..table9 + throughput + shardscale), got %d", len(Experiments()))
 	}
 	if Find("throughput") == nil {
 		t.Fatal("throughput must exist")
+	}
+	if Find("shardscale") == nil {
+		t.Fatal("shardscale must exist")
 	}
 }
 

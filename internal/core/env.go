@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"r3bench/internal/dbgen"
 	"r3bench/internal/engine"
@@ -42,6 +43,9 @@ type Config struct {
 	// Streams is the largest stream count the throughput experiment
 	// drives (it sweeps 1, 2, 4, ... up to this). 0 means the default 8.
 	Streams int
+	// Shards is the widest cluster the shardscale experiment sweeps to
+	// (it runs 1, 2, 4, ... up to this). 0 means the default 8.
+	Shards int
 
 	env *Env
 }
@@ -63,6 +67,11 @@ type Env struct {
 	sys2         *r3.System
 	sys3         *r3.System
 	qph          map[int]float64 // throughput experiment: streams -> queries/hour
+
+	// shardscale experiment results, published by CollectMetrics.
+	shardSim          map[int]time.Duration // shards -> power-test sim time
+	shardShipped      map[string]int64      // query class -> exchange rows
+	shardShippedTotal int64
 }
 
 // envOf returns the config's lazily created environment.

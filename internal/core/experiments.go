@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 		{"table8", "Application-server caching of MARA", "Table 8 / Fig 5", runTable8},
 		{"table9", "Constructing an SAP data warehouse", "Table 9", runTable9},
 		{"throughput", "TPC-D multi-stream throughput with dialog mix", "TPC-D §5 (not in paper)", runThroughput},
+		{"shardscale", "Sharded scale-out power test (1/2/4/8 shards)", "scale-out (not in paper)", runShardScale},
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"r3bench/internal/engine"
 	"r3bench/internal/metrics"
@@ -27,6 +28,15 @@ func CollectMetrics(cfg *Config) *metrics.Registry {
 	}
 	for n, qph := range e.qph {
 		reg.Set(fmt.Sprintf("throughput.qph.streams%d", n), qph)
+	}
+	for n, sim := range e.shardSim {
+		reg.Set(fmt.Sprintf("shardscale.simms.shards%d", n), float64(sim)/float64(time.Millisecond))
+	}
+	if e.shardShipped != nil {
+		reg.SetInt("shardscale.net.rows_shipped", e.shardShippedTotal)
+		for class, rows := range e.shardShipped {
+			reg.SetInt("shardscale.net.rows_shipped."+class, rows)
+		}
 	}
 	return reg
 }

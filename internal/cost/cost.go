@@ -42,13 +42,14 @@ const (
 	Commit                   // one transaction commit (log force)
 	ReadAhead                // one batched sequential readahead window (several pages, one charge)
 	RowShipBatch             // one array-fetch packet shipped across the interface (several rows, one charge)
+	NetShip                  // one row shipped between engine shards over the network
 	numKinds
 )
 
 var kindNames = [...]string{
 	"seq-read", "rand-read", "page-write", "tuple-cpu", "sort-cpu",
 	"interface", "row-ship", "translate", "decode", "check", "commit",
-	"readahead", "row-ship-batch",
+	"readahead", "row-ship-batch", "net-ship",
 }
 
 // String returns the stable lower-case name of the event class.
@@ -103,6 +104,15 @@ func Default1996() Model {
 	// packets move rows ~80x cheaper, and a one-row result (the SELECT
 	// SINGLE pattern) pays just that small partial-packet overhead.
 	m.PerEvent[RowShipBatch] = 150 * time.Microsecond
+	// Cross-shard exchange over a 1996-era switched 100 Mbit segment:
+	// ~200 bytes on the wire per row ⇒ ~16 µs of transfer, charged per
+	// row; the per-packet protocol latency is charged separately
+	// (ChargeNetShip), mirroring the array interface's packet model. The
+	// network row is an order of magnitude cheaper than a RowShip — the
+	// interface crossing of Tables 4/5 was context switches and buffer
+	// copies, not wire time — but it is not free, which is exactly where
+	// the paper's lesson reappears at scale-out (DESIGN.md §13).
+	m.PerEvent[NetShip] = 16 * time.Microsecond
 	return m
 }
 
@@ -110,6 +120,29 @@ func Default1996() Model {
 // RowShipBatch event covers up to this many rows. Partial packets cost a
 // full charge — the buffer is copied regardless of fill.
 const ArrayFetchRows = 100
+
+// NetPacketRows is the exchange packet granularity: rows cross between
+// shards in packets of up to this many rows, each paying one
+// NetPacketLatency on top of the per-row NetShip transfer time.
+const NetPacketRows = 100
+
+// NetPacketLatency is the modelled protocol overhead of one exchange
+// packet (syscall, protocol stack, switch latency) on the 1996 network.
+const NetPacketLatency = 400 * time.Microsecond
+
+// ChargeNetShip charges m for shipping n rows between shards: n NetShip
+// row transfers plus one NetPacketLatency per started packet of
+// NetPacketRows rows. It returns the packet count. Zero rows are free —
+// an exchange with nothing to send makes no round trip.
+func ChargeNetShip(m *Meter, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	m.Charge(NetShip, n)
+	packets := (n + NetPacketRows - 1) / NetPacketRows
+	m.ChargeDuration(NetShip, time.Duration(packets)*NetPacketLatency)
+	return packets
+}
 
 // UniformIO returns a copy of m in which random reads cost the same as
 // sequential reads. Used by the cost-model ablation (DESIGN.md §4) to show

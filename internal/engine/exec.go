@@ -811,6 +811,14 @@ func (p *selectPlan) runSerial(rt *runtime, outer rowStack, emit func([]val.Valu
 	if err != nil && err != errStopIteration {
 		return err
 	}
+	// Partial execution of a sorting non-aggregate plan: the collected
+	// rows ship unsorted; the coordinator sorts and limits once, above
+	// the gather. (Aggregate partials were captured in finalizeGroups
+	// and left the sink empty — finish on it is a no-op.)
+	if pa := rt.partial; pa != nil && pa.plan == p && p.agg == nil && len(p.orderKeys) > 0 {
+		pa.rows = append(pa.rows, sink.rows...)
+		return nil
+	}
 	if be.prof != nil {
 		m := rt.meter()
 		prev := m.SetSpan(be.prof.output)
@@ -896,6 +904,16 @@ func (a *aggAccum) merge(o *aggAccum) {
 // The caller charges the grouping sort (full sort when serial, partial
 // sorts + merge when parallel).
 func (p *selectPlan) finalizeGroups(rt *runtime, a *aggAccum, outer rowStack, produce func(rowStack) error) error {
+	// A partial execution stops here: the accumulated groups ship to the
+	// distributed coordinator un-finalized, so HAVING, projection over
+	// exact sums, ORDER BY and LIMIT all run once, above the gather
+	// (MergePartials). Every execution engine — serial, vectorized,
+	// parallel (with lane accumulators already merged in partition
+	// order) — funnels its top-level accumulator through this point.
+	if pa := rt.partial; pa != nil && pa.plan == p {
+		pa.acc = a
+		return nil
+	}
 	m := rt.meter()
 
 	// A query with aggregates but no GROUP BY yields exactly one row,

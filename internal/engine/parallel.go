@@ -296,6 +296,12 @@ func (p *selectPlan) runParallel(rt *runtime, outer rowStack, emit func([]val.Va
 			}
 		}
 	}
+	// Partial execution: ship the merged-but-unsorted rows to the
+	// distributed coordinator, which sorts and limits above the gather.
+	if pa := rt.partial; pa != nil && pa.plan == p && len(p.orderKeys) > 0 {
+		pa.rows = append(pa.rows, sink.rows...)
+		return true, nil
+	}
 	return true, sink.finish()
 }
 

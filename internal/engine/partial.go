@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"fmt"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/sqlparse"
+	"r3bench/internal/val"
+)
+
+// Distributed partial execution. A sharded deployment (internal/shard)
+// runs the same SELECT text on every shard and must combine the pieces
+// into exactly the rows a single engine would produce. Finalized results
+// cannot be combined that way — an AVG is already divided, a float SUM
+// already rounded — so QueryPartial stops each shard's execution at the
+// point where the engine's own parallel lanes stop: grouped aggregate
+// state (exact big.Float sums, min/max, DISTINCT sets) for aggregate
+// plans, projected-but-unsorted rows for plain plans. MergePartials then
+// merges the accumulators in shard order — the same order-preserving,
+// order-independent-in-value merge the intra-query workers use — and
+// finalizes once: HAVING, projection, ORDER BY, LIMIT, row shipping.
+// Byte-identical distributed results follow from the exactness of the
+// accumulator merge, not from any luck in float evaluation order.
+
+// Partial is one shard's un-finalized SELECT execution. It is single-use:
+// MergePartials consumes the accumulators in place.
+type Partial struct {
+	plan *selectPlan
+	acc  *aggAccum // aggregate plans: merged per-lane group state
+	rows []outRow  // non-aggregate plans: projected rows, unsorted
+}
+
+// ShipRows returns the number of partial rows this execution contributes
+// to a gather exchange: one per accumulated group for aggregate plans
+// (a shard that matched nothing ships nothing), one per projected row
+// otherwise.
+func (pa *Partial) ShipRows() int64 {
+	if pa.acc != nil {
+		return int64(len(pa.acc.order))
+	}
+	return int64(len(pa.rows))
+}
+
+// Rows returns the projected rows of a non-aggregate partial, in this
+// shard's pipeline order. Exchange operators use it to pull a table
+// slice out of a shard (SELECT cols FROM t with no ORDER BY) without
+// paying client row shipping. Nil for aggregate partials.
+func (pa *Partial) Rows() [][]val.Value {
+	if pa.acc != nil {
+		return nil
+	}
+	out := make([][]val.Value, len(pa.rows))
+	for i, r := range pa.rows {
+		out[i] = r.proj
+	}
+	return out
+}
+
+// QueryPartial parses, plans and executes one SELECT up to — but not
+// including — finalization. The modelled parse/optimize and execution
+// charges land on the session meter exactly as Exec's would; no RowShip
+// is charged, because no result row crosses a client interface here (the
+// exchange that ships the partial charges its own NetShip).
+func (s *Session) QueryPartial(sql string, params ...val.Value) (*Partial, error) {
+	stmt, entry, err := s.db.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: QueryPartial requires a SELECT statement")
+	}
+	s.db.ifaceCalls.Add(1)
+	s.Meter.Charge(cost.Interface, 1)
+	s.Meter.ChargeDuration(cost.Interface, optimizeCharge)
+	plan, err := s.db.planFor(entry, sel)
+	if err != nil {
+		return nil, err
+	}
+	if plan.agg == nil && len(plan.orderKeys) == 0 {
+		if plan.limit >= 0 {
+			return nil, fmt.Errorf("engine: QueryPartial on LIMIT without ORDER BY is not distributable")
+		}
+		if plan.distinct {
+			return nil, fmt.Errorf("engine: QueryPartial on DISTINCT without ORDER BY is not distributable")
+		}
+	}
+	s.db.noteSelect(plan)
+	pa := &Partial{plan: plan}
+	rt := &runtime{sess: s, params: params, subCache: make(map[*selectPlan][][]val.Value), partial: pa}
+	// Plans that neither aggregate nor sort emit rows straight through;
+	// collect them here (order: pipeline order, i.e. this shard's
+	// partition order).
+	err = plan.run(rt, nil, func(row []val.Value) error {
+		pa.rows = append(pa.rows, outRow{proj: append([]val.Value(nil), row...)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pa, nil
+}
+
+// MergePartials combines shard partials of the same statement into the
+// final result, charging the merge, finalization, sort and client row
+// shipping to this session's meter — the coordinator's clock. Partials
+// must be passed in shard order; group first-seen order and any sort-tie
+// order follow the concatenation order, exactly as the engine's own
+// parallel lanes behave.
+func (s *Session) MergePartials(parts []*Partial, params ...val.Value) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("engine: MergePartials of no partials")
+	}
+	p := parts[0].plan
+	for _, q := range parts[1:] {
+		if (q.acc == nil) != (parts[0].acc == nil) {
+			return nil, fmt.Errorf("engine: MergePartials of mismatched partials")
+		}
+		if q.plan.agg != nil && p.agg != nil && len(q.plan.agg.specs) != len(p.agg.specs) {
+			return nil, fmt.Errorf("engine: MergePartials of mismatched aggregate plans")
+		}
+	}
+	rt := &runtime{sess: s, params: params, subCache: make(map[*selectPlan][][]val.Value)}
+	res := &Result{Cols: p.outCols}
+	arrayFetch := s.db.ArrayFetchEnabled()
+	sink := newOutputSink(p, s.Meter, func(row []val.Value) error {
+		if !arrayFetch {
+			s.Meter.Charge(cost.RowShip, 1)
+		}
+		res.Rows = append(res.Rows, append([]val.Value(nil), row...))
+		return nil
+	})
+	sink.runs = len(parts)
+
+	if parts[0].acc != nil {
+		acc := parts[0].acc
+		var groups int64
+		for _, q := range parts {
+			groups += int64(len(q.acc.order))
+		}
+		for _, q := range parts[1:] {
+			acc.merge(q.acc)
+		}
+		// The coordinator merges the shipped group partials, not the
+		// shards' raw input: k pre-grouped runs of `groups` rows total.
+		chargeMergeRuns(s.Meter, groups, int64(len(parts)))
+		produce := func(frame rowStack) error {
+			r, err := p.projectRow(rt, frame)
+			if err != nil {
+				return err
+			}
+			return sink.add(r)
+		}
+		if err := p.finalizeGroups(rt, acc, nil, produce); err != nil && err != errStopIteration {
+			return nil, err
+		}
+	} else {
+		for _, q := range parts {
+			for _, r := range q.rows {
+				if err := sink.add(r); err != nil {
+					if err == errStopIteration {
+						return finishShip(s, res, arrayFetch)
+					}
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := sink.finish(); err != nil {
+		return nil, err
+	}
+	return finishShip(s, res, arrayFetch)
+}
+
+// finishShip books the interface-side counters for the merged result,
+// mirroring runSelectFB's accounting.
+func finishShip(s *Session, res *Result, arrayFetch bool) (*Result, error) {
+	s.db.ifaceRows.Add(int64(len(res.Rows)))
+	if arrayFetch {
+		packets := chargeArrayShip(s.Meter, int64(len(res.Rows)))
+		s.db.ifacePackets.Add(packets)
+	}
+	return res, nil
+}

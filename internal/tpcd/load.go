@@ -50,8 +50,23 @@ func (l *tableLoader) flush() error {
 // if any, is charged concurrently (it is thread-safe); all current
 // harness callers pass nil and time loads on the wall clock instead.
 func Load(db *engine.DB, g *dbgen.Generator, m *cost.Meter) error {
+	return LoadPartition(db, g, m, nil)
+}
+
+// LoadPartition is Load restricted to the rows keep admits: keep is
+// called with the table name and the row's partitioning key (c_custkey
+// for CUSTOMER, s_suppkey for SUPPLIER, the order key for ORDERS and
+// LINEITEM — an order and its lineitems always land together), and only
+// admitted rows load. The un-keyed dimension tables (REGION, NATION,
+// PART, PARTSUPP) always load in full — they are replicated onto every
+// shard. A nil keep loads everything; the generator streams stay
+// fixed-seed, so any partition of the population is byte-deterministic.
+func LoadPartition(db *engine.DB, g *dbgen.Generator, m *cost.Meter, keep func(table string, key int64) bool) error {
 	if err := CreateSchema(db, m); err != nil {
 		return err
+	}
+	if keep == nil {
+		keep = func(string, int64) bool { return true }
 	}
 	newLoader := func(table string) *tableLoader {
 		return &tableLoader{db: db, m: m, table: table}
@@ -79,6 +94,9 @@ func Load(db *engine.DB, g *dbgen.Generator, m *cost.Meter) error {
 		func() error {
 			l := newLoader("SUPPLIER")
 			if err := g.Suppliers(func(s dbgen.Supplier) error {
+				if !keep("SUPPLIER", s.Key) {
+					return nil
+				}
 				return l.add(supplierRow(s))
 			}); err != nil {
 				return err
@@ -109,6 +127,9 @@ func Load(db *engine.DB, g *dbgen.Generator, m *cost.Meter) error {
 		func() error {
 			l := newLoader("CUSTOMER")
 			if err := g.Customers(func(c dbgen.Customer) error {
+				if !keep("CUSTOMER", c.Key) {
+					return nil
+				}
 				return l.add([]val.Value{val.Int(c.Key), val.Str(c.Name), val.Str(c.Address),
 					val.Int(c.NationKey), val.Str(c.Phone), val.Float(c.AcctBal),
 					val.Str(c.MktSegment), val.Str(c.Comment)})
@@ -121,6 +142,9 @@ func Load(db *engine.DB, g *dbgen.Generator, m *cost.Meter) error {
 			lo := newLoader("ORDERS")
 			ll := newLoader("LINEITEM")
 			if err := g.Orders(func(o *dbgen.Order) error {
+				if !keep("ORDERS", o.Key) {
+					return nil
+				}
 				if err := lo.add(OrderRow(o)); err != nil {
 					return err
 				}

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+
+	"r3bench/internal/val"
+)
+
+func TestFrameRoundTripReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		[]byte{MsgQuery, 1, 2, 3},
+		[]byte{MsgResult},
+		bytes.Repeat([]byte{0xAB}, 1000),
+	}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %v, want %v", i, got, want)
+		}
+		scratch = got // the caller's reuse contract
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	// A header announcing more than MaxFrame must be refused before any
+	// allocation — a corrupt or hostile peer must not cost us 4 GiB.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(MaxFrame+1))
+	_, err := ReadFrame(bytes.NewReader(hdr[:]), nil)
+	if err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("error = %v, want frame-limit rejection", err)
+	}
+
+	// Exactly MaxFrame is within contract (truncated here, but the size
+	// itself passes the check).
+	binary.BigEndian.PutUint32(hdr[:], uint32(MaxFrame))
+	if _, err := ReadFrame(bytes.NewReader(hdr[:]), nil); err == nil || strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("MaxFrame-sized header mishandled: %v", err)
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(short), nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated payload: err = %v, want %v", err, io.ErrUnexpectedEOF)
+	}
+}
+
+func TestValuesRoundTrip(t *testing.T) {
+	in := []val.Value{val.Int(-7), val.Float(2.5), val.Str("hello"), val.Null, val.Date(9131)}
+	body := AppendValues(nil, in)
+	r := NewReader(body)
+	out := r.Values()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d values, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].K != in[i].K || out[i].I != in[i].I || out[i].F != in[i].F || out[i].S != in[i].S {
+			t.Errorf("value %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReaderTruncatedValues(t *testing.T) {
+	body := AppendValues(nil, []val.Value{val.Str("abcdef")})
+	r := NewReader(body[:len(body)-3])
+	r.Values()
+	if r.Err() == nil {
+		t.Fatal("truncated value list decoded without error")
+	}
+}

@@ -9,7 +9,10 @@
 # absolute allocs/op ceiling (default 16; the pooled front end measures
 # 11 on a TPC-D Q1-class statement), or a multi-stream throughput
 # metric below MIN_QPH_RATIO times its old value (default 0.5 — loose,
-# to catch streams serializing, not tuning drift). Usage:
+# to catch streams serializing, not tuning drift), or a 4-shard
+# power-test speedup (shardscale.simms.shards1/shards4) below
+# MIN_SHARD_SCALING (default 1.5 — exchange costs swamping the
+# partitioned work). Usage:
 #
 #   ./scripts/bench_diff.sh OLD.json [NEW.json]
 #
@@ -31,4 +34,5 @@ fi
 exec go run ./cmd/benchdiff -min-hit-ratio "${MIN_HIT_RATIO:-0.92}" \
 	-max-allocs-increase "${MAX_ALLOCS_INCREASE:-10}" \
 	-max-parse-allocs "${MAX_PARSE_ALLOCS:-16}" \
-	-min-qph-ratio "${MIN_QPH_RATIO:-0.5}" "$old" "$new"
+	-min-qph-ratio "${MIN_QPH_RATIO:-0.5}" \
+	-min-shard-scaling "${MIN_SHARD_SCALING:-1.5}" "$old" "$new"

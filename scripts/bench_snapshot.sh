@@ -15,10 +15,12 @@
 # embeds a metrics-registry dump from a small harness run (table8
 # exercises the table buffer, readahead and admission control; the
 # throughput experiment sweeps 1/2/4/8 concurrent query streams with the
-# dialog mix) under "metrics", including pool.hit_ratio,
-# pool.readahead.*, table_buffer.*.admission_rejects for the benchdiff
-# hit-ratio gate and throughput.qph.streamsN for its -min-qph-ratio
-# gate.
+# dialog mix; shardscale sweeps the power test over 1/2/4/8 engine
+# shards) under "metrics", including pool.hit_ratio, pool.readahead.*,
+# table_buffer.*.admission_rejects for the benchdiff hit-ratio gate,
+# throughput.qph.streamsN for its -min-qph-ratio gate, and
+# shardscale.simms.shardsN plus shardscale.net.rows_shipped[.class] for
+# its -min-shard-scaling gate.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,7 +34,7 @@ raw=$(go test -run xxx -bench "$regex" -benchtime 1x -benchmem . 2>&1) || {
 
 mtmp=$(mktemp)
 trap 'rm -f "$mtmp"' EXIT
-go run ./cmd/r3bench -sf "${METRICS_SF:-0.005}" -exp table8,throughput -metrics-json "$mtmp" >/dev/null
+go run ./cmd/r3bench -sf "${METRICS_SF:-0.005}" -exp table8,throughput,shardscale -metrics-json "$mtmp" >/dev/null
 metrics=$(cat "$mtmp")
 
 printf '%s\n' "$raw" | awk -v date="$(date +%F)" -v metrics="$metrics" '
