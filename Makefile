@@ -3,7 +3,7 @@ GO ?= go
 # Newest committed snapshot is the regression baseline for bench-diff.
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: all fmt-check vet build test race race-streams race-shards fuzz-smoke bench-smoke bench-snapshot bench-diff ci check
+.PHONY: all fmt-check vet build test race race-streams race-shards race-recovery fuzz-smoke bench-smoke bench-snapshot bench-diff ci check
 
 all: check
 
@@ -39,6 +39,13 @@ race-streams:
 race-shards:
 	$(GO) test -race -count=1 -run 'TestClusterByteIdenticalAcrossShardCounts|TestClusterMeterReconciliation|TestClusterUpdateFunctions' ./internal/shard
 
+# Crash-recovery torture under the race detector: cut the WAL at every
+# record boundary and mid-record, verify committed rows visible and
+# uncommitted rows gone, index<->heap consistency after each cut, and
+# recovery after concurrent group-committed sessions.
+race-recovery:
+	$(GO) test -race -count=1 -run 'TestRecoveryTortureEveryBoundary|TestRecoveryAfterConcurrentCommits' ./internal/engine
+
 # Five-second native-fuzz smoke of the SQL front end: FuzzParse asserts
 # no panics, old/new parser validity agreement and AST stability under
 # arena reuse (the corpus seeds cover every statement shape).
@@ -60,6 +67,6 @@ bench-snapshot:
 bench-diff:
 	./scripts/bench_diff.sh $(BENCH_BASELINE)
 
-ci: fmt-check vet race race-streams race-shards fuzz-smoke bench-diff
+ci: fmt-check vet race race-streams race-shards race-recovery fuzz-smoke bench-diff
 
 check: vet build race bench-smoke

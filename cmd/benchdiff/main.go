@@ -4,7 +4,8 @@
 //
 //	benchdiff [-threshold 10] [-min-hit-ratio 0.92] [-max-hit-drop 2]
 //	          [-max-allocs-increase 10] [-max-parse-allocs 16]
-//	          [-min-qph-ratio 0.5] [-min-shard-scaling 1.5] OLD.json NEW.json
+//	          [-min-qph-ratio 0.5] [-min-shard-scaling 1.5]
+//	          [-min-load-speedup 10] OLD.json NEW.json
 //
 // Exit status 1 means at least one benchmark's sim_ms grew by more than
 // the threshold percentage, a benchmark's real allocations per operation
@@ -23,8 +24,11 @@
 // change, and the gate exists to catch streams serializing against each
 // other, not tuning drift), or the sharded power test's 4-shard speedup
 // (shardscale.simms.shards1 / shardscale.simms.shards4) fell below
-// -min-shard-scaling. Benchmarks and gated metrics present in only one
-// file are reported as ADDED/REMOVED but do not fail the gate.
+// -min-shard-scaling, or the direct-path load's speedup over batch
+// input (loadpath.simms.batchinput / loadpath.simms.directpath) fell
+// below -min-load-speedup — the gate that keeps Table 3's 26-day batch
+// input retired. Benchmarks and gated metrics present in only one file
+// are reported as ADDED/REMOVED but do not fail the gate.
 package main
 
 import (
@@ -301,6 +305,55 @@ func diffShardScaling(oldS, newS *snapshot, minScaling float64) (rows []scaleRow
 	return rows, speedup, failed
 }
 
+// diffLoadPath reports every `loadpath.` metric of both snapshots
+// (one-sided entries as ADDED/REMOVED) and gates the direct-path bulk
+// load's win over row-at-a-time batch input: loadpath.simms.batchinput
+// divided by loadpath.simms.directpath, both from the NEW snapshot,
+// must reach minSpeedup or the directpath row fails with LOAD. The
+// floor is far below the measured ~2900x — it exists to catch the
+// direct path silently falling back to logged row inserts, not tuning
+// drift. minSpeedup <= 0 disables the gate (metrics still report); a
+// NEW snapshot without both sim-time metrics cannot fail it.
+func diffLoadPath(oldS, newS *snapshot, minSpeedup float64) (rows []scaleRow, speedup float64, failed bool) {
+	for name, cur := range newS.Metrics {
+		if !strings.HasPrefix(name, "loadpath.") {
+			continue
+		}
+		r := scaleRow{Name: name, New: cur, HasNew: true}
+		if old, ok := oldS.Metrics[name]; ok {
+			r.Old, r.HasOld = old, true
+		} else {
+			r.Status = "ADDED"
+		}
+		rows = append(rows, r)
+	}
+	for name, old := range oldS.Metrics {
+		if !strings.HasPrefix(name, "loadpath.") {
+			continue
+		}
+		if _, ok := newS.Metrics[name]; ok {
+			continue
+		}
+		rows = append(rows, scaleRow{Name: name, Old: old, HasOld: true, Status: "REMOVED"})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+
+	batch, ok1 := newS.Metrics["loadpath.simms.batchinput"]
+	direct, ok2 := newS.Metrics["loadpath.simms.directpath"]
+	if ok1 && ok2 && direct > 0 {
+		speedup = batch / direct
+		if minSpeedup > 0 && speedup < minSpeedup {
+			failed = true
+			for i := range rows {
+				if rows[i].Name == "loadpath.simms.directpath" {
+					rows[i].Status = "LOAD"
+				}
+			}
+		}
+	}
+	return rows, speedup, failed
+}
+
 // parseAllocRow is one front-end benchmark's absolute allocs/op check.
 type parseAllocRow struct {
 	Name   string
@@ -342,6 +395,7 @@ func main() {
 	maxParseAllocs := flag.Float64("max-parse-allocs", 16, "fail when a BenchmarkParse* benchmark in NEW exceeds this many allocs/op outright (0 disables)")
 	minQPHRatio := flag.Float64("min-qph-ratio", 0.5, "fail when a throughput.qph.* metric falls below this fraction of its OLD value (0 disables)")
 	minShardScaling := flag.Float64("min-shard-scaling", 0, "fail when NEW's 4-shard power-test speedup (shardscale.simms.shards1/shards4) is below this multiple (0 disables)")
+	minLoadSpeedup := flag.Float64("min-load-speedup", 10, "fail when NEW's direct-path load speedup (loadpath.simms.batchinput/directpath) is below this multiple (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json")
@@ -427,6 +481,23 @@ func main() {
 			fmt.Printf("%-36s %35.2fx\n", "4-shard power-test speedup", speedup)
 		}
 	}
+	loadRows, loadSpeedup, loadFailed := diffLoadPath(oldS, newS, *minLoadSpeedup)
+	if len(loadRows) > 0 {
+		fmt.Printf("\n%-36s %12s %12s %9s\n", "loadpath metric", "old", "new", "")
+		for _, r := range loadRows {
+			switch {
+			case !r.HasOld:
+				fmt.Printf("%-36s %12s %12.4g %9s\n", r.Name, "-", r.New, r.Status)
+			case !r.HasNew:
+				fmt.Printf("%-36s %12.4g %12s %9s\n", r.Name, r.Old, "-", r.Status)
+			default:
+				fmt.Printf("%-36s %12.4g %12.4g %9s\n", r.Name, r.Old, r.New, r.Status)
+			}
+		}
+		if loadSpeedup > 0 {
+			fmt.Printf("%-36s %35.1fx\n", "direct-path load speedup", loadSpeedup)
+		}
+	}
 	hitRows, hitFailed := diffHitRatios(oldS, newS, *minHitRatio, *maxHitDrop)
 	if len(hitRows) > 0 {
 		fmt.Printf("\n%-36s %12s %12s %9s\n", "hit-ratio metric", "old", "new", "")
@@ -461,6 +532,10 @@ func main() {
 	}
 	if scaleFailed {
 		fmt.Printf("\nFAIL: the 4-shard power-test speedup %.2fx is below %.4gx\n", speedup, *minShardScaling)
+		os.Exit(1)
+	}
+	if loadFailed {
+		fmt.Printf("\nFAIL: the direct-path load speedup %.1fx is below %.4gx\n", loadSpeedup, *minLoadSpeedup)
 		os.Exit(1)
 	}
 	fmt.Printf("\nOK: no benchmark regressed by more than %.4g%% simulated time\n", *threshold)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	r3bench [-sf 0.02] [-parallel 1] [-streams 8] [-shards 8] [-table-buffer-bytes 0] [-table-buffer-fixed] [-array-fetch] [-exp all|table1,...,table9,throughput,shardscale]
+//	r3bench [-sf 0.02] [-parallel 1] [-streams 8] [-shards 8] [-table-buffer-bytes 0] [-table-buffer-fixed] [-array-fetch] [-exp all|table1,...,table9,throughput,shardscale,loadpath]
 //
 // The paper runs at SF=0.2; the default 0.02 keeps a full run to minutes
 // of wall time. Simulated times scale approximately linearly with SF.

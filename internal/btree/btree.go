@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"r3bench/internal/cost"
 	"r3bench/internal/storage"
@@ -58,7 +59,26 @@ type Tree struct {
 	// buffer: probes of resident leaves charge nothing (see PageCache).
 	// Nil — the default — charges every probe a full random read.
 	cache *PageCache
+
+	// lsn is the page-LSN bookkeeping under WAL: the log position of the
+	// last heap mutation whose index maintenance touched this tree.
+	// Indexes are not redo-logged — recovery rebuilds them bottom-up —
+	// so one LSN per tree is enough to order the tree against the log.
+	lsn atomic.Int64
 }
+
+// StampLSN records the log position of the latest maintenance write.
+func (t *Tree) StampLSN(lsn int64) {
+	for {
+		old := t.lsn.Load()
+		if lsn <= old || t.lsn.CompareAndSwap(old, lsn) {
+			return
+		}
+	}
+}
+
+// LSN returns the last stamped log position (0 = never stamped).
+func (t *Tree) LSN() int64 { return t.lsn.Load() }
 
 // SetCache attaches a (usually shared) residence model for the tree's
 // leaf pages; nil detaches it. Not safe to call concurrently with
@@ -230,6 +250,122 @@ func split(n *node) (*node, []byte, *node) {
 	n.keys = n.keys[:mid:mid]
 	n.children = n.children[: mid+1 : mid+1]
 	return n, sep, right
+}
+
+// BulkEntry is one (logical key, RID) pair for BulkBuild.
+type BulkEntry struct {
+	Key []byte
+	RID storage.RID
+}
+
+// bulkLeafFill is the bottom-up build's target entries per leaf — the
+// modelled fillFactor of the on-disk page, so a bulk-built tree has the
+// same steady-state shape an insert-built tree converges to.
+const bulkLeafFill = fanout * 67 / 100
+
+// BulkBuild constructs the tree bottom-up from entries sorted by (key,
+// RID): leaves are packed to the modelled fill factor straight off the
+// sorted run and parents are stitched level by level — no per-key
+// Insert descent. The meter is charged one sequential page write per
+// node built plus per-entry CPU; sorting is the caller's cost. The tree
+// must be empty, the input must be sorted, and unique trees reject
+// duplicate keys.
+func (t *Tree) BulkBuild(entries []BulkEntry, m *cost.Meter) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.entries != 0 {
+		return fmt.Errorf("btree: bulk build into non-empty tree (%d entries)", t.entries)
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+
+	// Pack the leaf level off the sorted run.
+	var leaves []*node
+	var keyBytes int64
+	cur := &node{leaf: true}
+	var prev []byte
+	for i := range entries {
+		ek := t.entryKey(entries[i].Key, entries[i].RID)
+		if prev != nil {
+			switch c := bytes.Compare(prev, ek); {
+			case c > 0:
+				return fmt.Errorf("btree: bulk input not sorted at entry %d", i)
+			case c == 0:
+				return fmt.Errorf("btree: duplicate key %x in bulk input", entries[i].Key)
+			}
+		}
+		prev = ek
+		if len(cur.keys) >= bulkLeafFill {
+			leaves = append(leaves, cur)
+			next := &node{leaf: true}
+			cur.next = next
+			cur = next
+		}
+		cur.keys = append(cur.keys, ek)
+		cur.rids = append(cur.rids, entries[i].RID)
+		keyBytes += int64(len(entries[i].Key))
+	}
+	leaves = append(leaves, cur)
+	if m != nil {
+		m.Charge(cost.TupleCPU, int64(len(entries)))
+		m.Charge(cost.PageWrite, int64(len(leaves)))
+	}
+
+	// Stitch parent levels until one root remains. The separator for a
+	// right sibling is the smallest entry key in its subtree.
+	level := leaves
+	for len(level) > 1 {
+		var parents []*node
+		p := &node{}
+		for _, child := range level {
+			if len(p.children) >= bulkLeafFill {
+				parents = append(parents, p)
+				p = &node{}
+			}
+			if len(p.children) > 0 {
+				p.keys = append(p.keys, firstKey(child))
+			}
+			p.children = append(p.children, child)
+		}
+		parents = append(parents, p)
+		if m != nil {
+			m.Charge(cost.PageWrite, int64(len(parents)))
+		}
+		level = parents
+	}
+	t.root = level[0]
+	t.entries = int64(len(entries))
+	t.keyByte = keyBytes
+	t.lastLeaf = nil
+	return nil
+}
+
+// firstKey returns the smallest entry key in the subtree.
+func firstKey(n *node) []byte {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+// ReleaseCache eagerly removes the tree's leaves from the attached page
+// cache — called when the index is dropped, so a dead tree's leaves
+// stop occupying residence slots that live indexes could use.
+func (t *Tree) ReleaseCache() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c := t.cache
+	if c == nil {
+		return
+	}
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for ; n != nil; n = n.next {
+		c.release(n)
+	}
 }
 
 // Delete removes the entry (key, rid); missing entries are an error.

@@ -19,9 +19,10 @@ package btree
 //
 // Capacity is given in bytes and converted to leaf nodes using the
 // in-memory node footprint (fanout entries of cacheEntryBytes each), so
-// the modelled resident set tracks the tree's actual granularity. Leaves
-// of dropped trees age out of the LRU naturally; they are never revisited
-// and cost only their slot until evicted.
+// the modelled resident set tracks the tree's actual granularity.
+// Dropping an index calls Tree.ReleaseCache, which purges its leaves
+// eagerly so a dead tree never occupies residence slots live indexes
+// could use.
 
 import (
 	"container/list"
@@ -82,6 +83,17 @@ func (c *PageCache) touch(n *node, admit bool) bool {
 	}
 	c.elems[n] = c.lru.PushFront(n)
 	return false
+}
+
+// release evicts leaf n if resident — Tree.ReleaseCache uses it to
+// purge a dropped tree's leaves instead of letting them age out.
+func (c *PageCache) release(n *node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.elems[n]; ok {
+		c.lru.Remove(e)
+		delete(c.elems, n)
+	}
 }
 
 // PageCacheStats is a snapshot of the cache counters.

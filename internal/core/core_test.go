@@ -47,14 +47,17 @@ func TestFind(t *testing.T) {
 	if Find("nope") != nil {
 		t.Fatal("unknown ID must return nil")
 	}
-	if len(Experiments()) != 11 {
-		t.Fatalf("expected 11 experiments (table1..table9 + throughput + shardscale), got %d", len(Experiments()))
+	if len(Experiments()) != 12 {
+		t.Fatalf("expected 12 experiments (table1..table9 + throughput + shardscale + loadpath), got %d", len(Experiments()))
 	}
 	if Find("throughput") == nil {
 		t.Fatal("throughput must exist")
 	}
 	if Find("shardscale") == nil {
 		t.Fatal("shardscale must exist")
+	}
+	if Find("loadpath") == nil {
+		t.Fatal("loadpath must exist")
 	}
 }
 

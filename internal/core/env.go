@@ -14,6 +14,7 @@ import (
 	"r3bench/internal/dbgen"
 	"r3bench/internal/engine"
 	"r3bench/internal/r3"
+	"r3bench/internal/storage"
 	"r3bench/internal/tpcd"
 )
 
@@ -72,6 +73,11 @@ type Env struct {
 	shardSim          map[int]time.Duration // shards -> power-test sim time
 	shardShipped      map[string]int64      // query class -> exchange rows
 	shardShippedTotal int64
+
+	// loadpath experiment results, published by CollectMetrics.
+	loadSim       map[string]time.Duration    // variant -> load sim time
+	loadWal       map[string]storage.WalStats // durable variants' log counters
+	loadIdentical bool                        // Q1–Q17 identical across paths
 }
 
 // envOf returns the config's lazily created environment.

@@ -37,6 +37,7 @@ func Experiments() []Experiment {
 		{"table9", "Constructing an SAP data warehouse", "Table 9", runTable9},
 		{"throughput", "TPC-D multi-stream throughput with dialog mix", "TPC-D §5 (not in paper)", runThroughput},
 		{"shardscale", "Sharded scale-out power test (1/2/4/8 shards)", "scale-out (not in paper)", runShardScale},
+		{"loadpath", "WAL, group commit and direct-path load vs batch input", "Table 3 ablation (not in paper)", runLoadPath},
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"r3bench/internal/engine"
 	"r3bench/internal/metrics"
 	"r3bench/internal/r3"
+	"r3bench/internal/storage"
 )
 
 // CollectMetrics gathers cumulative counters from every environment
@@ -38,7 +39,38 @@ func CollectMetrics(cfg *Config) *metrics.Registry {
 			reg.SetInt("shardscale.net.rows_shipped."+class, rows)
 		}
 	}
+	for v, sim := range e.loadSim {
+		reg.Set("loadpath.simms."+v, float64(sim)/float64(time.Millisecond))
+	}
+	for v, ws := range e.loadWal {
+		addWalStats(reg, "loadpath.wal."+v, ws)
+	}
+	if e.loadSim != nil {
+		identical := int64(0)
+		if e.loadIdentical {
+			identical = 1
+		}
+		reg.SetInt("loadpath.q_identical", identical)
+		if b, d := e.loadSim["batchinput"], e.loadSim["directpath"]; b > 0 && d > 0 {
+			reg.Set("loadpath.speedup", float64(b)/float64(d))
+		}
+	}
 	return reg
+}
+
+// addWalStats publishes one write-ahead log's counters under the prefix.
+func addWalStats(reg *metrics.Registry, prefix string, ws storage.WalStats) {
+	reg.SetInt(prefix+".records", ws.Records)
+	reg.SetInt(prefix+".bytes", ws.Bytes)
+	reg.SetInt(prefix+".fsyncs", ws.Fsyncs)
+	reg.SetInt(prefix+".fsync_pages", ws.FsyncPages)
+	reg.SetInt(prefix+".commits", ws.Commits)
+	reg.SetInt(prefix+".groups", ws.Groups)
+	reg.SetInt(prefix+".max_group", ws.MaxGroup)
+	reg.SetInt(prefix+".checkpoints", ws.Checkpoints)
+	if ws.Groups > 0 {
+		reg.Set(prefix+".avg_group", float64(ws.GroupSum)/float64(ws.Groups))
+	}
 }
 
 // addEngineMetrics publishes one engine's execution counters and its
@@ -81,6 +113,9 @@ func addEngineMetrics(reg *metrics.Registry, prefix string, db *engine.DB) {
 		reg.SetInt(base+"misses", sh.Misses)
 		reg.SetInt(base+"readahead_hits", sh.ReadaheadHits)
 		reg.SetInt(base+"capacity_pages", int64(sh.Capacity))
+	}
+	if w := db.WAL(); w != nil {
+		addWalStats(reg, prefix+".wal", w.Stats())
 	}
 }
 

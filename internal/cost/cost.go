@@ -43,13 +43,14 @@ const (
 	ReadAhead                // one batched sequential readahead window (several pages, one charge)
 	RowShipBatch             // one array-fetch packet shipped across the interface (several rows, one charge)
 	NetShip                  // one row shipped between engine shards over the network
+	WalWrite                 // one write-ahead-log page appended to the log file
 	numKinds
 )
 
 var kindNames = [...]string{
 	"seq-read", "rand-read", "page-write", "tuple-cpu", "sort-cpu",
 	"interface", "row-ship", "translate", "decode", "check", "commit",
-	"readahead", "row-ship-batch", "net-ship",
+	"readahead", "row-ship-batch", "net-ship", "wal-write",
 }
 
 // String returns the stable lower-case name of the event class.
@@ -113,6 +114,13 @@ func Default1996() Model {
 	// copies, not wire time — but it is not free, which is exactly where
 	// the paper's lesson reappears at scale-out (DESIGN.md §13).
 	m.PerEvent[NetShip] = 16 * time.Microsecond
+	// The write-ahead log lives at the start of its own disk region and is
+	// only ever appended to, so a log page goes out at sequential-transfer
+	// speed. The expensive part of commit — waiting out the rotational
+	// latency of the force — stays in Commit; WalWrite is just the
+	// streaming of log bytes, which is why group commit amortizes Commit
+	// across a batch but still pays WalWrite per page (DESIGN.md §14).
+	m.PerEvent[WalWrite] = 1 * time.Millisecond
 	return m
 }
 

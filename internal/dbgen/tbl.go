@@ -3,10 +3,55 @@ package dbgen
 import (
 	"bufio"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
+	"sort"
 )
+
+// Line formatters shared by WriteTbl and WriteTblSorted so the two
+// modes emit byte-identical rows and differ only in row order.
+
+func regionLine(r Region) string {
+	return fmt.Sprintf("%d|%s|%s|\n", r.Key, r.Name, r.Comment)
+}
+
+func nationLine(n Nation) string {
+	return fmt.Sprintf("%d|%s|%d|%s|\n", n.Key, n.Name, n.RegionKey, n.Comment)
+}
+
+func supplierLine(s Supplier) string {
+	return fmt.Sprintf("%d|%s|%s|%d|%s|%.2f|%s|\n",
+		s.Key, s.Name, s.Address, s.NationKey, s.Phone, s.AcctBal, s.Comment)
+}
+
+func partLine(p Part) string {
+	return fmt.Sprintf("%d|%s|%s|%s|%s|%d|%s|%.2f|%s|\n",
+		p.Key, p.Name, p.Mfgr, p.Brand, p.Type, p.Size, p.Container, p.RetailPrice, p.Comment)
+}
+
+func partSuppLine(ps PartSupp) string {
+	return fmt.Sprintf("%d|%d|%d|%.2f|%s|\n",
+		ps.PartKey, ps.SuppKey, ps.AvailQty, ps.SupplyCost, ps.Comment)
+}
+
+func customerLine(c Customer) string {
+	return fmt.Sprintf("%d|%s|%s|%d|%s|%.2f|%s|%s|\n",
+		c.Key, c.Name, c.Address, c.NationKey, c.Phone, c.AcctBal, c.MktSegment, c.Comment)
+}
+
+func orderLine(o *Order) string {
+	return fmt.Sprintf("%d|%d|%s|%.2f|%s|%s|%s|%d|%s|\n",
+		o.Key, o.CustKey, o.Status, o.TotalPrice, o.Date.AsStr(),
+		o.Priority, o.Clerk, o.ShipPriority, o.Comment)
+}
+
+func lineitemLine(li Lineitem) string {
+	return fmt.Sprintf("%d|%d|%d|%d|%d|%.2f|%.2f|%.2f|%s|%s|%s|%s|%s|%s|%s|%s|\n",
+		li.OrderKey, li.PartKey, li.SuppKey, li.LineNumber, li.Quantity,
+		li.ExtendedPrice, li.Discount, li.Tax, li.ReturnFlag, li.LineStatus,
+		li.ShipDate.AsStr(), li.CommitDate.AsStr(), li.ReceiptDate.AsStr(),
+		li.ShipInstruct, li.ShipMode, li.Comment)
+}
 
 // WriteTbl writes the whole population as DBGEN-style pipe-delimited
 // .tbl files into dir, returning the total bytes written. This is the
@@ -37,7 +82,9 @@ func (g *Generator) WriteTbl(dir string) (int64, error) {
 
 	if err := write("region.tbl", func(w *bufio.Writer) error {
 		for _, r := range g.Regions() {
-			fmt.Fprintf(w, "%d|%s|%s|\n", r.Key, r.Name, r.Comment)
+			if _, err := w.WriteString(regionLine(r)); err != nil {
+				return err
+			}
 		}
 		return nil
 	}); err != nil {
@@ -45,7 +92,9 @@ func (g *Generator) WriteTbl(dir string) (int64, error) {
 	}
 	if err := write("nation.tbl", func(w *bufio.Writer) error {
 		for _, n := range g.NationRows() {
-			fmt.Fprintf(w, "%d|%s|%d|%s|\n", n.Key, n.Name, n.RegionKey, n.Comment)
+			if _, err := w.WriteString(nationLine(n)); err != nil {
+				return err
+			}
 		}
 		return nil
 	}); err != nil {
@@ -53,8 +102,7 @@ func (g *Generator) WriteTbl(dir string) (int64, error) {
 	}
 	if err := write("supplier.tbl", func(w *bufio.Writer) error {
 		return g.Suppliers(func(s Supplier) error {
-			_, err := fmt.Fprintf(w, "%d|%s|%s|%d|%s|%.2f|%s|\n",
-				s.Key, s.Name, s.Address, s.NationKey, s.Phone, s.AcctBal, s.Comment)
+			_, err := w.WriteString(supplierLine(s))
 			return err
 		})
 	}); err != nil {
@@ -62,8 +110,7 @@ func (g *Generator) WriteTbl(dir string) (int64, error) {
 	}
 	if err := write("part.tbl", func(w *bufio.Writer) error {
 		return g.Parts(func(p Part) error {
-			_, err := fmt.Fprintf(w, "%d|%s|%s|%s|%s|%d|%s|%.2f|%s|\n",
-				p.Key, p.Name, p.Mfgr, p.Brand, p.Type, p.Size, p.Container, p.RetailPrice, p.Comment)
+			_, err := w.WriteString(partLine(p))
 			return err
 		})
 	}); err != nil {
@@ -71,8 +118,7 @@ func (g *Generator) WriteTbl(dir string) (int64, error) {
 	}
 	if err := write("partsupp.tbl", func(w *bufio.Writer) error {
 		return g.PartSupps(func(ps PartSupp) error {
-			_, err := fmt.Fprintf(w, "%d|%d|%d|%.2f|%s|\n",
-				ps.PartKey, ps.SuppKey, ps.AvailQty, ps.SupplyCost, ps.Comment)
+			_, err := w.WriteString(partSuppLine(ps))
 			return err
 		})
 	}); err != nil {
@@ -80,8 +126,7 @@ func (g *Generator) WriteTbl(dir string) (int64, error) {
 	}
 	if err := write("customer.tbl", func(w *bufio.Writer) error {
 		return g.Customers(func(c Customer) error {
-			_, err := fmt.Fprintf(w, "%d|%s|%s|%d|%s|%.2f|%s|%s|\n",
-				c.Key, c.Name, c.Address, c.NationKey, c.Phone, c.AcctBal, c.MktSegment, c.Comment)
+			_, err := w.WriteString(customerLine(c))
 			return err
 		})
 	}); err != nil {
@@ -96,13 +141,11 @@ func (g *Generator) WriteTbl(dir string) (int64, error) {
 		defer liF.Close()
 		liW = bufio.NewWriter(liF)
 		err = g.Orders(func(o *Order) error {
-			if _, err := fmt.Fprintf(w, "%d|%d|%s|%.2f|%s|%s|%s|%d|%s|\n",
-				o.Key, o.CustKey, o.Status, o.TotalPrice, o.Date.AsStr(),
-				o.Priority, o.Clerk, o.ShipPriority, o.Comment); err != nil {
+			if _, err := w.WriteString(orderLine(o)); err != nil {
 				return err
 			}
 			for _, li := range o.Lines {
-				if err := writeLineitem(liW, li); err != nil {
+				if _, err := liW.WriteString(lineitemLine(li)); err != nil {
 					return err
 				}
 			}
@@ -125,11 +168,121 @@ func (g *Generator) WriteTbl(dir string) (int64, error) {
 	return total, nil
 }
 
-func writeLineitem(w io.Writer, li Lineitem) error {
-	_, err := fmt.Fprintf(w, "%d|%d|%d|%d|%d|%.2f|%.2f|%.2f|%s|%s|%s|%s|%s|%s|%s|%s|\n",
-		li.OrderKey, li.PartKey, li.SuppKey, li.LineNumber, li.Quantity,
-		li.ExtendedPrice, li.Discount, li.Tax, li.ReturnFlag, li.LineStatus,
-		li.ShipDate.AsStr(), li.CommitDate.AsStr(), li.ReceiptDate.AsStr(),
-		li.ShipInstruct, li.ShipMode, li.Comment)
-	return err
+// keyedLine is one formatted row with its primary key, buffered for the
+// sorted writer.
+type keyedLine struct {
+	k1, k2 int64
+	line   string
+}
+
+// WriteTblSorted writes the same population as WriteTbl with every
+// table's rows sorted by primary key. Most streams already arrive in
+// key order; the exception is PARTSUPP, whose four suppliers per part
+// come permuted by the join-safe assignment. Sorting is applied to
+// every table anyway, so the output is key-sorted by construction.
+// Sorted input lets a direct-path loader build its indexes bottom-up
+// without a run sort, at the cost of buffering each table in memory
+// (~the table's ASCII size) before writing it.
+func (g *Generator) WriteTblSorted(dir string) (int64, error) {
+	var total int64
+	flush := func(name string, rows []keyedLine) error {
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].k1 != rows[j].k1 {
+				return rows[i].k1 < rows[j].k1
+			}
+			return rows[i].k2 < rows[j].k2
+		})
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		for _, r := range rows {
+			if _, err := w.WriteString(r.line); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		st, err := f.Stat()
+		if err == nil {
+			total += st.Size()
+		}
+		return f.Close()
+	}
+
+	var rows []keyedLine
+	for _, r := range g.Regions() {
+		rows = append(rows, keyedLine{k1: r.Key, line: regionLine(r)})
+	}
+	if err := flush("region.tbl", rows); err != nil {
+		return total, err
+	}
+	rows = nil
+	for _, n := range g.NationRows() {
+		rows = append(rows, keyedLine{k1: n.Key, line: nationLine(n)})
+	}
+	if err := flush("nation.tbl", rows); err != nil {
+		return total, err
+	}
+	rows = nil
+	if err := g.Suppliers(func(s Supplier) error {
+		rows = append(rows, keyedLine{k1: s.Key, line: supplierLine(s)})
+		return nil
+	}); err != nil {
+		return total, err
+	}
+	if err := flush("supplier.tbl", rows); err != nil {
+		return total, err
+	}
+	rows = nil
+	if err := g.Parts(func(p Part) error {
+		rows = append(rows, keyedLine{k1: p.Key, line: partLine(p)})
+		return nil
+	}); err != nil {
+		return total, err
+	}
+	if err := flush("part.tbl", rows); err != nil {
+		return total, err
+	}
+	rows = nil
+	if err := g.PartSupps(func(ps PartSupp) error {
+		rows = append(rows, keyedLine{k1: ps.PartKey, k2: ps.SuppKey, line: partSuppLine(ps)})
+		return nil
+	}); err != nil {
+		return total, err
+	}
+	if err := flush("partsupp.tbl", rows); err != nil {
+		return total, err
+	}
+	rows = nil
+	if err := g.Customers(func(c Customer) error {
+		rows = append(rows, keyedLine{k1: c.Key, line: customerLine(c)})
+		return nil
+	}); err != nil {
+		return total, err
+	}
+	if err := flush("customer.tbl", rows); err != nil {
+		return total, err
+	}
+	var orders, lines []keyedLine
+	if err := g.Orders(func(o *Order) error {
+		orders = append(orders, keyedLine{k1: o.Key, line: orderLine(o)})
+		for _, li := range o.Lines {
+			lines = append(lines, keyedLine{k1: li.OrderKey, k2: li.LineNumber, line: lineitemLine(li)})
+		}
+		return nil
+	}); err != nil {
+		return total, err
+	}
+	if err := flush("orders.tbl", orders); err != nil {
+		return total, err
+	}
+	if err := flush("lineitem.tbl", lines); err != nil {
+		return total, err
+	}
+	return total, nil
 }

@@ -1,0 +1,188 @@
+package dbgen_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"r3bench/internal/dbgen"
+	"r3bench/internal/engine"
+	"r3bench/internal/val"
+)
+
+func readLines(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 1 && lines[0] == "" {
+		return nil
+	}
+	return lines
+}
+
+func keyTuple(t *testing.T, line string, cols []int) []int64 {
+	t.Helper()
+	fields := strings.Split(line, "|")
+	out := make([]int64, len(cols))
+	for i, c := range cols {
+		n, err := strconv.ParseInt(fields[c], 10, 64)
+		if err != nil {
+			t.Fatalf("field %d of %q: %v", c, line, err)
+		}
+		out[i] = n
+	}
+	return out
+}
+
+func tupleLess(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// TestWriteTblSortedIsKeySortedPermutation checks that -sorted output
+// holds exactly the same rows as the plain output, in strictly
+// increasing primary-key order, and that the mode is not a no-op (the
+// PARTSUPP stream really does arrive permuted).
+func TestWriteTblSortedIsKeySortedPermutation(t *testing.T) {
+	g := dbgen.New(0.001)
+	plainDir, sortedDir := t.TempDir(), t.TempDir()
+	if _, err := g.WriteTbl(plainDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteTblSorted(sortedDir); err != nil {
+		t.Fatal(err)
+	}
+
+	keyCols := map[string][]int{
+		"region.tbl":   {0},
+		"nation.tbl":   {0},
+		"supplier.tbl": {0},
+		"part.tbl":     {0},
+		"partsupp.tbl": {0, 1},
+		"customer.tbl": {0},
+		"orders.tbl":   {0},
+		"lineitem.tbl": {0, 3}, // l_orderkey, l_linenumber
+	}
+	for file, cols := range keyCols {
+		plain := readLines(t, filepath.Join(plainDir, file))
+		sorted := readLines(t, filepath.Join(sortedDir, file))
+		if len(plain) == 0 || len(plain) != len(sorted) {
+			t.Fatalf("%s: %d plain lines vs %d sorted", file, len(plain), len(sorted))
+		}
+		// Same multiset of rows.
+		p := append([]string(nil), plain...)
+		s := append([]string(nil), sorted...)
+		sort.Strings(p)
+		sort.Strings(s)
+		for i := range p {
+			if p[i] != s[i] {
+				t.Fatalf("%s: sorted output is not a permutation of plain output (first diff %q vs %q)", file, p[i], s[i])
+			}
+		}
+		// Strictly increasing primary keys.
+		prev := keyTuple(t, sorted[0], cols)
+		for _, line := range sorted[1:] {
+			cur := keyTuple(t, line, cols)
+			if !tupleLess(prev, cur) {
+				t.Fatalf("%s: key %v does not follow %v", file, cur, prev)
+			}
+			prev = cur
+		}
+	}
+
+	// The supplier-assignment permutation must actually reorder PARTSUPP,
+	// or the sorted mode proves nothing.
+	plain := readLines(t, filepath.Join(plainDir, "partsupp.tbl"))
+	sorted := readLines(t, filepath.Join(sortedDir, "partsupp.tbl"))
+	same := true
+	for i := range plain {
+		if plain[i] != sorted[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("partsupp.tbl came out in the same order sorted and unsorted")
+	}
+}
+
+// ingestPartSupp loads a partsupp.tbl file into a fresh database in file
+// order and returns the formatted results of a query battery.
+func ingestPartSupp(t *testing.T, path string) string {
+	t.Helper()
+	db := engine.Open(engine.Config{})
+	s := db.NewSessionWithMeter(nil)
+	if _, err := s.Exec(`CREATE TABLE partsupp (
+		ps_partkey INTEGER,
+		ps_suppkey INTEGER,
+		ps_availqty INTEGER,
+		ps_supplycost DECIMAL(15,2),
+		ps_comment VARCHAR(199),
+		PRIMARY KEY (ps_partkey, ps_suppkey))`); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range readLines(t, path) {
+		f := strings.Split(line, "|")
+		pk, _ := strconv.ParseInt(f[0], 10, 64)
+		sk, _ := strconv.ParseInt(f[1], 10, 64)
+		qty, _ := strconv.ParseInt(f[2], 10, 64)
+		cost, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		row := []val.Value{val.Int(pk), val.Int(sk), val.Int(qty), val.Float(cost), val.Str(f[4])}
+		if err := s.InsertRow("partsupp", row); err != nil {
+			t.Fatalf("insert %q: %v", line, err)
+		}
+	}
+	var out strings.Builder
+	for _, q := range []string{
+		`SELECT COUNT(*), SUM(ps_availqty) FROM partsupp`,
+		`SELECT ps_suppkey, COUNT(*), SUM(ps_supplycost) FROM partsupp GROUP BY ps_suppkey ORDER BY ps_suppkey`,
+		`SELECT ps_partkey, ps_suppkey, ps_availqty FROM partsupp WHERE ps_partkey = 3 ORDER BY ps_suppkey`,
+		`SELECT ps_partkey, ps_suppkey FROM partsupp WHERE ps_availqty < 500 ORDER BY ps_partkey, ps_suppkey`,
+	} {
+		res, err := s.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		for _, row := range res.Rows {
+			fmt.Fprintf(&out, "%v\n", row)
+		}
+		out.WriteString(";\n")
+	}
+	return out.String()
+}
+
+// TestSortedIngestByteIdenticalQueries loads the permuted and the
+// key-sorted PARTSUPP file into two fresh databases and demands
+// byte-identical query answers — the load order must be invisible.
+func TestSortedIngestByteIdenticalQueries(t *testing.T) {
+	g := dbgen.New(0.001)
+	plainDir, sortedDir := t.TempDir(), t.TempDir()
+	if _, err := g.WriteTbl(plainDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteTblSorted(sortedDir); err != nil {
+		t.Fatal(err)
+	}
+	plain := ingestPartSupp(t, filepath.Join(plainDir, "partsupp.tbl"))
+	sorted := ingestPartSupp(t, filepath.Join(sortedDir, "partsupp.tbl"))
+	if plain != sorted {
+		t.Fatalf("query answers differ between unsorted and sorted ingest:\n--- unsorted ---\n%s--- sorted ---\n%s", plain, sorted)
+	}
+	if plain == "" || !strings.Contains(plain, ";") {
+		t.Fatal("query battery produced no output")
+	}
+}

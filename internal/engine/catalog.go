@@ -171,6 +171,11 @@ type DB struct {
 	// writeHook observes every committed row mutation (guarded by mu).
 	writeHook WriteHook
 
+	// wal, when set by EnableWAL, makes storage durable: heap mutations
+	// are redo/undo-logged, Session.Commit forces the log instead of
+	// flushing data pages, and CrashRecover rebuilds committed state.
+	wal atomic.Pointer[storage.WAL]
+
 	// Cumulative execution counters for the metrics registry.
 	selects         atomic.Int64 // SELECT executions
 	parallelSelects atomic.Int64 // of those, plans compiled with degree >= 2
@@ -431,6 +436,82 @@ func (db *DB) parallelDegree() int {
 // Pool exposes the buffer pool (for harness hit-ratio reporting).
 func (db *DB) Pool() *storage.BufferPool { return db.pool }
 
+// WAL returns the write-ahead log, or nil while the database is
+// volatile (the default).
+func (db *DB) WAL() *storage.WAL { return db.wal.Load() }
+
+// EnableWAL makes the database durable from this point on: a
+// write-ahead log is created over the disk, every existing table's
+// current pages become the recovery baseline, and all subsequent heap
+// mutations are logged. groupCommit is the group-commit batch size
+// (<=1 forces the log on every commit). Enable after schema DDL —
+// the catalog itself is not logged; recovery reuses the live schema.
+func (db *DB) EnableWAL(groupCommit int) *storage.WAL {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if w := db.wal.Load(); w != nil {
+		return w
+	}
+	w := storage.NewWAL(db.disk, groupCommit)
+	w.SetFlusher(db.pool.FlushAll)
+	for _, t := range db.snap().tables {
+		t.Heap.SetWAL(w)
+	}
+	db.pool.SetWAL(w)
+	db.wal.Store(w)
+	return w
+}
+
+// CrashRecover simulates a crash at WAL offset cut (<0 = nothing lost)
+// and restarts: all volatile state — buffer-pool frames, unflushed data
+// pages, unforced commits — is discarded, the ARIES-lite redo/undo pass
+// rebuilds exactly the committed heap state, and every index is rebuilt
+// bottom-up from its recovered heap (indexes are not redo-logged).
+// Plans cached against pre-crash state are retired.
+func (db *DB) CrashRecover(cut int64, m *cost.Meter) (storage.RecoveryStats, error) {
+	w := db.wal.Load()
+	if w == nil {
+		return storage.RecoveryStats{}, fmt.Errorf("engine: crash recovery without WAL")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cur := db.snap()
+	heaps := make(map[storage.FileID]*storage.HeapFile, len(cur.tables))
+	for _, t := range cur.tables {
+		heaps[t.Heap.File()] = t.Heap
+	}
+	st, err := w.Recover(cut, heaps, m)
+	if err != nil {
+		return st, err
+	}
+	nc := cur.clone()
+	for name, t := range cur.tables {
+		nt := t.clone()
+		for i, ix := range nt.Indexes {
+			nix := *ix
+			nix.Table = nt
+			nix.Tree = db.newTree(ix.Unique)
+			var entries []btree.BulkEntry
+			err := nt.Heap.Scan(m, func(rid storage.RID, row []val.Value) error {
+				entries = append(entries, btree.BulkEntry{Key: nix.keyFor(row), RID: rid})
+				return nil
+			})
+			if err != nil {
+				return st, err
+			}
+			sortBulkEntries(entries, m)
+			if err := nix.Tree.BulkBuild(entries, m); err != nil {
+				return st, fmt.Errorf("engine: rebuilding %s: %w", nix.Name, err)
+			}
+			nix.Tree.StampLSN(st.ValidLSN)
+			nt.Indexes[i] = &nix
+		}
+		nc.tables[name] = nt
+	}
+	db.publish(nc)
+	return st, nil
+}
+
 // Model returns the database's cost model.
 func (db *DB) Model() cost.Model { return db.model }
 
@@ -482,6 +563,9 @@ func (db *DB) createTable(ct *sqlparse.CreateTable) (*Table, error) {
 		t.PrimaryKey = append(t.PrimaryKey, ci)
 	}
 	t.Heap = storage.NewHeapFile(db.disk, db.pool, val.NewRowCodec(layout))
+	if w := db.wal.Load(); w != nil {
+		t.Heap.SetWAL(w)
+	}
 	t.stats = newTableStats(len(t.Cols), &db.opt)
 	if len(t.PrimaryKey) > 0 {
 		pkIdx := &Index{
@@ -554,6 +638,9 @@ func (db *DB) dropIndex(name string) error {
 				nc := cur.clone()
 				nc.tables[nt.Name] = nt
 				db.publish(nc)
+				// The dead tree's leaves stop occupying residence
+				// slots immediately, not when they age out.
+				ix.Tree.ReleaseCache()
 				return nil
 			}
 		}
@@ -576,6 +663,9 @@ func (db *DB) dropTable(name string) error {
 		return fmt.Errorf("engine: no table %s", name)
 	}
 	t.Heap.Drop()
+	for _, ix := range t.Indexes {
+		ix.Tree.ReleaseCache()
+	}
 	nc := cur.clone()
 	delete(nc.tables, name)
 	db.publish(nc)

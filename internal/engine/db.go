@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"time"
 
 	"r3bench/internal/cost"
@@ -17,14 +18,54 @@ import (
 // client/server boundary the paper's Section 4 experiments measure.
 //
 // A Session is safe for concurrent use from any number of goroutines:
-// it holds no mutable state beyond the internally locked Meter, catalog
-// resolution pins an immutable snapshot per statement, and page reads
-// are isolated from writers by the buffer pool's copy-on-write. A
-// prepared *Stmt, by contrast, carries plan/feedback state and belongs
-// to one goroutine at a time.
+// it holds no mutable state beyond the internally locked Meter and the
+// lock-guarded transaction ID, catalog resolution pins an immutable
+// snapshot per statement, and page reads are isolated from writers by
+// the buffer pool's copy-on-write. A prepared *Stmt, by contrast,
+// carries plan/feedback state and belongs to one goroutine at a time.
 type Session struct {
 	db    *DB
 	Meter *cost.Meter
+
+	// Under WAL, a session's writes run in a transaction begun lazily at
+	// the first mutation and ended by Commit. Without WAL tx stays 0
+	// (the always-committed system transaction).
+	txMu sync.Mutex
+	tx   int64
+}
+
+// currentTx returns the session's open transaction, beginning one on
+// first use when the database is durable.
+func (s *Session) currentTx() int64 {
+	w := s.db.WAL()
+	if w == nil {
+		return 0
+	}
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
+	if s.tx == 0 {
+		s.tx = w.Begin()
+	}
+	return s.tx
+}
+
+// Commit ends the session's current transaction. Under WAL this is a
+// log-force only — dirty data pages stay in the pool until a checkpoint
+// or eviction writes them back, which is the whole point of write-ahead
+// logging. Without WAL it keeps the engine's historical commit
+// behavior: flush all dirty pages and charge one commit.
+func (s *Session) Commit() {
+	w := s.db.WAL()
+	if w == nil {
+		s.db.pool.FlushAll(s.Meter)
+		s.Meter.Charge(cost.Commit, 1)
+		return
+	}
+	s.txMu.Lock()
+	tx := s.tx
+	s.tx = 0
+	s.txMu.Unlock()
+	w.Commit(tx, s.Meter)
 }
 
 // NewSession opens a session charging against the database's cost model.
@@ -435,19 +476,36 @@ func (s *Session) execInsert(st *sqlparse.InsertStmt, params []val.Value) (*Resu
 				row[i] = v
 			}
 		}
-		if err := s.db.insertRow(t, row, s.Meter); err != nil {
+		if err := s.db.insertRowTx(s.currentTx(), t, row, s.Meter); err != nil {
 			return nil, err
 		}
 		n++
 	}
-	// Autocommit: force the table's dirty pages and the log.
-	t.Heap.Flush(s.Meter)
-	s.Meter.Charge(cost.Commit, 1)
+	s.autocommit(t)
 	return &Result{RowsAffected: n}, nil
 }
 
-// insertRow validates, coerces, stores and indexes one row.
+// autocommit ends the statement's implicit transaction: under WAL the
+// session transaction commits (a log force only); without WAL the
+// historical behavior — flush the table's dirty pages and charge one
+// commit — is unchanged.
+func (s *Session) autocommit(t *Table) {
+	if s.db.WAL() != nil {
+		s.Commit()
+		return
+	}
+	t.Heap.Flush(s.Meter)
+	s.Meter.Charge(cost.Commit, 1)
+}
+
+// insertRow validates, coerces, stores and indexes one row in the
+// system transaction.
 func (db *DB) insertRow(t *Table, row []val.Value, m *cost.Meter) error {
+	return db.insertRowTx(0, t, row, m)
+}
+
+// insertRowTx is insertRow on behalf of transaction tx.
+func (db *DB) insertRowTx(tx int64, t *Table, row []val.Value, m *cost.Meter) error {
 	if len(row) != len(t.Cols) {
 		return fmt.Errorf("engine: row width %d != %d for %s", len(row), len(t.Cols), t.Name)
 	}
@@ -457,10 +515,11 @@ func (db *DB) insertRow(t *Table, row []val.Value, m *cost.Meter) error {
 			return fmt.Errorf("engine: NULL in NOT NULL column %s.%s", t.Name, c.Name)
 		}
 	}
-	rid, err := t.Heap.Insert(row, m)
+	rid, err := t.Heap.InsertTx(tx, row, m)
 	if err != nil {
 		return err
 	}
+	w := db.wal.Load()
 	for i, ix := range t.Indexes {
 		if err := ix.Tree.Insert(ix.keyFor(row), rid, m); err != nil {
 			// Roll back: remove from heap and already-updated indexes.
@@ -469,6 +528,9 @@ func (db *DB) insertRow(t *Table, row []val.Value, m *cost.Meter) error {
 			}
 			_ = t.Heap.Delete(rid, m)
 			return fmt.Errorf("engine: %s: %w", t.Name, err)
+		}
+		if w != nil {
+			ix.Tree.StampLSN(w.Size())
 		}
 	}
 	db.noteWrite(t.Name, nil, row)
@@ -513,19 +575,22 @@ func (s *Session) execDelete(st *sqlparse.DeleteStmt, params []val.Value) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	w := s.db.WAL()
 	for i, rid := range rids {
-		if err := t.Heap.Delete(rid, s.Meter); err != nil {
+		if err := t.Heap.DeleteTx(s.currentTx(), rid, s.Meter); err != nil {
 			return nil, err
 		}
 		for _, ix := range t.Indexes {
 			if err := ix.Tree.Delete(ix.keyFor(rows[i]), rid, s.Meter); err != nil {
 				return nil, err
 			}
+			if w != nil {
+				ix.Tree.StampLSN(w.Size())
+			}
 		}
 		s.db.noteWrite(t.Name, rows[i], nil)
 	}
-	t.Heap.Flush(s.Meter)
-	s.Meter.Charge(cost.Commit, 1)
+	s.autocommit(t)
 	return &Result{RowsAffected: int64(len(rids))}, nil
 }
 
@@ -574,9 +639,10 @@ func (s *Session) execUpdate(st *sqlparse.UpdateStmt, params []val.Value) (*Resu
 				return nil, fmt.Errorf("engine: NULL in NOT NULL column %s.%s", t.Name, t.Cols[sf.col].Name)
 			}
 		}
-		if err := t.Heap.Update(rid, newRow, s.Meter); err != nil {
+		if err := t.Heap.UpdateTx(s.currentTx(), rid, newRow, s.Meter); err != nil {
 			return nil, err
 		}
+		w := s.db.WAL()
 		for _, ix := range t.Indexes {
 			oldKey, newKey := ix.keyFor(oldRow), ix.keyFor(newRow)
 			if string(oldKey) != string(newKey) {
@@ -586,24 +652,39 @@ func (s *Session) execUpdate(st *sqlparse.UpdateStmt, params []val.Value) (*Resu
 				if err := ix.Tree.Insert(newKey, rid, s.Meter); err != nil {
 					return nil, err
 				}
+				if w != nil {
+					ix.Tree.StampLSN(w.Size())
+				}
 			}
 		}
 		s.db.noteWrite(t.Name, oldRow, newRow)
 	}
-	t.Heap.Flush(s.Meter)
-	s.Meter.Charge(cost.Commit, 1)
+	s.autocommit(t)
 	return &Result{RowsAffected: int64(len(rids))}, nil
 }
 
 // InsertRow inserts one row without committing — the building block for
 // higher layers (SAP R/3's tuple-at-a-time inserts) that manage their own
-// transaction boundaries.
+// transaction boundaries. The row joins the system transaction; layers
+// that need crash atomicity insert through Session.InsertRow instead.
 func (db *DB) InsertRow(tableName string, row []val.Value, m *cost.Meter) error {
 	t := db.Table(tableName)
 	if t == nil {
 		return errNoTable(tableName)
 	}
 	return db.insertRow(t, row, m)
+}
+
+// InsertRow inserts one row in the session's open transaction without
+// committing; Session.Commit (or the next autocommitted statement) ends
+// the transaction. This is the R/3 layer's write path: its SAP LUWs map
+// to engine transactions.
+func (s *Session) InsertRow(tableName string, row []val.Value) error {
+	t := s.db.Table(tableName)
+	if t == nil {
+		return errNoTable(tableName)
+	}
+	return s.db.insertRowTx(s.currentTx(), t, row, s.Meter)
 }
 
 // FlushTable forces the table's dirty pages (part of a commit).
@@ -623,6 +704,16 @@ func (db *DB) BulkLoad(tableName string, rows [][]val.Value, m *cost.Meter) erro
 	t := db.Table(tableName)
 	if t == nil {
 		return errNoTable(tableName)
+	}
+	if w := db.wal.Load(); w != nil {
+		tx := w.Begin()
+		for _, row := range rows {
+			if err := db.insertRowTx(tx, t, row, m); err != nil {
+				return err
+			}
+		}
+		w.Commit(tx, m)
+		return nil
 	}
 	for _, row := range rows {
 		if err := db.insertRow(t, row, m); err != nil {

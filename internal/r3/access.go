@@ -48,7 +48,7 @@ func (sys *System) insertLogical(s *engine.Session, t *LogicalTable, row []val.V
 	}
 	switch t.Kind {
 	case Transparent:
-		return sys.DB.InsertRow(t.Name, row, s.Meter)
+		return s.InsertRow(t.Name, row)
 	case Pooled:
 		skip := map[string]bool{"FILLER": true}
 		for _, kc := range t.KeyCols {
@@ -56,7 +56,7 @@ func (sys *System) insertLogical(s *engine.Session, t *LogicalTable, row []val.V
 		}
 		phys := []val.Value{val.Str(t.Name), val.Str(t.keyString(row)), val.Str(t.packRow(row, skip))}
 		s.Meter.Charge(cost.Decode, 1) // encode on the way in
-		return sys.DB.InsertRow(poolTableName, phys, s.Meter)
+		return s.InsertRow(poolTableName, phys)
 	default:
 		return sys.insertClusterGroup(s, t, [][]val.Value{row})
 	}
@@ -90,7 +90,7 @@ func (sys *System) insertClusterGroup(s *engine.Session, t *LogicalTable, rows [
 		phys = append(phys, val.Int(pageNo), val.Str(cur.String()))
 		cur.Reset()
 		pageNo++
-		return sys.DB.InsertRow(t.Name+clusterSuffix, phys, s.Meter)
+		return s.InsertRow(t.Name+clusterSuffix, phys)
 	}
 	for _, p := range packed {
 		if cur.Len() > 0 && cur.Len()+len(rowSep)+len(p) > clusterVarData {

@@ -65,6 +65,14 @@ type Config struct {
 	// network round trip per row. Off by default — the paper's Table 7
 	// measures the per-row interface the 1996 systems actually had.
 	ArrayInterface bool
+	// Durable turns on write-ahead logging in the back-end RDBMS: every
+	// SAP LUW becomes an engine transaction whose commit forces the log
+	// instead of flushing data pages (DESIGN.md §14). Off by default so
+	// existing experiments keep their historical cost accounting.
+	Durable bool
+	// GroupCommit batches that many concurrent commits into one log
+	// force when Durable is set (0 or 1 = every commit forces).
+	GroupCommit int
 }
 
 // System is one installed SAP R/3 instance plus its back-end RDBMS.
@@ -115,6 +123,9 @@ func Install(cfg Config) (*System, error) {
 	}
 	if err := sys.createPhysical(); err != nil {
 		return nil, err
+	}
+	if cfg.Durable {
+		sys.DB.EnableWAL(cfg.GroupCommit)
 	}
 	// Buffer coherency: hook every engine write path (Open SQL, Native
 	// SQL, prepared DML, raw engine calls) so application-server table

@@ -183,8 +183,14 @@ type directLoader struct {
 const directBatch = 4096
 
 func (dl *directLoader) fullRow(t *LogicalTable, fields F) ([]val.Value, error) {
+	return dl.sys.physRow(t, fields)
+}
+
+// physRow materializes a logical table's full-width row from a field
+// assignment, injecting the client and defaulting absent CHAR columns.
+func (sys *System) physRow(t *LogicalTable, fields F) ([]val.Value, error) {
 	row := make([]val.Value, len(t.Cols))
-	row[0] = val.Str(dl.sys.Client)
+	row[0] = val.Str(sys.Client)
 	for name, v := range fields {
 		ci := t.ColIndex(name)
 		if ci < 0 {

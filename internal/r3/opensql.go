@@ -459,10 +459,11 @@ func (o *OpenSQL) Delete(table string, keyVals ...val.Value) error {
 	return o.sys.deleteLogical(o.sess, t, prefix)
 }
 
-// Commit ends the current logical unit of work: dirty pages of the
-// touched tables flush and the log forces.
+// Commit ends the current logical unit of work. Without a WAL the
+// engine keeps its historical behavior (dirty pages flush and the log
+// forces as one charge); with one, the commit is a log force only and
+// may ride a group commit (DESIGN.md §14).
 func (o *OpenSQL) Commit() {
 	defer o.ph.enterDB(o.sess.Meter)()
-	o.sys.DB.Pool().FlushAll(o.sess.Meter)
-	o.sess.Meter.Charge(cost.Commit, 1)
+	o.sess.Commit()
 }

@@ -110,6 +110,11 @@ type BufferPool struct {
 
 	raWindows atomic.Int64 // batched window fetches issued
 	raPages   atomic.Int64 // pages fetched speculatively (beyond the demand page)
+
+	// wal, when set, is told about every dirty-page write-back (flush or
+	// eviction): the page's current image becomes its durable version,
+	// after the WAL rule forces any unflushed log it depends on.
+	wal atomic.Pointer[WAL]
 }
 
 // NewBufferPool returns a pool over disk holding at most capacityBytes of
@@ -176,6 +181,11 @@ func (bp *BufferPool) SetMidpoint(on bool) { bp.midpoint.Store(on) }
 // SetReadahead toggles sequential readahead for ScanRuns (true by
 // default). Off, every scanned page charges its own sequential read.
 func (bp *BufferPool) SetReadahead(on bool) { bp.readahead.Store(on) }
+
+// SetWAL attaches the write-ahead log that observes dirty write-backs
+// (nil detaches). With no WAL attached, write-backs only charge the
+// cost model, exactly as before durability existed.
+func (bp *BufferPool) SetWAL(w *WAL) { bp.wal.Store(w) }
 
 // readaheadOn reports whether window fetches are currently worthwhile.
 func (bp *BufferPool) readaheadOn() bool {
@@ -487,8 +497,13 @@ func (bp *BufferPool) admitLocked(sh *poolShard, key pageKey, data []byte, m *co
 			fromOld = false
 		}
 		vf := victim.Value.(*frame)
-		if vf.dirty && m != nil {
-			m.Charge(cost.PageWrite, 1)
+		if vf.dirty {
+			if m != nil {
+				m.Charge(cost.PageWrite, 1)
+			}
+			if w := bp.wal.Load(); w != nil {
+				w.stableWrite(vf.key.file, vf.key.page, m)
+			}
 		}
 		if fromOld {
 			sh.old.Remove(victim)
@@ -598,12 +613,16 @@ func (bp *BufferPool) MarkDirty(file FileID, page PageID) {
 // FlushFile charges write-back for every dirty cached page of the file and
 // marks them clean. Used at commit points.
 func (bp *BufferPool) FlushFile(file FileID, m *cost.Meter) {
+	w := bp.wal.Load()
 	for _, sh := range bp.shards {
 		sh.mu.Lock()
 		for _, f := range sh.frames {
 			if f.key.file == file && f.dirty {
 				if m != nil {
 					m.Charge(cost.PageWrite, 1)
+				}
+				if w != nil {
+					w.stableWrite(f.key.file, f.key.page, m)
 				}
 				f.dirty = false
 			}
@@ -614,12 +633,16 @@ func (bp *BufferPool) FlushFile(file FileID, m *cost.Meter) {
 
 // FlushAll charges write-back for every dirty cached page.
 func (bp *BufferPool) FlushAll(m *cost.Meter) {
+	w := bp.wal.Load()
 	for _, sh := range bp.shards {
 		sh.mu.Lock()
 		for _, f := range sh.frames {
 			if f.dirty {
 				if m != nil {
 					m.Charge(cost.PageWrite, 1)
+				}
+				if w != nil {
+					w.stableWrite(f.key.file, f.key.page, m)
 				}
 				f.dirty = false
 			}

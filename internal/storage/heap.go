@@ -24,6 +24,7 @@ type HeapFile struct {
 	mu      sync.RWMutex
 	disk    *Disk
 	pool    *BufferPool
+	wal     *WAL // nil = volatile storage (the default)
 	file    FileID
 	codec   *val.RowCodec
 	perPage int
@@ -51,6 +52,24 @@ func NewHeapFile(disk *Disk, pool *BufferPool, codec *val.RowCodec) *HeapFile {
 // Codec returns the file's row codec.
 func (h *HeapFile) Codec() *val.RowCodec { return h.codec }
 
+// File returns the heap's disk file ID.
+func (h *HeapFile) File() FileID { return h.file }
+
+// SetWAL puts the heap under write-ahead logging: every mutation logs a
+// redo/undo record before the page can reach disk, and the file's
+// current pages become the recovery baseline. nil detaches.
+func (h *HeapFile) SetWAL(w *WAL) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.wal != nil && w == nil {
+		h.wal.DetachFile(h.file)
+	}
+	h.wal = w
+	if w != nil {
+		w.AttachFile(h.file)
+	}
+}
+
 // Rows returns the number of live rows.
 func (h *HeapFile) Rows() int64 {
 	h.mu.RLock()
@@ -67,8 +86,15 @@ func (h *HeapFile) DataBytes() int64 { return int64(h.Pages()) * PageSize }
 // RowsPerPage returns the page capacity in rows.
 func (h *HeapFile) RowsPerPage() int { return h.perPage }
 
-// Drop releases the file's pages.
+// Drop releases the file's pages, its buffered frames, and any WAL
+// bookkeeping.
 func (h *HeapFile) Drop() {
+	h.mu.Lock()
+	if h.wal != nil {
+		h.wal.DetachFile(h.file)
+		h.wal = nil
+	}
+	h.mu.Unlock()
 	h.pool.DropFile(h.file)
 	h.disk.DropFile(h.file)
 }
@@ -80,6 +106,7 @@ func (h *HeapFile) slotOffset(slot int) int { return 2 + h.bmBytes + slot*h.code
 
 func deleted(p []byte, slot int) bool { return p[2+slot/8]&(1<<(slot%8)) != 0 }
 func setDeleted(p []byte, slot int)   { p[2+slot/8] |= 1 << (slot % 8) }
+func clearDeleted(p []byte, slot int) { p[2+slot/8] &^= 1 << (slot % 8) }
 
 // errPageFull signals that the last heap page has no free slot and the
 // insert must extend the file.
@@ -88,8 +115,16 @@ var errPageFull = fmt.Errorf("storage: page full")
 // Insert appends a row and returns its RID, charging m for the page access
 // and per-tuple CPU. The page bytes are mutated through the pool's
 // copy-on-write path, so concurrent scanners holding the old version keep
-// reading a consistent page image.
+// reading a consistent page image. Under WAL the mutation is logged to
+// the system transaction (always committed).
 func (h *HeapFile) Insert(row []val.Value, m *cost.Meter) (RID, error) {
+	return h.InsertTx(0, row, m)
+}
+
+// InsertTx is Insert on behalf of transaction tx: the redo record is
+// logged against tx, so a crash before tx's commit record is forced
+// rolls the row back.
+func (h *HeapFile) InsertTx(tx int64, row []val.Value, m *cost.Meter) (RID, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	n := h.disk.NumPages(h.file)
@@ -115,6 +150,9 @@ func (h *HeapFile) Insert(row []val.Value, m *cost.Meter) (RID, error) {
 		}
 		setPageUsed(page, used+1)
 		rid = RID{Page: pid, Slot: uint16(used)}
+		if h.wal != nil {
+			h.wal.LogInsert(tx, h.file, pid, used, page[off:off+h.codec.RowBytes()])
+		}
 		return true, nil
 	}
 	err := h.pool.Mutate(h.file, pid, m, ins)
@@ -156,11 +194,20 @@ func (h *HeapFile) Fetch(rid RID, m *cost.Meter, out []val.Value) ([]val.Value, 
 
 // Delete tombstones the row at rid.
 func (h *HeapFile) Delete(rid RID, m *cost.Meter) error {
+	return h.DeleteTx(0, rid, m)
+}
+
+// DeleteTx is Delete on behalf of transaction tx.
+func (h *HeapFile) DeleteTx(tx int64, rid RID, m *cost.Meter) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	err := h.pool.Mutate(h.file, rid.Page, m, func(page []byte) (bool, error) {
 		if int(rid.Slot) >= pageUsed(page) || deleted(page, int(rid.Slot)) {
 			return false, fmt.Errorf("storage: delete of dead rid %v", rid)
+		}
+		if h.wal != nil {
+			off := h.slotOffset(int(rid.Slot))
+			h.wal.LogDelete(tx, h.file, rid.Page, int(rid.Slot), page[off:off+h.codec.RowBytes()])
 		}
 		setDeleted(page, int(rid.Slot))
 		return true, nil
@@ -177,6 +224,11 @@ func (h *HeapFile) Delete(rid RID, m *cost.Meter) error {
 
 // Update overwrites the row at rid in place (fixed-width rows always fit).
 func (h *HeapFile) Update(rid RID, row []val.Value, m *cost.Meter) error {
+	return h.UpdateTx(0, rid, row, m)
+}
+
+// UpdateTx is Update on behalf of transaction tx.
+func (h *HeapFile) UpdateTx(tx int64, rid RID, row []val.Value, m *cost.Meter) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	err := h.pool.Mutate(h.file, rid.Page, m, func(page []byte) (bool, error) {
@@ -187,6 +239,9 @@ func (h *HeapFile) Update(rid RID, row []val.Value, m *cost.Meter) error {
 		enc, err := h.codec.Encode(make([]byte, 0, h.codec.RowBytes()), row)
 		if err != nil {
 			return false, err
+		}
+		if h.wal != nil {
+			h.wal.LogUpdate(tx, h.file, rid.Page, int(rid.Slot), page[off:off+h.codec.RowBytes()], enc)
 		}
 		copy(page[off:off+h.codec.RowBytes()], enc)
 		return true, nil
@@ -287,3 +342,90 @@ func (h *HeapFile) Flush(m *cost.Meter) {
 
 // ErrStopScan stops a Scan early without reporting an error.
 var ErrStopScan = fmt.Errorf("storage: stop scan")
+
+// Recovery helpers. They run single-threaded after a simulated crash —
+// the pool's frames for the file have been dropped and no session holds
+// page slices — so they mutate the disk pages directly.
+
+// restorePage resets page pid to img (nil = zeroes), installing a fresh
+// unshared copy as the page's storage.
+func (h *HeapFile) restorePage(pid PageID, img []byte) {
+	cp := make([]byte, PageSize)
+	copy(cp, img)
+	h.disk.writePage(h.file, pid, cp)
+}
+
+// redoInsert replays a row append: write the image, extend the slot
+// count, clear any tombstone.
+func (h *HeapFile) redoInsert(pid PageID, slot int, row []byte) error {
+	page, err := h.disk.readPage(h.file, pid)
+	if err != nil {
+		return err
+	}
+	off := h.slotOffset(slot)
+	copy(page[off:off+h.codec.RowBytes()], row)
+	if pageUsed(page) < slot+1 {
+		setPageUsed(page, slot+1)
+	}
+	clearDeleted(page, slot)
+	return nil
+}
+
+// redoDelete replays a tombstone (also the undo of an insert).
+func (h *HeapFile) redoDelete(pid PageID, slot int) error {
+	page, err := h.disk.readPage(h.file, pid)
+	if err != nil {
+		return err
+	}
+	if pageUsed(page) < slot+1 {
+		setPageUsed(page, slot+1)
+	}
+	setDeleted(page, slot)
+	return nil
+}
+
+// redoWrite replays an in-place overwrite with the given image (redo
+// uses the after image, undo the before image).
+func (h *HeapFile) redoWrite(pid PageID, slot int, row []byte) error {
+	page, err := h.disk.readPage(h.file, pid)
+	if err != nil {
+		return err
+	}
+	off := h.slotOffset(slot)
+	copy(page[off:off+h.codec.RowBytes()], row)
+	return nil
+}
+
+// undoDelete rolls a tombstone back: restore the old image and clear
+// the bit.
+func (h *HeapFile) undoDelete(pid PageID, slot int, oldRow []byte) error {
+	page, err := h.disk.readPage(h.file, pid)
+	if err != nil {
+		return err
+	}
+	off := h.slotOffset(slot)
+	copy(page[off:off+h.codec.RowBytes()], oldRow)
+	clearDeleted(page, slot)
+	return nil
+}
+
+// recount rebuilds the live-row counter from the recovered pages.
+func (h *HeapFile) recount() {
+	n := h.disk.NumPages(h.file)
+	rows := int64(0)
+	for p := 0; p < n; p++ {
+		page, err := h.disk.readPage(h.file, PageID(p))
+		if err != nil {
+			continue
+		}
+		used := pageUsed(page)
+		for s := 0; s < used; s++ {
+			if !deleted(page, s) {
+				rows++
+			}
+		}
+	}
+	h.mu.Lock()
+	h.rows = rows
+	h.mu.Unlock()
+}

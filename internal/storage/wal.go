@@ -1,0 +1,683 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"r3bench/internal/cost"
+)
+
+// The write-ahead log makes the storage layer durable on the modelled
+// 1996 disk (DESIGN.md §14). Like the rest of the storage layer it is a
+// simulation with real bookkeeping: the log is an append-only byte
+// stream whose LSNs are byte offsets, every heap mutation appends a
+// logical redo/undo record before its page leaves the buffer pool
+// (the WAL rule, enforced at stable-write time), commits force the log
+// tail with one modelled fsync — batched across concurrent sessions by
+// group commit — and restart recovery replays the ARIES-lite
+// redo-then-undo protocol against the stable page images.
+//
+// "Durable" state is modelled explicitly: the WAL keeps a stable image
+// of every page at the moment it was last written back (FlushFile,
+// FlushAll, dirty eviction, or a direct-path bulk write). A crash at
+// log offset `cut` discards everything volatile — buffer-pool frames
+// and all page writes newer than their stable images — and Recover
+// rebuilds exactly the committed state from stable images plus the
+// surviving log prefix.
+
+// Log record types.
+const (
+	recInsert     byte = iota + 1 // row appended to a heap page slot
+	recDelete                     // slot tombstoned (payload carries the old row for undo)
+	recUpdate                     // slot overwritten (old and new images)
+	recExtent                     // direct-path allocation: n pages appended below the WAL
+	recCommit                     // transaction commit point
+	recCheckpoint                 // fuzzy checkpoint: all stable images current as of here
+)
+
+// Record framing: [4B payload len][1B type][8B txid][payload][4B CRC32].
+// A torn tail — a crash mid-record — fails either the length bound or
+// the checksum and is dropped by recovery.
+const (
+	walHeaderLen  = 4 + 1 + 8
+	walTrailerLen = 4
+)
+
+// defaultCkptEvery is the log volume between fuzzy checkpoints: every
+// ~4 MB of forced log, the pool's dirty pages are written back so redo
+// after a crash stays bounded.
+const defaultCkptEvery = 4 << 20
+
+// extentPages is the direct-path allocation granularity: one recExtent
+// record covers up to this many bulk-formatted pages.
+const extentPages = 64
+
+type stablePage struct {
+	lsn  int64 // end-LSN of the last record logged against the page
+	data []byte
+}
+
+// WalStats is a snapshot of the log's counters for the metrics registry.
+type WalStats struct {
+	Records     int64 // records appended
+	Bytes       int64 // log bytes appended (framing included)
+	Fsyncs      int64 // modelled log forces
+	FsyncPages  int64 // log pages streamed across all forces
+	Commits     int64 // commit records appended
+	Groups      int64 // forces that retired at least one commit
+	GroupSum    int64 // commits retired across those forces
+	MaxGroup    int64 // largest commit group retired by one force
+	Checkpoints int64 // fuzzy checkpoints taken
+}
+
+// WAL is the write-ahead log of one Disk. All LSNs are end offsets: a
+// record's LSN is the byte offset just past its trailer, so a record is
+// durable iff its LSN ≤ the flushed watermark.
+type WAL struct {
+	mu   sync.Mutex
+	disk *Disk
+
+	buf        []byte // the log; volatile past flushedLSN
+	flushedLSN int64
+	nextTx     int64
+	groupSize  int
+	pending    int // commits appended since the last force
+
+	files   map[FileID]bool        // heap files under WAL protection
+	pageLSN map[pageKey]int64      // last LSN logged against each page
+	stable  map[pageKey]stablePage // newest durable image of each page
+	base    map[pageKey][]byte     // immutable snapshot taken at AttachFile
+	// versions retains every stable image (per page, LSN-ascending) so
+	// tests can recover at an arbitrary historical cut; off by default
+	// because it copies a page per stable write.
+	retain   bool
+	versions map[pageKey][]stablePage
+
+	flusher   func(m *cost.Meter) // checkpoint hook (pool.FlushAll); runs outside mu
+	ckptEvery int64
+	lastCkpt  int64
+	inCkpt    bool
+
+	stats WalStats
+}
+
+// NewWAL returns an empty log over disk. groupSize is the group-commit
+// batch: a force is issued every groupSize commit records (1 = force
+// every commit, the classical non-grouped log).
+func NewWAL(disk *Disk, groupSize int) *WAL {
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	return &WAL{
+		disk:      disk,
+		nextTx:    1,
+		groupSize: groupSize,
+		files:     make(map[FileID]bool),
+		pageLSN:   make(map[pageKey]int64),
+		stable:    make(map[pageKey]stablePage),
+		base:      make(map[pageKey][]byte),
+		versions:  make(map[pageKey][]stablePage),
+		ckptEvery: defaultCkptEvery,
+	}
+}
+
+// SetFlusher installs the checkpoint write-back hook (normally the
+// buffer pool's FlushAll). The hook runs outside the WAL lock.
+func (w *WAL) SetFlusher(fn func(m *cost.Meter)) {
+	w.mu.Lock()
+	w.flusher = fn
+	w.mu.Unlock()
+}
+
+// SetRetain toggles full stable-image retention, needed to Recover at a
+// historical cut without falling back to whole-log redo.
+func (w *WAL) SetRetain(on bool) {
+	w.mu.Lock()
+	w.retain = on
+	w.mu.Unlock()
+}
+
+// AttachFile puts a heap file under WAL protection, snapshotting its
+// current pages as the immutable recovery baseline (LSN 0). Attach
+// before the first logged mutation of the file.
+func (w *WAL) AttachFile(f FileID) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.files[f] = true
+	n := w.disk.NumPages(f)
+	for p := 0; p < n; p++ {
+		data, err := w.disk.readPage(f, PageID(p))
+		if err != nil {
+			continue
+		}
+		key := pageKey{f, PageID(p)}
+		cp := append([]byte(nil), data...)
+		w.base[key] = cp
+		sp := stablePage{lsn: 0, data: cp}
+		w.stable[key] = sp
+		if w.retain {
+			w.versions[key] = append(w.versions[key], sp)
+		}
+	}
+}
+
+// DetachFile drops a file from WAL protection (table drop): its stable
+// images and page LSNs are released.
+func (w *WAL) DetachFile(f FileID) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.files, f)
+	for key := range w.pageLSN {
+		if key.file == f {
+			delete(w.pageLSN, key)
+		}
+	}
+	for key := range w.stable {
+		if key.file == f {
+			delete(w.stable, key)
+		}
+	}
+	for key := range w.base {
+		if key.file == f {
+			delete(w.base, key)
+		}
+	}
+	for key := range w.versions {
+		if key.file == f {
+			delete(w.versions, key)
+		}
+	}
+}
+
+// Begin opens a transaction and returns its ID. TxID 0 is the system
+// transaction: its records are always treated as committed.
+func (w *WAL) Begin() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tx := w.nextTx
+	w.nextTx++
+	return tx
+}
+
+// appendLocked frames and appends one record, returning its end-LSN.
+func (w *WAL) appendLocked(typ byte, tx int64, payload []byte) int64 {
+	start := len(w.buf)
+	var hdr [walHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	hdr[4] = typ
+	binary.BigEndian.PutUint64(hdr[5:13], uint64(tx))
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, payload...)
+	sum := crc32.ChecksumIEEE(w.buf[start+4:])
+	var tr [walTrailerLen]byte
+	binary.BigEndian.PutUint32(tr[:], sum)
+	w.buf = append(w.buf, tr[:]...)
+	w.stats.Records++
+	w.stats.Bytes += int64(walHeaderLen + len(payload) + walTrailerLen)
+	return int64(len(w.buf))
+}
+
+func putSlotHeader(p []byte, file FileID, page PageID, slot int) {
+	binary.BigEndian.PutUint32(p[0:4], uint32(file))
+	binary.BigEndian.PutUint32(p[4:8], uint32(page))
+	binary.BigEndian.PutUint16(p[8:10], uint16(slot))
+}
+
+// LogInsert records a row appended at (page,slot) and stamps the page's
+// LSN. row is the encoded fixed-width image.
+func (w *WAL) LogInsert(tx int64, file FileID, page PageID, slot int, row []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	p := make([]byte, 10+len(row))
+	putSlotHeader(p, file, page, slot)
+	copy(p[10:], row)
+	w.pageLSN[pageKey{file, page}] = w.appendLocked(recInsert, tx, p)
+}
+
+// LogDelete records a tombstone at (page,slot); oldRow is kept for undo.
+func (w *WAL) LogDelete(tx int64, file FileID, page PageID, slot int, oldRow []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	p := make([]byte, 10+len(oldRow))
+	putSlotHeader(p, file, page, slot)
+	copy(p[10:], oldRow)
+	w.pageLSN[pageKey{file, page}] = w.appendLocked(recDelete, tx, p)
+}
+
+// LogUpdate records an in-place overwrite with both images.
+func (w *WAL) LogUpdate(tx int64, file FileID, page PageID, slot int, oldRow, newRow []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	p := make([]byte, 14+len(oldRow)+len(newRow))
+	putSlotHeader(p, file, page, slot)
+	binary.BigEndian.PutUint32(p[10:14], uint32(len(oldRow)))
+	copy(p[14:], oldRow)
+	copy(p[14+len(oldRow):], newRow)
+	w.pageLSN[pageKey{file, page}] = w.appendLocked(recUpdate, tx, p)
+}
+
+// LogExtent records a direct-path allocation of n pages starting at
+// first — the only logging bulk-formatted pages get — and stamps each
+// page's LSN so their stable writes observe the WAL rule.
+func (w *WAL) LogExtent(tx int64, file FileID, first PageID, n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var p [12]byte
+	binary.BigEndian.PutUint32(p[0:4], uint32(file))
+	binary.BigEndian.PutUint32(p[4:8], uint32(first))
+	binary.BigEndian.PutUint32(p[8:12], uint32(n))
+	lsn := w.appendLocked(recExtent, tx, p[:])
+	for i := 0; i < n; i++ {
+		w.pageLSN[pageKey{file, first + PageID(i)}] = lsn
+	}
+}
+
+// Commit appends the transaction's commit record. The force is batched:
+// only every groupSize-th pending commit pays the modelled fsync (the
+// group's WalWrite pages plus one Commit), so concurrent sessions share
+// the rotational wait — the classic group-commit win. A commit whose
+// record has not yet been forced is not durable; it is lost (treated as
+// uncommitted) by a crash before the next force.
+func (w *WAL) Commit(tx int64, m *cost.Meter) {
+	w.mu.Lock()
+	w.appendLocked(recCommit, tx, nil)
+	w.stats.Commits++
+	w.pending++
+	if w.pending >= w.groupSize {
+		w.forceLocked(m)
+	}
+	w.mu.Unlock()
+	w.maybeCheckpoint(m)
+}
+
+// Force flushes the log tail unconditionally (shutdown, end of load).
+func (w *WAL) Force(m *cost.Meter) {
+	w.mu.Lock()
+	w.forceLocked(m)
+	w.mu.Unlock()
+	w.maybeCheckpoint(m)
+}
+
+// forceLocked makes the buffered tail durable: one modelled fsync
+// (cost.Commit, the rotational wait) plus the sequential streaming of
+// the log pages (cost.WalWrite). Caller holds w.mu.
+func (w *WAL) forceLocked(m *cost.Meter) {
+	delta := int64(len(w.buf)) - w.flushedLSN
+	if delta <= 0 {
+		if w.pending > 0 {
+			w.retireGroupLocked()
+		}
+		return
+	}
+	pages := (delta + PageSize - 1) / PageSize
+	if m != nil {
+		m.Charge(cost.WalWrite, pages)
+		m.Charge(cost.Commit, 1)
+	}
+	w.stats.Fsyncs++
+	w.stats.FsyncPages += pages
+	if w.pending > 0 {
+		w.retireGroupLocked()
+	}
+	w.flushedLSN = int64(len(w.buf))
+}
+
+func (w *WAL) retireGroupLocked() {
+	w.stats.Groups++
+	w.stats.GroupSum += int64(w.pending)
+	if int64(w.pending) > w.stats.MaxGroup {
+		w.stats.MaxGroup = int64(w.pending)
+	}
+	w.pending = 0
+}
+
+// maybeCheckpoint takes a fuzzy checkpoint once enough log has been
+// forced since the last one: write back all dirty pages (each becoming
+// a stable image), then log and force a checkpoint record. The flusher
+// runs outside w.mu — it re-enters the WAL through stableWrite.
+func (w *WAL) maybeCheckpoint(m *cost.Meter) {
+	w.mu.Lock()
+	if w.flusher == nil || w.inCkpt || w.flushedLSN-w.lastCkpt < w.ckptEvery {
+		w.mu.Unlock()
+		return
+	}
+	w.inCkpt = true
+	flusher := w.flusher
+	w.mu.Unlock()
+	flusher(m)
+	w.mu.Lock()
+	w.appendLocked(recCheckpoint, 0, nil)
+	w.forceLocked(m)
+	w.stats.Checkpoints++
+	w.lastCkpt = w.flushedLSN
+	w.inCkpt = false
+	w.mu.Unlock()
+}
+
+// stableWrite records that the page's current disk image just became
+// durable (write-back or direct-path write). The WAL rule is enforced
+// here: if the page carries an unflushed LSN, the log is forced first.
+// Pages of unattached files are ignored.
+func (w *WAL) stableWrite(file FileID, page PageID, m *cost.Meter) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.files[file] {
+		return
+	}
+	key := pageKey{file, page}
+	if w.pageLSN[key] > w.flushedLSN {
+		w.forceLocked(m)
+	}
+	data, err := w.disk.readPage(file, page)
+	if err != nil {
+		return
+	}
+	sp := stablePage{lsn: w.pageLSN[key], data: append([]byte(nil), data...)}
+	w.stable[key] = sp
+	if w.retain {
+		w.versions[key] = append(w.versions[key], sp)
+	}
+}
+
+// Size returns the log length in bytes (the next record's start LSN).
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return int64(len(w.buf))
+}
+
+// FlushedLSN returns the durable watermark.
+func (w *WAL) FlushedLSN() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushedLSN
+}
+
+// GroupSize returns the group-commit batch size.
+func (w *WAL) GroupSize() int { return w.groupSize }
+
+// Boundaries returns the end-LSN of every whole record currently in the
+// log — the cut points a crash can land exactly on. Recovery torture
+// tests iterate these (and offsets in between, for torn tails).
+func (w *WAL) Boundaries() []int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	recs, _ := w.parseLocked(int64(len(w.buf)))
+	out := make([]int64, len(recs))
+	for i, r := range recs {
+		out[i] = r.lsn
+	}
+	return out
+}
+
+// Stats snapshots the log counters.
+func (w *WAL) Stats() WalStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// walRec is one decoded log record.
+type walRec struct {
+	lsn   int64 // end offset
+	typ   byte
+	tx    int64
+	file  FileID
+	page  PageID
+	slot  int
+	old   []byte // prior image (delete/update undo)
+	new   []byte // after image (insert/update redo)
+	first PageID // extent
+	n     int    // extent
+}
+
+// parseLocked decodes the valid record prefix of w.buf[:limit]. A
+// record that extends past limit, or whose checksum fails, ends the
+// prefix — exactly how a torn tail is dropped after a crash.
+func (w *WAL) parseLocked(limit int64) ([]walRec, int64) {
+	var recs []walRec
+	off := int64(0)
+	for off+walHeaderLen+walTrailerLen <= limit {
+		plen := int64(binary.BigEndian.Uint32(w.buf[off : off+4]))
+		end := off + walHeaderLen + plen + walTrailerLen
+		if end > limit {
+			break
+		}
+		body := w.buf[off+4 : end-walTrailerLen]
+		if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(w.buf[end-walTrailerLen:end]) {
+			break
+		}
+		r := walRec{
+			lsn: end,
+			typ: w.buf[off+4],
+			tx:  int64(binary.BigEndian.Uint64(w.buf[off+5 : off+13])),
+		}
+		p := w.buf[off+walHeaderLen : off+walHeaderLen+plen]
+		switch r.typ {
+		case recInsert, recDelete:
+			r.file = FileID(binary.BigEndian.Uint32(p[0:4]))
+			r.page = PageID(binary.BigEndian.Uint32(p[4:8]))
+			r.slot = int(binary.BigEndian.Uint16(p[8:10]))
+			if r.typ == recInsert {
+				r.new = p[10:]
+			} else {
+				r.old = p[10:]
+			}
+		case recUpdate:
+			r.file = FileID(binary.BigEndian.Uint32(p[0:4]))
+			r.page = PageID(binary.BigEndian.Uint32(p[4:8]))
+			r.slot = int(binary.BigEndian.Uint16(p[8:10]))
+			oldLen := int64(binary.BigEndian.Uint32(p[10:14]))
+			r.old = p[14 : 14+oldLen]
+			r.new = p[14+oldLen:]
+		case recExtent:
+			r.file = FileID(binary.BigEndian.Uint32(p[0:4]))
+			r.first = PageID(binary.BigEndian.Uint32(p[4:8]))
+			r.n = int(binary.BigEndian.Uint32(p[8:12]))
+		case recCommit, recCheckpoint:
+		default:
+			return recs, off // unknown type: treat as corruption
+		}
+		recs = append(recs, r)
+		off = end
+	}
+	return recs, off
+}
+
+// stableAtLocked returns the newest durable image of key with LSN ≤
+// limit, or (nil, 0) meaning the page never reached disk and restores
+// to zeroes. Without retention the fallback past an overwritten stable
+// image is the attach-time base (LSN 0) — correct, just more redo.
+func (w *WAL) stableAtLocked(key pageKey, limit int64) ([]byte, int64) {
+	if w.retain {
+		vs := w.versions[key]
+		for i := len(vs) - 1; i >= 0; i-- {
+			if vs[i].lsn <= limit {
+				return vs[i].data, vs[i].lsn
+			}
+		}
+		return nil, 0
+	}
+	if sp, ok := w.stable[key]; ok && sp.lsn <= limit {
+		return sp.data, sp.lsn
+	}
+	if b, ok := w.base[key]; ok {
+		return b, 0
+	}
+	return nil, 0
+}
+
+// RecoveryStats summarizes one restart recovery.
+type RecoveryStats struct {
+	Records       int   // valid log records scanned
+	PagesRestored int   // pages reset to their stable image (or zeroes)
+	Redone        int   // DML records replayed
+	Undone        int   // loser-transaction records rolled back
+	Committed     int   // committed transactions found
+	Lost          int   // transactions without a durable commit record
+	ValidLSN      int64 // end of the surviving log prefix
+}
+
+// Recover simulates a crash at log offset cut (< 0 means "no bytes
+// lost") and rebuilds exactly the committed state: every attached page
+// is reset to its newest durable image, the surviving log prefix is
+// replayed in LSN order onto pages whose restored LSN predates the
+// record (redo), then records of transactions without a durable commit
+// are rolled back in reverse order (undo). heaps maps each attached
+// FileID to its handler; their row counts are rebuilt afterwards.
+// Indexes are not WAL-logged — callers rebuild them bottom-up from the
+// recovered heaps.
+//
+// The WAL itself survives with the truncated prefix, so logging can
+// resume after recovery.
+func (w *WAL) Recover(cut int64, heaps map[FileID]*HeapFile, m *cost.Meter) (RecoveryStats, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if cut < 0 || cut > int64(len(w.buf)) {
+		cut = int64(len(w.buf))
+	}
+	recs, limit := w.parseLocked(cut)
+	var st RecoveryStats
+	st.Records = len(recs)
+	st.ValidLSN = limit
+
+	committed := map[int64]bool{0: true}
+	losers := map[int64]bool{}
+	maxTx := int64(0)
+	for _, r := range recs {
+		if r.tx > maxTx {
+			maxTx = r.tx
+		}
+		if r.typ == recCommit {
+			committed[r.tx] = true
+			delete(losers, r.tx)
+		} else if r.tx != 0 && !committed[r.tx] {
+			losers[r.tx] = true
+		}
+	}
+	st.Committed = len(committed) - 1
+	st.Lost = len(losers)
+
+	// Restore: drop all volatile frames and reset every page to its
+	// newest durable image (zeroes if it never reached disk).
+	restored := make(map[pageKey]int64, len(w.pageLSN))
+	newStable := make(map[pageKey]stablePage)
+	for f, h := range heaps {
+		if !w.files[f] {
+			return st, fmt.Errorf("storage: recover of unattached file %d", f)
+		}
+		h.pool.DropFile(f)
+		n := w.disk.NumPages(f)
+		for p := 0; p < n; p++ {
+			key := pageKey{f, PageID(p)}
+			img, lsn := w.stableAtLocked(key, limit)
+			h.restorePage(PageID(p), img)
+			restored[key] = lsn
+			if img != nil {
+				newStable[key] = stablePage{lsn: lsn, data: img}
+			}
+			st.PagesRestored++
+			if m != nil {
+				m.Charge(cost.PageWrite, 1)
+			}
+		}
+	}
+	// Reading the surviving log is one sequential pass.
+	if m != nil && limit > 0 {
+		m.Charge(cost.SeqRead, (limit+PageSize-1)/PageSize)
+	}
+
+	// Redo: replay history onto pages whose restored image predates the
+	// record. Idempotent by the LSN test.
+	for _, r := range recs {
+		h := heaps[r.file]
+		if h == nil {
+			continue
+		}
+		key := pageKey{r.file, r.page}
+		switch r.typ {
+		case recInsert:
+			if r.lsn > restored[key] {
+				if err := h.redoInsert(r.page, r.slot, r.new); err != nil {
+					return st, err
+				}
+				st.Redone++
+			}
+		case recDelete:
+			if r.lsn > restored[key] {
+				if err := h.redoDelete(r.page, r.slot); err != nil {
+					return st, err
+				}
+				st.Redone++
+			}
+		case recUpdate:
+			if r.lsn > restored[key] {
+				if err := h.redoWrite(r.page, r.slot, r.new); err != nil {
+					return st, err
+				}
+				st.Redone++
+			}
+		}
+		if m != nil && (r.typ == recInsert || r.typ == recDelete || r.typ == recUpdate) {
+			m.Charge(cost.TupleCPU, 1)
+		}
+	}
+
+	// Undo: roll back losers newest-first.
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		if committed[r.tx] {
+			continue
+		}
+		h := heaps[r.file]
+		if h == nil {
+			continue
+		}
+		var err error
+		switch r.typ {
+		case recInsert:
+			err = h.redoDelete(r.page, r.slot) // undo insert = tombstone
+		case recDelete:
+			err = h.undoDelete(r.page, r.slot, r.old)
+		case recUpdate:
+			err = h.redoWrite(r.page, r.slot, r.old)
+		default:
+			continue
+		}
+		if err != nil {
+			return st, err
+		}
+		st.Undone++
+		if m != nil {
+			m.Charge(cost.TupleCPU, 1)
+		}
+	}
+
+	for _, h := range heaps {
+		h.recount()
+	}
+
+	// The WAL continues from the surviving prefix.
+	w.buf = w.buf[:limit]
+	w.flushedLSN = limit
+	w.pending = 0
+	w.pageLSN = restored
+	w.stable = newStable
+	if w.retain {
+		for key, vs := range w.versions {
+			kept := vs[:0]
+			for _, v := range vs {
+				if v.lsn <= limit {
+					kept = append(kept, v)
+				}
+			}
+			w.versions[key] = kept
+		}
+	}
+	if maxTx >= w.nextTx {
+		w.nextTx = maxTx + 1
+	}
+	return st, nil
+}

@@ -1,0 +1,74 @@
+package tpcd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"r3bench/internal/dbgen"
+	"r3bench/internal/engine"
+	"r3bench/internal/storage"
+	"r3bench/internal/val"
+)
+
+// tableFingerprint renders every heap row (in physical order) and every
+// index's entry count into one string.
+func tableFingerprint(t *testing.T, db *engine.DB, name string) string {
+	t.Helper()
+	tab := db.Table(name)
+	if tab == nil {
+		t.Fatalf("no table %s", name)
+	}
+	var b strings.Builder
+	err := tab.Heap.Scan(nil, func(rid storage.RID, row []val.Value) error {
+		fmt.Fprintf(&b, "%v\n", row)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s scan: %v", name, err)
+	}
+	for _, ix := range tab.Indexes {
+		fmt.Fprintf(&b, "index %s: %d\n", ix.Name, ix.Tree.Entries())
+	}
+	return b.String()
+}
+
+// TestLoadDirectByteIdentical demands that the direct-path load produce
+// exactly the database the bulk-load path does: same heap contents in
+// the same physical order, same index entry counts, and byte-identical
+// answers to every power-test query.
+func TestLoadDirectByteIdentical(t *testing.T) {
+	g := dbgen.New(testSF)
+	bulk := engine.Open(engine.Config{})
+	if err := Load(bulk, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	direct := engine.Open(engine.Config{})
+	if err := LoadDirect(direct, g, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{"REGION", "NATION", "SUPPLIER", "PART",
+		"PARTSUPP", "CUSTOMER", "ORDERS", "LINEITEM"} {
+		bf := tableFingerprint(t, bulk, name)
+		df := tableFingerprint(t, direct, name)
+		if bf != df {
+			t.Errorf("%s differs between bulk and direct-path load", name)
+		}
+	}
+
+	bulkImpl, directImpl := NewRDBMS(bulk, g), NewRDBMS(direct, g)
+	for q := 1; q <= 17; q++ {
+		br, err := bulkImpl.RunQuery(q)
+		if err != nil {
+			t.Fatalf("bulk Q%d: %v", q, err)
+		}
+		dr, err := directImpl.RunQuery(q)
+		if err != nil {
+			t.Fatalf("direct Q%d: %v", q, err)
+		}
+		if fmt.Sprintf("%v", br) != fmt.Sprintf("%v", dr) {
+			t.Errorf("Q%d answers differ between bulk and direct-path load", q)
+		}
+	}
+}

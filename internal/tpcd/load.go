@@ -182,6 +182,129 @@ func LoadPartition(db *engine.DB, g *dbgen.Generator, m *cost.Meter, keep func(t
 	return db.AnalyzeAll()
 }
 
+// LoadDirect bulk-loads the population through the engine's direct-path
+// loaders: full heap pages formatted below the WAL and indexes built
+// bottom-up from sorted (key, RID) runs, instead of per-batch BulkLoad
+// inserts with per-key index descents. The goroutine partitioning is
+// LoadPartition's — one per table, ORDERS+LINEITEM sharing the
+// interleaved stream — and each table receives its rows in canonical
+// generator order, so the loaded database is byte-identical to Load's.
+func LoadDirect(db *engine.DB, g *dbgen.Generator, m *cost.Meter) error {
+	if err := CreateSchema(db, m); err != nil {
+		return err
+	}
+	// direct streams a table's rows into a fresh direct-path loader and
+	// closes it (sealing pages, building indexes, committing the extent).
+	direct := func(table string, fill func(add func(row []val.Value) error) error) error {
+		dl, err := db.NewDirectLoader(table, m)
+		if err != nil {
+			return err
+		}
+		if err := fill(dl.Append); err != nil {
+			return err
+		}
+		return dl.Close()
+	}
+
+	loaders := []func() error{
+		func() error { // REGION + NATION: tiny, share a goroutine
+			if err := direct("REGION", func(add func([]val.Value) error) error {
+				for _, r := range g.Regions() {
+					if err := add([]val.Value{val.Int(r.Key), val.Str(r.Name), val.Str(r.Comment)}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			return direct("NATION", func(add func([]val.Value) error) error {
+				for _, n := range g.NationRows() {
+					if err := add([]val.Value{val.Int(n.Key), val.Str(n.Name), val.Int(n.RegionKey), val.Str(n.Comment)}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		},
+		func() error {
+			return direct("SUPPLIER", func(add func([]val.Value) error) error {
+				return g.Suppliers(func(s dbgen.Supplier) error { return add(supplierRow(s)) })
+			})
+		},
+		func() error {
+			return direct("PART", func(add func([]val.Value) error) error {
+				return g.Parts(func(p dbgen.Part) error {
+					return add([]val.Value{val.Int(p.Key), val.Str(p.Name), val.Str(p.Mfgr),
+						val.Str(p.Brand), val.Str(p.Type), val.Int(p.Size), val.Str(p.Container),
+						val.Float(p.RetailPrice), val.Str(p.Comment)})
+				})
+			})
+		},
+		func() error {
+			return direct("PARTSUPP", func(add func([]val.Value) error) error {
+				return g.PartSupps(func(ps dbgen.PartSupp) error {
+					return add([]val.Value{val.Int(ps.PartKey), val.Int(ps.SuppKey),
+						val.Int(ps.AvailQty), val.Float(ps.SupplyCost), val.Str(ps.Comment)})
+				})
+			})
+		},
+		func() error {
+			return direct("CUSTOMER", func(add func([]val.Value) error) error {
+				return g.Customers(func(c dbgen.Customer) error {
+					return add([]val.Value{val.Int(c.Key), val.Str(c.Name), val.Str(c.Address),
+						val.Int(c.NationKey), val.Str(c.Phone), val.Float(c.AcctBal),
+						val.Str(c.MktSegment), val.Str(c.Comment)})
+				})
+			})
+		},
+		func() error { // ORDERS + LINEITEM arrive interleaved from one stream
+			lo, err := db.NewDirectLoader("ORDERS", m)
+			if err != nil {
+				return err
+			}
+			ll, err := db.NewDirectLoader("LINEITEM", m)
+			if err != nil {
+				return err
+			}
+			if err := g.Orders(func(o *dbgen.Order) error {
+				if err := lo.Append(OrderRow(o)); err != nil {
+					return err
+				}
+				for _, li := range o.Lines {
+					if err := ll.Append(LineitemRow(li)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if err := lo.Close(); err != nil {
+				return err
+			}
+			return ll.Close()
+		},
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(loaders))
+	for i, fn := range loaders {
+		wg.Add(1)
+		go func(i int, fn func() error) {
+			defer wg.Done()
+			errs[i] = fn()
+		}(i, fn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return db.AnalyzeAll()
+}
+
 func supplierRow(s dbgen.Supplier) []val.Value {
 	return []val.Value{val.Int(s.Key), val.Str(s.Name), val.Str(s.Address),
 		val.Int(s.NationKey), val.Str(s.Phone), val.Float(s.AcctBal), val.Str(s.Comment)}

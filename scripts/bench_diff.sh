@@ -12,7 +12,10 @@
 # to catch streams serializing, not tuning drift), or a 4-shard
 # power-test speedup (shardscale.simms.shards1/shards4) below
 # MIN_SHARD_SCALING (default 1.5 — exchange costs swamping the
-# partitioned work). Usage:
+# partitioned work), or a direct-path load speedup
+# (loadpath.simms.batchinput/directpath) below MIN_LOAD_SPEEDUP
+# (default 10 — far under the measured ~2900x; it catches the direct
+# path falling back to logged row inserts). Usage:
 #
 #   ./scripts/bench_diff.sh OLD.json [NEW.json]
 #
@@ -35,4 +38,5 @@ exec go run ./cmd/benchdiff -min-hit-ratio "${MIN_HIT_RATIO:-0.92}" \
 	-max-allocs-increase "${MAX_ALLOCS_INCREASE:-10}" \
 	-max-parse-allocs "${MAX_PARSE_ALLOCS:-16}" \
 	-min-qph-ratio "${MIN_QPH_RATIO:-0.5}" \
-	-min-shard-scaling "${MIN_SHARD_SCALING:-1.5}" "$old" "$new"
+	-min-shard-scaling "${MIN_SHARD_SCALING:-1.5}" \
+	-min-load-speedup "${MIN_LOAD_SPEEDUP:-10}" "$old" "$new"

@@ -18,9 +18,11 @@
 # dialog mix; shardscale sweeps the power test over 1/2/4/8 engine
 # shards) under "metrics", including pool.hit_ratio, pool.readahead.*,
 # table_buffer.*.admission_rejects for the benchdiff hit-ratio gate,
-# throughput.qph.streamsN for its -min-qph-ratio gate, and
+# throughput.qph.streamsN for its -min-qph-ratio gate,
 # shardscale.simms.shardsN plus shardscale.net.rows_shipped[.class] for
-# its -min-shard-scaling gate.
+# its -min-shard-scaling gate, and loadpath.simms.* plus
+# loadpath.wal.* (the loadpath experiment ablates WAL, group commit and
+# direct-path load against batch input) for its -min-load-speedup gate.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,7 +36,7 @@ raw=$(go test -run xxx -bench "$regex" -benchtime 1x -benchmem . 2>&1) || {
 
 mtmp=$(mktemp)
 trap 'rm -f "$mtmp"' EXIT
-go run ./cmd/r3bench -sf "${METRICS_SF:-0.005}" -exp table8,throughput,shardscale -metrics-json "$mtmp" >/dev/null
+go run ./cmd/r3bench -sf "${METRICS_SF:-0.005}" -exp table8,throughput,shardscale,loadpath -metrics-json "$mtmp" >/dev/null
 metrics=$(cat "$mtmp")
 
 printf '%s\n' "$raw" | awk -v date="$(date +%F)" -v metrics="$metrics" '
