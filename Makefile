@@ -3,7 +3,7 @@ GO ?= go
 # Newest committed snapshot is the regression baseline for bench-diff.
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: all fmt-check vet build test race race-streams race-shards race-recovery fuzz-smoke bench-smoke bench-snapshot bench-diff ci check
+.PHONY: all fmt-check vet build test race race-streams race-shards race-recovery race-warehouse fuzz-smoke bench-smoke bench-snapshot bench-diff ci check
 
 all: check
 
@@ -46,6 +46,13 @@ race-shards:
 race-recovery:
 	$(GO) test -race -count=1 -run 'TestRecoveryTortureEveryBoundary|TestRecoveryAfterConcurrentCommits' ./internal/engine
 
+# Warehouse identity smoke under the race detector: the generated
+# workload byte-identical with the aggregate rewrite off and on,
+# refresh-then-query identical to rebuild-then-query (both at parallel
+# degrees 1/2), and change capture surfacing exactly the touched orders.
+race-warehouse:
+	$(GO) test -race -count=1 -run 'TestWorkloadRewriteByteIdentical|TestRefreshMatchesRebuild|TestChangeLogCapturesOrderKeys' ./internal/warehouse
+
 # Five-second native-fuzz smoke of the SQL front end: FuzzParse asserts
 # no panics, old/new parser validity agreement and AST stability under
 # arena reuse (the corpus seeds cover every statement shape).
@@ -67,6 +74,6 @@ bench-snapshot:
 bench-diff:
 	./scripts/bench_diff.sh $(BENCH_BASELINE)
 
-ci: fmt-check vet race race-streams race-shards race-recovery fuzz-smoke bench-diff
+ci: fmt-check vet race race-streams race-shards race-recovery race-warehouse fuzz-smoke bench-diff
 
 check: vet build race bench-smoke

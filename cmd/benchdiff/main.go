@@ -5,7 +5,7 @@
 //	benchdiff [-threshold 10] [-min-hit-ratio 0.92] [-max-hit-drop 2]
 //	          [-max-allocs-increase 10] [-max-parse-allocs 16]
 //	          [-min-qph-ratio 0.5] [-min-shard-scaling 1.5]
-//	          [-min-load-speedup 10] OLD.json NEW.json
+//	          [-min-load-speedup 10] [-min-refresh-speedup 10] OLD.json NEW.json
 //
 // Exit status 1 means at least one benchmark's sim_ms grew by more than
 // the threshold percentage, a benchmark's real allocations per operation
@@ -27,8 +27,11 @@
 // -min-shard-scaling, or the direct-path load's speedup over batch
 // input (loadpath.simms.batchinput / loadpath.simms.directpath) fell
 // below -min-load-speedup — the gate that keeps Table 3's 26-day batch
-// input retired. Benchmarks and gated metrics present in only one file
-// are reported as ADDED/REMOVED but do not fail the gate.
+// input retired — or the warehouse's incremental-refresh speedup over a
+// full re-extraction (warehouse.simms.full / warehouse.simms.incremental)
+// fell below -min-refresh-speedup, the gate that keeps Table 9's
+// periodic rebuild retired. Benchmarks and gated metrics present in only
+// one file are reported as ADDED/REMOVED but do not fail the gate.
 package main
 
 import (
@@ -354,6 +357,55 @@ func diffLoadPath(oldS, newS *snapshot, minSpeedup float64) (rows []scaleRow, sp
 	return rows, speedup, failed
 }
 
+// diffWarehouse reports every `warehouse.` metric of both snapshots
+// (one-sided entries as ADDED/REMOVED) and gates the star-schema
+// warehouse's incremental maintenance: warehouse.simms.full divided by
+// warehouse.simms.incremental, both from the NEW snapshot, must reach
+// minSpeedup or the incremental row fails with REFRESH. The floor is far
+// below the measured speedup — it exists to catch change capture
+// silently degrading into a full re-extraction, not tuning drift.
+// minSpeedup <= 0 disables the gate (metrics still report); a NEW
+// snapshot without both sim-time metrics cannot fail it.
+func diffWarehouse(oldS, newS *snapshot, minSpeedup float64) (rows []scaleRow, speedup float64, failed bool) {
+	for name, cur := range newS.Metrics {
+		if !strings.HasPrefix(name, "warehouse.") {
+			continue
+		}
+		r := scaleRow{Name: name, New: cur, HasNew: true}
+		if old, ok := oldS.Metrics[name]; ok {
+			r.Old, r.HasOld = old, true
+		} else {
+			r.Status = "ADDED"
+		}
+		rows = append(rows, r)
+	}
+	for name, old := range oldS.Metrics {
+		if !strings.HasPrefix(name, "warehouse.") {
+			continue
+		}
+		if _, ok := newS.Metrics[name]; ok {
+			continue
+		}
+		rows = append(rows, scaleRow{Name: name, Old: old, HasOld: true, Status: "REMOVED"})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+
+	full, ok1 := newS.Metrics["warehouse.simms.full"]
+	inc, ok2 := newS.Metrics["warehouse.simms.incremental"]
+	if ok1 && ok2 && inc > 0 {
+		speedup = full / inc
+		if minSpeedup > 0 && speedup < minSpeedup {
+			failed = true
+			for i := range rows {
+				if rows[i].Name == "warehouse.simms.incremental" {
+					rows[i].Status = "REFRESH"
+				}
+			}
+		}
+	}
+	return rows, speedup, failed
+}
+
 // parseAllocRow is one front-end benchmark's absolute allocs/op check.
 type parseAllocRow struct {
 	Name   string
@@ -396,6 +448,7 @@ func main() {
 	minQPHRatio := flag.Float64("min-qph-ratio", 0.5, "fail when a throughput.qph.* metric falls below this fraction of its OLD value (0 disables)")
 	minShardScaling := flag.Float64("min-shard-scaling", 0, "fail when NEW's 4-shard power-test speedup (shardscale.simms.shards1/shards4) is below this multiple (0 disables)")
 	minLoadSpeedup := flag.Float64("min-load-speedup", 10, "fail when NEW's direct-path load speedup (loadpath.simms.batchinput/directpath) is below this multiple (0 disables)")
+	minRefreshSpeedup := flag.Float64("min-refresh-speedup", 10, "fail when NEW's incremental warehouse-refresh speedup (warehouse.simms.full/incremental) is below this multiple (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json")
@@ -498,6 +551,23 @@ func main() {
 			fmt.Printf("%-36s %35.1fx\n", "direct-path load speedup", loadSpeedup)
 		}
 	}
+	whRows, whSpeedup, whFailed := diffWarehouse(oldS, newS, *minRefreshSpeedup)
+	if len(whRows) > 0 {
+		fmt.Printf("\n%-36s %12s %12s %9s\n", "warehouse metric", "old", "new", "")
+		for _, r := range whRows {
+			switch {
+			case !r.HasOld:
+				fmt.Printf("%-36s %12s %12.4g %9s\n", r.Name, "-", r.New, r.Status)
+			case !r.HasNew:
+				fmt.Printf("%-36s %12.4g %12s %9s\n", r.Name, r.Old, "-", r.Status)
+			default:
+				fmt.Printf("%-36s %12.4g %12.4g %9s\n", r.Name, r.Old, r.New, r.Status)
+			}
+		}
+		if whSpeedup > 0 {
+			fmt.Printf("%-36s %35.1fx\n", "incremental refresh speedup", whSpeedup)
+		}
+	}
 	hitRows, hitFailed := diffHitRatios(oldS, newS, *minHitRatio, *maxHitDrop)
 	if len(hitRows) > 0 {
 		fmt.Printf("\n%-36s %12s %12s %9s\n", "hit-ratio metric", "old", "new", "")
@@ -536,6 +606,10 @@ func main() {
 	}
 	if loadFailed {
 		fmt.Printf("\nFAIL: the direct-path load speedup %.1fx is below %.4gx\n", loadSpeedup, *minLoadSpeedup)
+		os.Exit(1)
+	}
+	if whFailed {
+		fmt.Printf("\nFAIL: the incremental warehouse-refresh speedup %.1fx is below %.4gx\n", whSpeedup, *minRefreshSpeedup)
 		os.Exit(1)
 	}
 	fmt.Printf("\nOK: no benchmark regressed by more than %.4g%% simulated time\n", *threshold)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	r3bench [-sf 0.02] [-parallel 1] [-streams 8] [-shards 8] [-table-buffer-bytes 0] [-table-buffer-fixed] [-array-fetch] [-exp all|table1,...,table9,throughput,shardscale,loadpath]
+//	r3bench [-sf 0.02] [-parallel 1] [-streams 8] [-shards 8] [-table-buffer-bytes 0] [-table-buffer-fixed] [-array-fetch] [-exp all|table1,...,table9,throughput,shardscale,loadpath,warehouse]
 //
 // The paper runs at SF=0.2; the default 0.02 keeps a full run to minutes
 // of wall time. Simulated times scale approximately linearly with SF.
@@ -26,7 +26,7 @@ import (
 func main() {
 	sf := flag.Float64("sf", core.DefaultSF, "TPC-D scale factor (paper: 0.2)")
 	parallel := flag.Int("parallel", 1, "intra-query parallel degree (1 = serial, as in the paper)")
-	exp := flag.String("exp", "all", "experiments to run: all, or comma-separated table1..table9,throughput")
+	exp := flag.String("exp", "all", "experiments to run: all, or comma-separated table1..table9,throughput,shardscale,loadpath,warehouse")
 	streams := flag.Int("streams", 0, "largest concurrent query-stream count the throughput experiment sweeps to (0 = default 8)")
 	shards := flag.Int("shards", 0, "widest engine-shard cluster the shardscale experiment sweeps to (0 = default 8)")
 	tableBuf := flag.Int64("table-buffer-bytes", 0, "override every R/3 table-buffer capacity in bytes (0 = each experiment's own budget)")

@@ -47,8 +47,8 @@ func TestFind(t *testing.T) {
 	if Find("nope") != nil {
 		t.Fatal("unknown ID must return nil")
 	}
-	if len(Experiments()) != 12 {
-		t.Fatalf("expected 12 experiments (table1..table9 + throughput + shardscale + loadpath), got %d", len(Experiments()))
+	if len(Experiments()) != 13 {
+		t.Fatalf("expected 13 experiments (table1..table9 + throughput + shardscale + loadpath + warehouse), got %d", len(Experiments()))
 	}
 	if Find("throughput") == nil {
 		t.Fatal("throughput must exist")
@@ -58,6 +58,9 @@ func TestFind(t *testing.T) {
 	}
 	if Find("loadpath") == nil {
 		t.Fatal("loadpath must exist")
+	}
+	if Find("warehouse") == nil {
+		t.Fatal("warehouse must exist")
 	}
 }
 

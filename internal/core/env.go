@@ -78,6 +78,13 @@ type Env struct {
 	loadSim       map[string]time.Duration    // variant -> load sim time
 	loadWal       map[string]storage.WalStats // durable variants' log counters
 	loadIdentical bool                        // Q1–Q17 identical across paths
+
+	// warehouse experiment results, published by CollectMetrics.
+	whSim           map[string]time.Duration // phase -> sim time (full, incremental, query_base, query_rewrite)
+	whRefreshRows   int64                    // fact rows the incremental refresh moved
+	whRewriteHits   int64                    // workload queries the rewrite redirected
+	whRewriteMisses int64                    // workload queries it left on the fact table
+	whIdentical     bool                     // answers identical across rewrite/refresh paths
 }
 
 // envOf returns the config's lazily created environment.

@@ -38,6 +38,7 @@ func Experiments() []Experiment {
 		{"throughput", "TPC-D multi-stream throughput with dialog mix", "TPC-D §5 (not in paper)", runThroughput},
 		{"shardscale", "Sharded scale-out power test (1/2/4/8 shards)", "scale-out (not in paper)", runShardScale},
 		{"loadpath", "WAL, group commit and direct-path load vs batch input", "Table 3 ablation (not in paper)", runLoadPath},
+		{"warehouse", "Star-schema warehouse: incremental refresh and aggregate rewrite", "Table 9 ablation (not in paper)", runWarehouse},
 	}
 }
 

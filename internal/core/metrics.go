@@ -55,6 +55,25 @@ func CollectMetrics(cfg *Config) *metrics.Registry {
 			reg.Set("loadpath.speedup", float64(b)/float64(d))
 		}
 	}
+	if e.whSim != nil {
+		for phase, sim := range e.whSim {
+			reg.Set("warehouse.simms."+phase, float64(sim)/float64(time.Millisecond))
+		}
+		if f, i := e.whSim["full"], e.whSim["incremental"]; f > 0 && i > 0 {
+			reg.Set("warehouse.refresh.speedup", float64(f)/float64(i))
+		}
+		if b, r := e.whSim["query_base"], e.whSim["query_rewrite"]; b > 0 && r > 0 {
+			reg.Set("warehouse.query.speedup", float64(b)/float64(r))
+		}
+		reg.SetInt("warehouse.refresh.rows", e.whRefreshRows)
+		reg.SetInt("warehouse.rewrite.hits", e.whRewriteHits)
+		reg.SetInt("warehouse.rewrite.misses", e.whRewriteMisses)
+		identical := int64(0)
+		if e.whIdentical {
+			identical = 1
+		}
+		reg.SetInt("warehouse.q_identical", identical)
+	}
 	return reg
 }
 

@@ -23,7 +23,7 @@ func RunOne(cfg *Config, id string) error {
 	normalize(cfg)
 	e := Find(id)
 	if e == nil {
-		return fmt.Errorf("core: no experiment %q (try table1..table9, throughput, shardscale or loadpath)", id)
+		return fmt.Errorf("core: no experiment %q (try table1..table9, throughput, shardscale, loadpath or warehouse)", id)
 	}
 	header(cfg, *e)
 	if err := e.Run(cfg); err != nil {

@@ -6,7 +6,21 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
+
+// TblFile maps a TPC-D table name to its DBGEN .tbl file name. ORDER is
+// the one irregular case (DBGEN writes orders.tbl); every consumer of
+// the ASCII form — the generator itself, the warehouse extractor, tests
+// — goes through this one map instead of hard-coding the exception.
+func TblFile(table string) string {
+	switch strings.ToUpper(table) {
+	case "ORDER", "ORDERS":
+		return "orders.tbl"
+	default:
+		return strings.ToLower(table) + ".tbl"
+	}
+}
 
 // Line formatters shared by WriteTbl and WriteTblSorted so the two
 // modes emit byte-identical rows and differ only in row order.

@@ -171,6 +171,13 @@ type DB struct {
 	// writeHook observes every committed row mutation (guarded by mu).
 	writeHook WriteHook
 
+	// rewrite, when set, may substitute a semantically equivalent SELECT
+	// AST before planning (guarded by mu); rewriteHits/rewriteMisses
+	// count its decisions per execution.
+	rewrite       RewriteHook
+	rewriteHits   atomic.Int64
+	rewriteMisses atomic.Int64
+
 	// wal, when set by EnableWAL, makes storage durable: heap mutations
 	// are redo/undo-logged, Session.Commit forces the log instead of
 	// flushing data pages, and CrashRecover rebuilds committed state.
@@ -215,6 +222,33 @@ func (db *DB) noteWrite(table string, oldRow, newRow []val.Value) {
 	}
 }
 
+// RewriteHook inspects a SELECT about to be planned and may return a
+// semantically equivalent replacement AST (e.g. redirecting a GROUP BY
+// over a fact table to a materialized aggregate). Returning nil leaves
+// the statement untouched. The hook runs on every direct SELECT
+// execution (not on prepared statements' cached plans, nor on the
+// internal scans DML performs) and must not mutate its argument — the
+// AST may be shared by the statement-fingerprint cache — so a match
+// must build fresh nodes.
+type RewriteHook func(sel *sqlparse.SelectStmt) *sqlparse.SelectStmt
+
+// SetRewriteHook installs or removes (nil) the planner's rewrite hook.
+// Cached plans compiled under the previous hook state are retired via
+// the plan epoch, so toggling the hook never serves a stale plan.
+func (db *DB) SetRewriteHook(h RewriteHook) {
+	db.mu.Lock()
+	db.rewrite = h
+	db.mu.Unlock()
+	db.bumpPlanEpoch()
+}
+
+func (db *DB) rewriteHook() RewriteHook {
+	db.mu.RLock()
+	h := db.rewrite
+	db.mu.RUnlock()
+	return h
+}
+
 // EngineStats is a snapshot of the engine's cumulative execution
 // counters.
 type EngineStats struct {
@@ -231,6 +265,8 @@ type EngineStats struct {
 	InterfaceCalls   int64 // client/server interface round trips
 	RowsShipped      int64 // result rows shipped to clients
 	Packets          int64 // array-fetch packets shipped (0 unless array fetch on)
+	RewriteHits      int64 // SELECTs redirected by the rewrite hook
+	RewriteMisses    int64 // SELECTs the hook declined while installed
 }
 
 // Stats snapshots the execution counters.
@@ -249,6 +285,8 @@ func (db *DB) Stats() EngineStats {
 		InterfaceCalls:   db.ifaceCalls.Load(),
 		RowsShipped:      db.ifaceRows.Load(),
 		Packets:          db.ifacePackets.Load(),
+		RewriteHits:      db.rewriteHits.Load(),
+		RewriteMisses:    db.rewriteMisses.Load(),
 	}
 }
 

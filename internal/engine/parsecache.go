@@ -201,6 +201,19 @@ func (db *DB) bumpPlanEpoch() { db.planEpoch.Add(1) }
 // planning: a write racing the optimizer leaves the stored plan already
 // stale, never wrongly fresh.
 func (db *DB) planFor(entry *parseEntry, sel *sqlparse.SelectStmt) (*selectPlan, error) {
+	// The rewrite hook may substitute an equivalent AST (materialized-
+	// aggregate matching) before planning. Caching the rewritten plan in
+	// the fingerprint entry is sound: SetRewriteHook bumps the plan
+	// epoch, so a plan compiled under a different hook state never
+	// survives the toggle.
+	if h := db.rewriteHook(); h != nil {
+		if rw := h(sel); rw != nil {
+			db.rewriteHits.Add(1)
+			sel = rw
+		} else {
+			db.rewriteMisses.Add(1)
+		}
+	}
 	if entry == nil {
 		return db.planSelect(sel, nil, nil)
 	}

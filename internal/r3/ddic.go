@@ -94,6 +94,23 @@ type System struct {
 	// statement cache (Open SQL, Native SQL, dictionary scans).
 	cursorHits   atomic.Int64
 	cursorMisses atomic.Int64
+
+	// writeObs are change-capture observers notified after buffer
+	// invalidation for every physical write (see AddWriteObserver).
+	writeObs []func(phys string, oldRow, newRow []val.Value)
+}
+
+// AddWriteObserver registers a change-capture observer on the system's
+// physical write feed. Observers see the same (physical table, old row,
+// new row) triples the table-buffer coherency machinery consumes, after
+// invalidation has run; a warehouse change log uses this to track which
+// orders an update-function batch touched without scanning anything.
+// Observers must be registered before concurrent writers start and must
+// themselves be safe for concurrent calls.
+func (sys *System) AddWriteObserver(fn func(phys string, oldRow, newRow []val.Value)) {
+	sys.mu.Lock()
+	sys.writeObs = append(sys.writeObs, fn)
+	sys.mu.Unlock()
 }
 
 // CursorStats reports cumulative cursor-cache reuse across all of the
@@ -140,6 +157,17 @@ func Install(cfg Config) (*System, error) {
 // VARKEY, cluster rows by their cluster-key prefix (one physical row
 // packs many logical rows).
 func (sys *System) onPhysicalWrite(phys string, oldRow, newRow []val.Value) {
+	sys.invalidateForWrite(phys, oldRow, newRow)
+	sys.mu.RLock()
+	obs := sys.writeObs
+	sys.mu.RUnlock()
+	for _, fn := range obs {
+		fn(phys, oldRow, newRow)
+	}
+}
+
+// invalidateForWrite is the buffer-coherency half of onPhysicalWrite.
+func (sys *System) invalidateForWrite(phys string, oldRow, newRow []val.Value) {
 	rows := [2][]val.Value{oldRow, newRow}
 	switch {
 	case phys == poolTableName:

@@ -3,6 +3,7 @@ package warehouse
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"r3bench/internal/r3"
@@ -16,6 +17,15 @@ import (
 // propagated: the new orders' rows are re-extracted through the same Open
 // SQL reports and the deleted orders are emitted as tombstones for the
 // warehouse loader.
+//
+// The stream format is line-oriented:
+//
+//	O|<orders.tbl row>     full 9-field ORDER payload
+//	L|<lineitem.tbl row>   full 16-field LINEITEM payload
+//	D|<orderkey>|          tombstone: drop every fact row of that order
+//
+// The O/L payloads are byte-identical to the corresponding full-extract
+// rows, so Warehouse.ApplyDelta and Warehouse.Build share one parser.
 
 // Delta is one incremental maintenance batch.
 type Delta struct {
@@ -27,7 +37,7 @@ type Delta struct {
 
 // ExtractDelta re-extracts exactly the given order keys (ORDER and
 // LINEITEM rows) into w, and records the delete set as tombstone lines
-// ("-orderkey|"). The cost charged is the paper's point: even the
+// ("D|orderkey|"). The cost charged is the paper's point: even the
 // incremental path pays per-row Open SQL re-joining, so maintenance cost
 // is proportional to the delta at the same per-row price as the initial
 // construction.
@@ -48,34 +58,48 @@ func (e *Extractor) ExtractDelta(inserted []int64, deleted []int64, w io.Writer)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := fmt.Fprintf(w, "O|%d|%d|%s|%.2f|%s|%s\n",
+		if _, err := fmt.Fprintf(w, "O|%d|%d|%s|%.2f|%s|%s|%s|%d|%s|\n",
 			num(row.Get("VBELN")), num(row.Get("KUNNR")), row.Get("GBSTK").AsStr(),
-			row.Get("NETWR").AsFloat(), row.Get("AUDAT").AsStr(), cmt); err != nil {
+			row.Get("NETWR").AsFloat(), row.Get("AUDAT").AsStr(), row.Get("SUBMI").AsStr(),
+			row.Get("ERNAM").AsStr(), row.Get("LPRIO").AsInt(), cmt); err != nil {
 			return nil, err
 		}
 		d.InsertedOrders++
-		// And its lineitems, re-joining VBAP/VBEP/KONV per row as the
-		// full extraction does.
+		// And its lineitems, re-joining VBAP/VBEP/KONV/STXL per row
+		// exactly as the full extraction does, so the L| payload matches
+		// lineitem.tbl byte for byte.
 		err = e.o.Select("VBAP", []r3.Cond{r3.Eq("VBELN", vbeln)}, func(p r3.Row) error {
+			posnr := p.Get("POSNR")
 			ep, ok, err := e.o.SelectSingle("VBEP", []r3.Cond{
-				r3.Eq("VBELN", vbeln), r3.Eq("POSNR", p.Get("POSNR")),
+				r3.Eq("VBELN", vbeln), r3.Eq("POSNR", posnr),
 				r3.Eq("ETENR", val.Str("0001"))})
 			if err != nil || !ok {
 				return err
 			}
-			var disc float64
+			var discRate, taxRate float64
 			err = e.o.Select("KONV", []r3.Cond{
-				r3.Eq("KNUMV", vbeln), r3.Eq("KPOSN", p.Get("POSNR")),
-				r3.Eq("KSCHL", val.Str("DISC"))}, func(k r3.Row) error {
-				disc = -k.Get("KBETR").AsFloat() / 1000
-				return r3.StopSelect
+				r3.Eq("KNUMV", vbeln), r3.Eq("KPOSN", posnr)}, func(k r3.Row) error {
+				switch strings.TrimSpace(k.Get("KSCHL").AsStr()) {
+				case "DISC":
+					discRate = -k.Get("KBETR").AsFloat() / 1000
+				case "TAX":
+					taxRate = k.Get("KBETR").AsFloat() / 1000
+				}
+				return nil
 			})
-			if err != nil && err != r3.StopSelect {
+			if err != nil {
 				return err
 			}
-			if _, err := fmt.Fprintf(w, "L|%d|%d|%d|%.2f|%.2f|%s\n",
-				num(p.Get("VBELN")), num(p.Get("POSNR")), num(p.Get("MATNR")),
-				p.Get("NETWR").AsFloat(), disc, ep.Get("EDATU").AsStr()); err != nil {
+			cmt, err := e.comment("VBAP", val.Str(vbeln.AsStr()+posnr.AsStr()))
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "L|%d|%d|%d|%d|%d|%.2f|%.2f|%.2f|%s|%s|%s|%s|%s|%s|%s|%s|\n",
+				num(vbeln), num(p.Get("MATNR")), num(p.Get("LIFNR")), num(posnr),
+				p.Get("KWMENG").AsInt(), p.Get("NETWR").AsFloat(), discRate, taxRate,
+				p.Get("ABGRU").AsStr(), ep.Get("LFSTA").AsStr(),
+				ep.Get("EDATU").AsStr(), ep.Get("WADAT").AsStr(), ep.Get("MBDAT").AsStr(),
+				p.Get("SDABW").AsStr(), p.Get("VSBED").AsStr(), cmt); err != nil {
 				return err
 			}
 			d.InsertedLines++

@@ -1,0 +1,747 @@
+package warehouse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"r3bench/internal/cost"
+	"r3bench/internal/dbgen"
+	"r3bench/internal/engine"
+	"r3bench/internal/val"
+)
+
+// The star-schema warehouse: the extracted .tbl files become one
+// LINEITEM_F fact table (grain: one order line, denormalized with the
+// order's customer and nation so the common roll-ups need no join) plus
+// conformed dimension tables, all loaded through the engine's
+// direct-path loader. On top sit materialized aggregate tables that the
+// planner's rewrite hook can answer matching GROUP BY queries from —
+// byte-identical answers at a fraction of the pages — and an
+// incremental ApplyDelta that folds a change-capture delta into both
+// the fact table and the aggregates.
+
+// starDDL creates the warehouse schema on an empty engine.
+var starDDL = []string{
+	`CREATE TABLE REGION_D (
+		R_REGIONKEY INTEGER, R_NAME VARCHAR(25),
+		PRIMARY KEY (R_REGIONKEY))`,
+	`CREATE TABLE NATION_D (
+		N_NATIONKEY INTEGER, N_NAME VARCHAR(25), N_REGIONKEY INTEGER,
+		PRIMARY KEY (N_NATIONKEY))`,
+	`CREATE TABLE CUSTOMER_D (
+		C_CUSTKEY BIGINT, C_NAME VARCHAR(25), C_NATIONKEY INTEGER, C_MKTSEGMENT VARCHAR(10),
+		PRIMARY KEY (C_CUSTKEY))`,
+	`CREATE TABLE SUPPLIER_D (
+		S_SUPPKEY BIGINT, S_NAME VARCHAR(25), S_NATIONKEY INTEGER,
+		PRIMARY KEY (S_SUPPKEY))`,
+	`CREATE TABLE PART_D (
+		P_PARTKEY BIGINT, P_NAME VARCHAR(55), P_BRAND VARCHAR(10), P_TYPE VARCHAR(25), P_SIZE INTEGER,
+		PRIMARY KEY (P_PARTKEY))`,
+	`CREATE TABLE LINEITEM_F (
+		L_ORDERKEY BIGINT, L_LINENUMBER INTEGER,
+		L_PARTKEY BIGINT, L_SUPPKEY BIGINT, L_CUSTKEY BIGINT, L_NATIONKEY INTEGER,
+		L_QUANTITY INTEGER, L_EXTENDEDPRICE DECIMAL(15,2), L_DISCOUNT DECIMAL(15,2), L_TAX DECIMAL(15,2),
+		L_RETURNFLAG CHAR(1), L_LINESTATUS CHAR(1),
+		L_SHIPDATE DATE, L_ORDERDATE DATE,
+		PRIMARY KEY (L_ORDERKEY, L_LINENUMBER))`,
+	`CREATE TABLE AGG_RFLS_MONTH (
+		RF CHAR(1), LS CHAR(1), SHIPYEAR INTEGER, SHIPMONTH INTEGER,
+		SUM_QTY BIGINT, SUM_EXTPRICE DECIMAL(15,2), SUM_REVENUE DECIMAL(15,2), CNT BIGINT,
+		PRIMARY KEY (RF, LS, SHIPYEAR, SHIPMONTH))`,
+	`CREATE TABLE AGG_NATION_YEAR (
+		NATIONKEY INTEGER, SHIPYEAR INTEGER,
+		SUM_QTY BIGINT, SUM_EXTPRICE DECIMAL(15,2), SUM_REVENUE DECIMAL(15,2), CNT BIGINT,
+		PRIMARY KEY (NATIONKEY, SHIPYEAR))`,
+}
+
+// aggBuildSQL computes each aggregate's content from the fact table.
+// Running it through the engine (not a Go-side loop) matters: the
+// engine's exact order-independent summation is what base-table queries
+// use, so the stored group totals are bit-identical to what a direct
+// GROUP BY over LINEITEM_F would produce.
+var aggBuildSQL = map[string]string{
+	"AGG_RFLS_MONTH": `SELECT L_RETURNFLAG, L_LINESTATUS, YEAR(L_SHIPDATE), MONTH(L_SHIPDATE),
+			SUM(L_QUANTITY), SUM(L_EXTENDEDPRICE), SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT)), COUNT(*)
+		FROM LINEITEM_F
+		GROUP BY L_RETURNFLAG, L_LINESTATUS, YEAR(L_SHIPDATE), MONTH(L_SHIPDATE)`,
+	"AGG_NATION_YEAR": `SELECT L_NATIONKEY, YEAR(L_SHIPDATE),
+			SUM(L_QUANTITY), SUM(L_EXTENDEDPRICE), SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT)), COUNT(*)
+		FROM LINEITEM_F
+		GROUP BY L_NATIONKEY, YEAR(L_SHIPDATE)`,
+}
+
+// Warehouse is one star-schema instance on its own engine and clock.
+type Warehouse struct {
+	DB   *engine.DB
+	sess *engine.Session
+	m    *cost.Meter
+}
+
+// NewWarehouse opens an empty warehouse engine with the given cost
+// model and intra-query parallel degree, and creates the star schema.
+func NewWarehouse(model cost.Model, parallel int) (*Warehouse, error) {
+	db := engine.Open(engine.Config{CostModel: model, Parallel: parallel})
+	w := &Warehouse{DB: db, m: cost.NewMeter(db.Model())}
+	w.sess = db.NewSessionWithMeter(w.m)
+	for _, ddl := range starDDL {
+		if _, err := w.sess.Exec(ddl); err != nil {
+			return nil, fmt.Errorf("warehouse: %s: %w", firstLine(ddl), err)
+		}
+	}
+	return w, nil
+}
+
+// Meter exposes the warehouse's virtual clock (ETL + query time).
+func (w *Warehouse) Meter() *cost.Meter { return w.m }
+
+// Session exposes the warehouse's query session for workload runs.
+func (w *Warehouse) Session() *engine.Session { return w.sess }
+
+// EnableRewrite installs (or removes) the materialized-aggregate
+// rewrite pass on the warehouse's planner.
+func (w *Warehouse) EnableRewrite(on bool) {
+	if on {
+		w.DB.SetRewriteHook(AggregateRewriter())
+	} else {
+		w.DB.SetRewriteHook(nil)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return strings.TrimSpace(s[:i]) + " ..."
+	}
+	return s
+}
+
+// BuildStats is one warehouse build's accounting.
+type BuildStats struct {
+	FactRows int64
+	DimRows  int64
+	AggRows  int64
+	Elapsed  time.Duration
+}
+
+// orderInfo is the slice of an ORDER row the fact grain denormalizes.
+type orderInfo struct {
+	custKey   int64
+	nationKey int64
+	orderDate val.Value
+}
+
+// Build loads the star schema from a directory of extracted .tbl files
+// (the output of Extractor.ExtractAll or dbgen.WriteTbl). Dimension and
+// fact rows go through the direct-path loader; each parsed input row is
+// charged one tuple of transform CPU. The aggregates are then
+// materialized from the loaded fact table.
+func (w *Warehouse) Build(dir string) (*BuildStats, error) {
+	start := w.m.Elapsed()
+	st := &BuildStats{}
+
+	// Conformed dimensions. CUSTOMER_D doubles as the custkey→nationkey
+	// lookup the fact transform needs.
+	custNation := make(map[int64]int64)
+	dims := []struct {
+		table string
+		file  string
+		row   func(f []string) ([]val.Value, error)
+	}{
+		{"REGION_D", "region.tbl", func(f []string) ([]val.Value, error) {
+			k, err := tblInt(f, 0)
+			return []val.Value{val.Int(k), val.Str(f[1])}, err
+		}},
+		{"NATION_D", "nation.tbl", func(f []string) ([]val.Value, error) {
+			k, err := tblInt(f, 0)
+			if err != nil {
+				return nil, err
+			}
+			rk, err := tblInt(f, 2)
+			return []val.Value{val.Int(k), val.Str(f[1]), val.Int(rk)}, err
+		}},
+		{"CUSTOMER_D", "customer.tbl", func(f []string) ([]val.Value, error) {
+			k, err := tblInt(f, 0)
+			if err != nil {
+				return nil, err
+			}
+			nk, err := tblInt(f, 3)
+			if err != nil {
+				return nil, err
+			}
+			custNation[k] = nk
+			return []val.Value{val.Int(k), val.Str(f[1]), val.Int(nk), val.Str(f[6])}, nil
+		}},
+		{"SUPPLIER_D", "supplier.tbl", func(f []string) ([]val.Value, error) {
+			k, err := tblInt(f, 0)
+			if err != nil {
+				return nil, err
+			}
+			nk, err := tblInt(f, 3)
+			return []val.Value{val.Int(k), val.Str(f[1]), val.Int(nk)}, err
+		}},
+		{"PART_D", "part.tbl", func(f []string) ([]val.Value, error) {
+			k, err := tblInt(f, 0)
+			if err != nil {
+				return nil, err
+			}
+			sz, err := tblInt(f, 5)
+			return []val.Value{val.Int(k), val.Str(f[1]), val.Str(f[3]), val.Str(f[4]), val.Int(sz)}, err
+		}},
+	}
+	for _, d := range dims {
+		n, err := w.loadTbl(d.table, filepath.Join(dir, d.file), d.row)
+		if err != nil {
+			return nil, err
+		}
+		st.DimRows += n
+	}
+
+	// The ORDER side of the fact grain: custkey and orderdate per order.
+	orders := make(map[int64]orderInfo)
+	if err := readTbl(filepath.Join(dir, dbgen.TblFile("ORDER")), func(f []string) error {
+		key, err := tblInt(f, 0)
+		if err != nil {
+			return err
+		}
+		ck, err := tblInt(f, 1)
+		if err != nil {
+			return err
+		}
+		od, err := val.ParseDate(f[4])
+		if err != nil {
+			return err
+		}
+		w.m.Charge(cost.TupleCPU, 1)
+		orders[key] = orderInfo{custKey: ck, nationKey: custNation[ck], orderDate: od}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	n, err := w.loadTbl("LINEITEM_F", filepath.Join(dir, dbgen.TblFile("LINEITEM")), func(f []string) ([]val.Value, error) {
+		key, err := tblInt(f, 0)
+		if err != nil {
+			return nil, err
+		}
+		oi, ok := orders[key]
+		if !ok {
+			return nil, fmt.Errorf("warehouse: lineitem %d has no order", key)
+		}
+		return factRowFromTbl(f, oi)
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.FactRows = n
+
+	aggRows, err := w.buildAggregates()
+	if err != nil {
+		return nil, err
+	}
+	st.AggRows = aggRows
+	st.Elapsed = w.m.Lap(start)
+	return st, nil
+}
+
+// loadTbl streams one .tbl file through the direct-path loader,
+// charging a tuple of transform CPU per input row.
+func (w *Warehouse) loadTbl(table, path string, row func(f []string) ([]val.Value, error)) (int64, error) {
+	dl, err := w.DB.NewDirectLoader(table, w.m)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	if err := readTbl(path, func(f []string) error {
+		r, err := row(f)
+		if err != nil {
+			return err
+		}
+		w.m.Charge(cost.TupleCPU, 1)
+		n++
+		return dl.Append(r)
+	}); err != nil {
+		return 0, err
+	}
+	if err := dl.Close(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// buildAggregates materializes every aggregate table from the fact
+// table via the engine, then direct-loads the grouped result.
+func (w *Warehouse) buildAggregates() (int64, error) {
+	var total int64
+	for _, name := range aggNames() {
+		res, err := w.sess.Query(aggBuildSQL[name])
+		if err != nil {
+			return 0, err
+		}
+		dl, err := w.DB.NewDirectLoader(name, w.m)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range res.Rows {
+			if err := dl.Append(r); err != nil {
+				return 0, err
+			}
+		}
+		if err := dl.Close(); err != nil {
+			return 0, err
+		}
+		total += int64(len(res.Rows))
+	}
+	return total, nil
+}
+
+func aggNames() []string {
+	names := make([]string, 0, len(aggBuildSQL))
+	for n := range aggBuildSQL {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// factRowFromTbl turns one 16-field lineitem.tbl payload plus its
+// order's info into a LINEITEM_F row.
+func factRowFromTbl(f []string, oi orderInfo) ([]val.Value, error) {
+	if len(f) < 16 {
+		return nil, fmt.Errorf("warehouse: short lineitem row (%d fields)", len(f))
+	}
+	key, err := tblInt(f, 0)
+	if err != nil {
+		return nil, err
+	}
+	partKey, err := tblInt(f, 1)
+	if err != nil {
+		return nil, err
+	}
+	suppKey, err := tblInt(f, 2)
+	if err != nil {
+		return nil, err
+	}
+	lineNo, err := tblInt(f, 3)
+	if err != nil {
+		return nil, err
+	}
+	qty, err := tblInt(f, 4)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := tblFloat(f, 5)
+	if err != nil {
+		return nil, err
+	}
+	disc, err := tblFloat(f, 6)
+	if err != nil {
+		return nil, err
+	}
+	tax, err := tblFloat(f, 7)
+	if err != nil {
+		return nil, err
+	}
+	ship, err := val.ParseDate(f[10])
+	if err != nil {
+		return nil, err
+	}
+	return []val.Value{
+		val.Int(key), val.Int(lineNo),
+		val.Int(partKey), val.Int(suppKey), val.Int(oi.custKey), val.Int(oi.nationKey),
+		val.Int(qty), val.Float(ext), val.Float(disc), val.Float(tax),
+		val.Str(f[8]), val.Str(f[9]),
+		ship, oi.orderDate,
+	}, nil
+}
+
+// readTbl streams pipe-delimited lines to fn.
+func readTbl(path string, fn func(fields []string) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if err := fn(strings.Split(line, "|")); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func tblInt(f []string, i int) (int64, error) {
+	if i >= len(f) {
+		return 0, fmt.Errorf("warehouse: missing field %d", i)
+	}
+	return strconv.ParseInt(f[i], 10, 64)
+}
+
+func tblFloat(f []string, i int) (float64, error) {
+	if i >= len(f) {
+		return 0, fmt.Errorf("warehouse: missing field %d", i)
+	}
+	return strconv.ParseFloat(f[i], 64)
+}
+
+// Refresh is one ApplyDelta's accounting.
+type Refresh struct {
+	Orders        int
+	RowsDeleted   int64
+	RowsInserted  int64
+	GroupsTouched int64
+	Elapsed       time.Duration
+}
+
+// Measure deltas per aggregate group, accumulated while old fact rows
+// come out and new ones go in. Delta sets are tiny (one update-function
+// batch), so plain float64 addition stays far inside the %.2f / %.4f
+// rendering tolerance of the stored totals.
+type aggDelta struct {
+	qty, cnt int64
+	ext, rev float64
+}
+
+type rflsKey struct {
+	rf, ls      string
+	year, month int64
+}
+
+type nyKey struct {
+	nation, year int64
+}
+
+// ApplyDelta folds one ExtractDelta stream into the fact table and the
+// materialized aggregates: tombstoned and re-extracted orders have
+// their old fact rows removed (their group contributions subtracted),
+// upserted orders insert their new payload rows (contributions added),
+// and each touched aggregate group is then patched in place — or
+// dropped when its count reaches zero, so a rebuilt warehouse and a
+// refreshed one answer queries identically.
+func (w *Warehouse) ApplyDelta(r io.Reader) (*Refresh, error) {
+	start := w.m.Elapsed()
+
+	// Parse the stream: order headers, line payloads, tombstones.
+	headers := make(map[int64][]string)
+	lines := make(map[int64][][]string)
+	tombs := make(map[int64]struct{})
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		f := strings.Split(line, "|")
+		switch f[0] {
+		case "O":
+			key, err := tblInt(f, 1)
+			if err != nil {
+				return nil, err
+			}
+			headers[key] = f[1:]
+		case "L":
+			key, err := tblInt(f, 1)
+			if err != nil {
+				return nil, err
+			}
+			lines[key] = append(lines[key], f[1:])
+		case "D":
+			key, err := tblInt(f, 1)
+			if err != nil {
+				return nil, err
+			}
+			tombs[key] = struct{}{}
+		default:
+			return nil, fmt.Errorf("warehouse: bad delta line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	touched := make(map[int64]struct{}, len(headers)+len(tombs))
+	for k := range headers {
+		touched[k] = struct{}{}
+	}
+	for k := range tombs {
+		touched[k] = struct{}{}
+	}
+	keys := make([]int64, 0, len(touched))
+	for k := range touched {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	selOld, err := w.sess.Prepare(`SELECT L_QUANTITY, L_EXTENDEDPRICE, L_DISCOUNT,
+		L_RETURNFLAG, L_LINESTATUS, YEAR(L_SHIPDATE), MONTH(L_SHIPDATE), L_NATIONKEY
+		FROM LINEITEM_F WHERE L_ORDERKEY = ?`)
+	if err != nil {
+		return nil, err
+	}
+	delFact, err := w.sess.Prepare(`DELETE FROM LINEITEM_F WHERE L_ORDERKEY = ?`)
+	if err != nil {
+		return nil, err
+	}
+	selNation, err := w.sess.Prepare(`SELECT C_NATIONKEY FROM CUSTOMER_D WHERE C_CUSTKEY = ?`)
+	if err != nil {
+		return nil, err
+	}
+
+	st := &Refresh{}
+	dRFLS := make(map[rflsKey]*aggDelta)
+	dNY := make(map[nyKey]*aggDelta)
+	bump := func(rf, ls string, year, month, nation, qty int64, ext, rev float64, cnt int64) {
+		k1 := rflsKey{rf: rf, ls: ls, year: year, month: month}
+		d := dRFLS[k1]
+		if d == nil {
+			d = &aggDelta{}
+			dRFLS[k1] = d
+		}
+		d.qty += qty
+		d.cnt += cnt
+		d.ext += ext
+		d.rev += rev
+		k2 := nyKey{nation: nation, year: year}
+		d = dNY[k2]
+		if d == nil {
+			d = &aggDelta{}
+			dNY[k2] = d
+		}
+		d.qty += qty
+		d.cnt += cnt
+		d.ext += ext
+		d.rev += rev
+	}
+
+	nationOf := make(map[int64]int64)
+	for _, key := range keys {
+		// Subtract the order's old contributions and drop its fact rows.
+		res, err := selOld.Query(val.Int(key))
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			ext := row[1].AsFloat()
+			rev := ext * (1 - row[2].AsFloat())
+			bump(row[3].AsStr(), row[4].AsStr(), row[5].AsInt(), row[6].AsInt(), row[7].AsInt(),
+				-row[0].AsInt(), -ext, -rev, -1)
+		}
+		if len(res.Rows) > 0 {
+			if _, err := delFact.Query(val.Int(key)); err != nil {
+				return nil, err
+			}
+			st.RowsDeleted += int64(len(res.Rows))
+		}
+
+		hdr, ok := headers[key]
+		if !ok {
+			continue // pure tombstone
+		}
+		ck, err := tblInt(hdr, 1)
+		if err != nil {
+			return nil, err
+		}
+		nk, ok := nationOf[ck]
+		if !ok {
+			nres, err := selNation.Query(val.Int(ck))
+			if err != nil {
+				return nil, err
+			}
+			if len(nres.Rows) != 1 {
+				return nil, fmt.Errorf("warehouse: delta customer %d not in CUSTOMER_D", ck)
+			}
+			nk = nres.Rows[0][0].AsInt()
+			nationOf[ck] = nk
+		}
+		od, err := val.ParseDate(hdr[4])
+		if err != nil {
+			return nil, err
+		}
+		oi := orderInfo{custKey: ck, nationKey: nk, orderDate: od}
+		for _, lf := range lines[key] {
+			row, err := factRowFromTbl(lf, oi)
+			if err != nil {
+				return nil, err
+			}
+			w.m.Charge(cost.TupleCPU, 1)
+			if err := w.sess.InsertRow("LINEITEM_F", row); err != nil {
+				return nil, err
+			}
+			year, month := ymOf(row[12])
+			ext := row[7].AsFloat()
+			rev := ext * (1 - row[8].AsFloat())
+			bump(row[10].AsStr(), row[11].AsStr(), year, month, nk,
+				row[6].AsInt(), ext, rev, 1)
+			st.RowsInserted++
+		}
+	}
+	w.sess.Commit()
+	st.Orders = len(keys)
+
+	// Patch the touched aggregate groups in place, in sorted group order
+	// so refresh cost and results are deterministic.
+	if err := w.patchRFLS(dRFLS, st); err != nil {
+		return nil, err
+	}
+	if err := w.patchNY(dNY, st); err != nil {
+		return nil, err
+	}
+	st.Elapsed = w.m.Lap(start)
+	return st, nil
+}
+
+// ymOf splits a date value into calendar year and month the same way
+// the engine's YEAR/MONTH functions do: off the rendered YYYY-MM-DD
+// form, so group keys computed here and there always agree.
+func ymOf(v val.Value) (year, month int64) {
+	s := v.AsStr()
+	if len(s) < 7 {
+		return 0, 0
+	}
+	y, _ := strconv.ParseInt(s[:4], 10, 64)
+	m, _ := strconv.ParseInt(s[5:7], 10, 64)
+	return y, m
+}
+
+func (w *Warehouse) patchRFLS(deltas map[rflsKey]*aggDelta, st *Refresh) error {
+	if len(deltas) == 0 {
+		return nil
+	}
+	sel, err := w.sess.Prepare(`SELECT SUM_QTY, SUM_EXTPRICE, SUM_REVENUE, CNT FROM AGG_RFLS_MONTH
+		WHERE RF = ? AND LS = ? AND SHIPYEAR = ? AND SHIPMONTH = ?`)
+	if err != nil {
+		return err
+	}
+	upd, err := w.sess.Prepare(`UPDATE AGG_RFLS_MONTH SET SUM_QTY = ?, SUM_EXTPRICE = ?, SUM_REVENUE = ?, CNT = ?
+		WHERE RF = ? AND LS = ? AND SHIPYEAR = ? AND SHIPMONTH = ?`)
+	if err != nil {
+		return err
+	}
+	ins, err := w.sess.Prepare(`INSERT INTO AGG_RFLS_MONTH (RF, LS, SHIPYEAR, SHIPMONTH, SUM_QTY, SUM_EXTPRICE, SUM_REVENUE, CNT)
+		VALUES (?, ?, ?, ?, ?, ?, ?, ?)`)
+	if err != nil {
+		return err
+	}
+	del, err := w.sess.Prepare(`DELETE FROM AGG_RFLS_MONTH
+		WHERE RF = ? AND LS = ? AND SHIPYEAR = ? AND SHIPMONTH = ?`)
+	if err != nil {
+		return err
+	}
+	keys := make([]rflsKey, 0, len(deltas))
+	for k := range deltas {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.rf != b.rf {
+			return a.rf < b.rf
+		}
+		if a.ls != b.ls {
+			return a.ls < b.ls
+		}
+		if a.year != b.year {
+			return a.year < b.year
+		}
+		return a.month < b.month
+	})
+	for _, k := range keys {
+		pk := []val.Value{val.Str(k.rf), val.Str(k.ls), val.Int(k.year), val.Int(k.month)}
+		if err := w.patchGroup(sel, upd, ins, del, pk, deltas[k]); err != nil {
+			return err
+		}
+		st.GroupsTouched++
+	}
+	return nil
+}
+
+func (w *Warehouse) patchNY(deltas map[nyKey]*aggDelta, st *Refresh) error {
+	if len(deltas) == 0 {
+		return nil
+	}
+	sel, err := w.sess.Prepare(`SELECT SUM_QTY, SUM_EXTPRICE, SUM_REVENUE, CNT FROM AGG_NATION_YEAR
+		WHERE NATIONKEY = ? AND SHIPYEAR = ?`)
+	if err != nil {
+		return err
+	}
+	upd, err := w.sess.Prepare(`UPDATE AGG_NATION_YEAR SET SUM_QTY = ?, SUM_EXTPRICE = ?, SUM_REVENUE = ?, CNT = ?
+		WHERE NATIONKEY = ? AND SHIPYEAR = ?`)
+	if err != nil {
+		return err
+	}
+	ins, err := w.sess.Prepare(`INSERT INTO AGG_NATION_YEAR (NATIONKEY, SHIPYEAR, SUM_QTY, SUM_EXTPRICE, SUM_REVENUE, CNT)
+		VALUES (?, ?, ?, ?, ?, ?)`)
+	if err != nil {
+		return err
+	}
+	del, err := w.sess.Prepare(`DELETE FROM AGG_NATION_YEAR
+		WHERE NATIONKEY = ? AND SHIPYEAR = ?`)
+	if err != nil {
+		return err
+	}
+	keys := make([]nyKey, 0, len(deltas))
+	for k := range deltas {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.nation != b.nation {
+			return a.nation < b.nation
+		}
+		return a.year < b.year
+	})
+	for _, k := range keys {
+		pk := []val.Value{val.Int(k.nation), val.Int(k.year)}
+		if err := w.patchGroup(sel, upd, ins, del, pk, deltas[k]); err != nil {
+			return err
+		}
+		st.GroupsTouched++
+	}
+	return nil
+}
+
+// patchGroup folds one group's delta into its aggregate row: update in
+// place, insert a brand-new group, or delete a group whose row count
+// reached zero (the count is exact, so "empty" is exact too).
+func (w *Warehouse) patchGroup(sel, upd, ins, del *engine.Stmt, pk []val.Value, d *aggDelta) error {
+	res, err := sel.Query(pk...)
+	if err != nil {
+		return err
+	}
+	switch {
+	case len(res.Rows) == 0:
+		if d.cnt <= 0 {
+			return fmt.Errorf("warehouse: negative delta for missing aggregate group %v", pk)
+		}
+		row := append(append([]val.Value{}, pk...),
+			val.Int(d.qty), val.Float(d.ext), val.Float(d.rev), val.Int(d.cnt))
+		_, err = ins.Query(row...)
+		return err
+	default:
+		old := res.Rows[0]
+		cnt := old[3].AsInt() + d.cnt
+		if cnt == 0 {
+			_, err = del.Query(pk...)
+			return err
+		}
+		args := []val.Value{
+			val.Int(old[0].AsInt() + d.qty),
+			val.Float(old[1].AsFloat() + d.ext),
+			val.Float(old[2].AsFloat() + d.rev),
+			val.Int(cnt),
+		}
+		_, err = upd.Query(append(args, pk...)...)
+		return err
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"r3bench/internal/cost"
+	"r3bench/internal/dbgen"
 	"r3bench/internal/r3"
 	"r3bench/internal/val"
 )
@@ -52,11 +53,7 @@ var TableNames = []string{
 func (e *Extractor) ExtractAll(dir string) ([]TableResult, error) {
 	var out []TableResult
 	for _, name := range TableNames {
-		file := strings.ToLower(name) + ".tbl"
-		if name == "ORDER" {
-			file = "orders.tbl" // DBGEN's file name
-		}
-		f, err := os.Create(filepath.Join(dir, file))
+		f, err := os.Create(filepath.Join(dir, dbgen.TblFile(name)))
 		if err != nil {
 			return nil, err
 		}

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
 
 	"r3bench/internal/dbgen"
@@ -61,13 +60,9 @@ func TestExtractAllRoundTrips(t *testing.T) {
 		}
 		return n
 	}
-	refNames := map[string]string{"ORDER": "orders.tbl"}
 	var liTime, total int64
 	for _, res := range results {
-		ref := refNames[res.Table]
-		if ref == "" {
-			ref = strings.ToLower(res.Table) + ".tbl"
-		}
+		ref := dbgen.TblFile(res.Table)
 		if got, want := counts(outDir, ref), counts(refDir, ref); got != want {
 			t.Errorf("%s: extracted %d rows, reference has %d", res.Table, got, want)
 		}

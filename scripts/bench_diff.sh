@@ -15,7 +15,10 @@
 # partitioned work), or a direct-path load speedup
 # (loadpath.simms.batchinput/directpath) below MIN_LOAD_SPEEDUP
 # (default 10 — far under the measured ~2900x; it catches the direct
-# path falling back to logged row inserts). Usage:
+# path falling back to logged row inserts), or an incremental
+# warehouse-refresh speedup (warehouse.simms.full/incremental) below
+# MIN_REFRESH_SPEEDUP (default 10 — it catches change capture silently
+# degrading into a full re-extraction). Usage:
 #
 #   ./scripts/bench_diff.sh OLD.json [NEW.json]
 #
@@ -39,4 +42,5 @@ exec go run ./cmd/benchdiff -min-hit-ratio "${MIN_HIT_RATIO:-0.92}" \
 	-max-parse-allocs "${MAX_PARSE_ALLOCS:-16}" \
 	-min-qph-ratio "${MIN_QPH_RATIO:-0.5}" \
 	-min-shard-scaling "${MIN_SHARD_SCALING:-1.5}" \
-	-min-load-speedup "${MIN_LOAD_SPEEDUP:-10}" "$old" "$new"
+	-min-load-speedup "${MIN_LOAD_SPEEDUP:-10}" \
+	-min-refresh-speedup "${MIN_REFRESH_SPEEDUP:-10}" "$old" "$new"

@@ -20,9 +20,12 @@
 # table_buffer.*.admission_rejects for the benchdiff hit-ratio gate,
 # throughput.qph.streamsN for its -min-qph-ratio gate,
 # shardscale.simms.shardsN plus shardscale.net.rows_shipped[.class] for
-# its -min-shard-scaling gate, and loadpath.simms.* plus
+# its -min-shard-scaling gate, loadpath.simms.* plus
 # loadpath.wal.* (the loadpath experiment ablates WAL, group commit and
-# direct-path load against batch input) for its -min-load-speedup gate.
+# direct-path load against batch input) for its -min-load-speedup gate,
+# and warehouse.* (the warehouse experiment ablates change-capture
+# incremental refresh against full re-extraction and aggregate query
+# rewrite against fact-table scans) for its -min-refresh-speedup gate.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,7 +39,7 @@ raw=$(go test -run xxx -bench "$regex" -benchtime 1x -benchmem . 2>&1) || {
 
 mtmp=$(mktemp)
 trap 'rm -f "$mtmp"' EXIT
-go run ./cmd/r3bench -sf "${METRICS_SF:-0.005}" -exp table8,throughput,shardscale,loadpath -metrics-json "$mtmp" >/dev/null
+go run ./cmd/r3bench -sf "${METRICS_SF:-0.005}" -exp table8,throughput,shardscale,loadpath,warehouse -metrics-json "$mtmp" >/dev/null
 metrics=$(cat "$mtmp")
 
 printf '%s\n' "$raw" | awk -v date="$(date +%F)" -v metrics="$metrics" '
